@@ -1,0 +1,34 @@
+"""Fault-coverage study (Sections 2.1 and 3.4, qualitative).
+
+The paper's protection argument: a traditional DMR machine detects faults
+before retirement; an MMM running some cores in performance mode must add the
+PAB (for stores whose address/permission path is corrupted) and the
+Enter-DMR privileged-register verification, after which reliable state is
+protected as well as under full DMR; a naive design that simply switches DMR
+off loses that protection and silently corrupts reliable state.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.config.presets import paper_system_config
+from repro.faults.campaign import FaultInjectionCampaign
+from repro.faults.outcomes import FaultOutcome
+from repro.sim.reporting import format_coverage_reports
+
+
+def test_fault_coverage_by_configuration(benchmark):
+    campaign = FaultInjectionCampaign(config=paper_system_config(), seed=0)
+    reports = run_once(benchmark, lambda: campaign.run(trials_per_site=50))
+    print()
+    print(format_coverage_reports(reports))
+
+    by_name = {report.configuration: report for report in reports}
+    for name, report in by_name.items():
+        benchmark.extra_info[f"{name}.coverage"] = round(report.coverage, 3)
+
+    assert by_name["always-dmr"].coverage == 1.0
+    assert by_name["mmm"].coverage == 1.0
+    assert by_name["mmm"].count(FaultOutcome.DETECTED_PAB) > 0
+    assert by_name["naive-mode-switch"].silent_corruption_rate > 0.0
+    assert by_name["naive-mode-switch"].coverage < by_name["mmm"].coverage

@@ -1,0 +1,31 @@
+"""Figure 5(a): per-thread user IPC of No DMR 2X, No DMR, and Reunion.
+
+Paper result: ``No DMR`` (8 VCPUs on 8 cores) observes 8-15% higher per-thread
+IPC than ``No DMR 2X`` (16 VCPUs on 16 cores); Reunion loses 22-48% relative
+to ``No DMR 2X`` (34-53% relative to ``No DMR``), with the OS-intensive web
+servers hurt the most.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.sim.experiments import run_dmr_overhead_experiment
+
+
+def test_figure5a_per_thread_ipc(benchmark, bench_settings, experiment_cache):
+    result = run_once(
+        benchmark,
+        lambda: experiment_cache.get(
+            "figure5", lambda: run_dmr_overhead_experiment(bench_settings)
+        ),
+    )
+    print()
+    print(result.format_ipc_table())
+
+    for row in result.rows:
+        normalized = row.normalized_ipc()
+        benchmark.extra_info[f"{row.workload}.no_dmr"] = round(normalized["no-dmr"], 3)
+        benchmark.extra_info[f"{row.workload}.reunion"] = round(normalized["reunion"], 3)
+        # Reunion must lose per-thread IPC relative to both non-DMR baselines.
+        assert normalized["reunion"] < 1.0
+        assert normalized["reunion"] < normalized["no-dmr"]

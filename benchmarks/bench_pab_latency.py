@@ -1,0 +1,32 @@
+"""Section 5.2, "Effect of PAB Latency": serial vs parallel PAB lookup.
+
+Paper result: a 2-cycle PAB lookup performed serially before the L2 access
+reduces the performance-mode application's IPC by only 3-10%; the reliable
+application never uses the PAB and is unaffected.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.sim.experiments import run_pab_latency_study
+
+
+def test_pab_serial_lookup_sensitivity(benchmark, bench_settings, experiment_cache):
+    result = run_once(
+        benchmark,
+        lambda: experiment_cache.get(
+            "pab", lambda: run_pab_latency_study(bench_settings)
+        ),
+    )
+    print()
+    print(result.format_table())
+
+    for row in result.rows:
+        benchmark.extra_info[f"{row.workload}.perf_change_pct"] = round(
+            row.performance_ipc_change_percent, 2
+        )
+        # Serialising the lookup costs a little performance-mode IPC...
+        assert row.serial_ipc <= row.parallel_ipc
+        assert row.performance_ipc_change_percent > -20.0
+        # ...and leaves the reliable VM essentially untouched.
+        assert abs(row.reliable_ipc_change_percent) < 6.0

@@ -1,0 +1,43 @@
+"""Section 5.3 bottom line: single-OS mode-switching overhead.
+
+Paper result: combining Table 1 (switch cost, ~13k cycles per round trip) and
+Table 2 (cycles between switches), switching modes at every OS entry/exit in
+a single-OS system costs about 8% for Apache and less than 5% for the other
+benchmarks -- small enough that mixed-mode operation is worthwhile even with
+frequent OS activity.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.sim.experiments import (
+    run_single_os_overhead_study,
+    run_switch_frequency_experiment,
+    run_switch_overhead_experiment,
+)
+
+
+def test_single_os_switching_overhead(benchmark, bench_settings, experiment_cache):
+    def compute():
+        table1 = experiment_cache.get(
+            "table1",
+            lambda: run_switch_overhead_experiment(workloads=bench_settings.workloads),
+        )
+        table2 = experiment_cache.get(
+            "table2",
+            lambda: run_switch_frequency_experiment(workloads=bench_settings.workloads),
+        )
+        return run_single_os_overhead_study(table1, table2, bench_settings.workloads)
+
+    result = run_once(benchmark, compute)
+    print()
+    print(result.format_table())
+
+    rows = {row.workload: row for row in result.rows}
+    for row in result.rows:
+        benchmark.extra_info[f"{row.workload}.overhead_pct"] = round(row.overhead_percent, 2)
+        # The overhead of frequent mode switching stays small.
+        assert row.overhead_percent < 15.0
+    if "apache" in rows and "pgbench" in rows:
+        # Apache (shortest round trips) pays the most; pgbench the least.
+        assert rows["apache"].overhead_percent > rows["pgbench"].overhead_percent

@@ -1,0 +1,31 @@
+"""Small metric helpers shared by the experiment and reporting code."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+
+def normalize_to(values: Mapping[str, float], baseline_key: str) -> Dict[str, float]:
+    """Normalise every value to the value stored under ``baseline_key``.
+
+    A zero or missing baseline yields zeros (rather than raising), which keeps
+    report generation robust against degenerate runs.
+    """
+    baseline = values.get(baseline_key, 0.0)
+    if baseline == 0.0:
+        return {key: 0.0 for key in values}
+    return {key: value / baseline for key, value in values.items()}
+
+
+def speedup(new_value: float, old_value: float) -> float:
+    """``new / old`` (0 when the old value is 0)."""
+    if old_value == 0.0:
+        return 0.0
+    return new_value / old_value
+
+
+def percent_change(new_value: float, old_value: float) -> float:
+    """Percentage change from ``old_value`` to ``new_value``."""
+    if old_value == 0.0:
+        return 0.0
+    return (new_value - old_value) / old_value * 100.0

@@ -1,0 +1,261 @@
+"""Command-line interface for the reproduction.
+
+Two groups of subcommands:
+
+* ``run`` simulates one mixed-mode system (a consolidated server or a
+  single-OS desktop) and prints a per-VM summary -- the quickest way to see
+  the MMM trade-off without writing any code;
+* one subcommand per paper artefact (``figure5``, ``figure6``, ``pab``,
+  ``table1``, ``table2``, ``single-os``, ``ablation``, ``faults``, and
+  ``report`` for everything at once) regenerates that table or figure and
+  prints it in the paper's layout.
+
+Examples::
+
+    python -m repro list-workloads
+    python -m repro run --policy mmm-tp --reliable oltp --performance apache
+    python -m repro figure6 --workloads apache oltp
+    python -m repro report --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.tables import TextTable
+from repro.config.presets import evaluation_system_config
+from repro.core.mmm import MixedModeMulticore
+from repro.core.policies import available_policies
+from repro.sim.experiments import (
+    ExperimentSettings,
+    run_dmr_overhead_experiment,
+    run_mixed_mode_experiment,
+    run_pab_latency_study,
+    run_single_os_overhead_study,
+    run_switch_frequency_experiment,
+    run_switch_overhead_experiment,
+    run_window_ablation,
+)
+from repro.sim.reporting import fault_coverage_report, full_report
+from repro.workloads.profiles import PAPER_WORKLOAD_NAMES, PAPER_WORKLOADS
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    settings = ExperimentSettings.quick() if args.quick else ExperimentSettings()
+    if args.workloads:
+        settings = settings.with_workloads(tuple(args.workloads))
+    return settings
+
+
+def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=PAPER_WORKLOAD_NAMES,
+        help="restrict the experiment to these workloads (default: all six)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the heavily scaled quick settings (smoke test, not meaningful numbers)",
+    )
+
+
+def _cmd_list_workloads(_: argparse.Namespace) -> int:
+    table = TextTable(
+        ["name", "description", "user phase (instr)", "OS phase (instr)"],
+        title="Calibrated workload profiles (see repro.workloads.profiles)",
+    )
+    for name, profile in PAPER_WORKLOADS.items():
+        table.add_row(
+            [
+                name,
+                profile.description,
+                profile.mean_user_phase_instructions,
+                profile.mean_os_phase_instructions,
+            ]
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = evaluation_system_config(
+        capacity_scale=args.capacity_scale, timeslice_cycles=args.timeslice
+    )
+    common = dict(
+        reliable_workload=args.reliable,
+        performance_workload=args.performance,
+        config=config,
+        seed=args.seed,
+        phase_scale=args.phase_scale,
+        footprint_scale=1.0 / args.capacity_scale,
+    )
+    if args.single_os:
+        system = MixedModeMulticore.single_os_desktop(
+            vcpus_per_application=args.reliable_vcpus, **common
+        )
+    else:
+        system = MixedModeMulticore.consolidated_server(
+            policy=args.policy, reliable_vcpus=args.reliable_vcpus, **common
+        )
+    result = system.run(total_cycles=args.cycles, warmup_cycles=args.warmup)
+
+    table = TextTable(
+        ["guest VM", "VCPUs", "per-thread user IPC", "throughput", "mode switches"],
+        title=f"policy={system.policy_name}  cycles={result.total_cycles}",
+    )
+    for vm in result.vm_results:
+        table.add_row(
+            [
+                vm.name,
+                vm.num_vcpus,
+                vm.average_user_ipc(result.total_cycles),
+                vm.throughput(result.total_cycles),
+                sum(v.mode_switches for v in vm.vcpus),
+            ]
+        )
+    print(table.render())
+    print(f"overall throughput: {result.overall_throughput():.4f} user instructions/cycle")
+    print(f"mode transitions:   {result.transitions}")
+    print(f"protection events:  {result.violation_counts or 'none'}")
+    print(f"silent corruptions: {result.silent_corruptions()}")
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    result = run_dmr_overhead_experiment(_settings_from_args(args))
+    print(result.format_ipc_table())
+    print()
+    print(result.format_throughput_table())
+    return 0
+
+
+def _cmd_figure6(args: argparse.Namespace) -> int:
+    result = run_mixed_mode_experiment(_settings_from_args(args))
+    print(result.format_ipc_table())
+    print()
+    print(result.format_throughput_table())
+    return 0
+
+
+def _cmd_pab(args: argparse.Namespace) -> int:
+    print(run_pab_latency_study(_settings_from_args(args)).format_table())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    workloads = tuple(args.workloads) if args.workloads else PAPER_WORKLOAD_NAMES
+    print(run_switch_overhead_experiment(workloads=workloads).format_table())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    workloads = tuple(args.workloads) if args.workloads else PAPER_WORKLOAD_NAMES
+    print(run_switch_frequency_experiment(workloads=workloads).format_table())
+    return 0
+
+
+def _cmd_single_os(args: argparse.Namespace) -> int:
+    workloads = tuple(args.workloads) if args.workloads else PAPER_WORKLOAD_NAMES
+    print(run_single_os_overhead_study(workloads=workloads).format_table())
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    settings = _settings_from_args(args)
+    if not args.workloads:
+        settings = settings.with_workloads(settings.workloads[:2])
+    print(run_window_ablation(settings).format_table())
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    print(fault_coverage_report(trials_per_site=args.trials, seed=args.seed))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(
+        full_report(
+            _settings_from_args(args),
+            include_switching=not args.skip_switching,
+            include_ablation=not args.skip_ablation,
+            include_faults=not args.skip_faults,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Mixed-Mode Multicore Reliability' (ASPLOS 2009).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list-workloads", help="list the calibrated workload profiles"
+    )
+    list_parser.set_defaults(handler=_cmd_list_workloads)
+
+    run_parser = subparsers.add_parser(
+        "run", help="simulate one mixed-mode system and print a per-VM summary"
+    )
+    run_parser.add_argument("--policy", default="mmm-tp", choices=available_policies())
+    run_parser.add_argument("--reliable", default="oltp", choices=PAPER_WORKLOAD_NAMES)
+    run_parser.add_argument("--performance", default="apache", choices=PAPER_WORKLOAD_NAMES)
+    run_parser.add_argument("--reliable-vcpus", type=int, default=8)
+    run_parser.add_argument("--cycles", type=int, default=60_000)
+    run_parser.add_argument("--warmup", type=int, default=15_000)
+    run_parser.add_argument("--timeslice", type=int, default=25_000)
+    run_parser.add_argument("--capacity-scale", type=int, default=8)
+    run_parser.add_argument("--phase-scale", type=float, default=0.01)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--single-os",
+        action="store_true",
+        help="simulate the single-OS desktop (MMM-IPC, fine-grained switching) instead",
+    )
+    run_parser.set_defaults(handler=_cmd_run)
+
+    for name, handler, help_text in (
+        ("figure5", _cmd_figure5, "Figure 5: DMR overhead (IPC and throughput)"),
+        ("figure6", _cmd_figure6, "Figure 6: mixed-mode performance"),
+        ("pab", _cmd_pab, "Section 5.2: serial vs parallel PAB lookup"),
+        ("table1", _cmd_table1, "Table 1: mode-switch overheads"),
+        ("table2", _cmd_table2, "Table 2: cycles between mode switches"),
+        ("single-os", _cmd_single_os, "Section 5.3: single-OS switching overhead"),
+        ("ablation", _cmd_ablation, "window-size / consistency ablation"),
+        ("report", _cmd_report, "run every experiment and print one report"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        _add_experiment_arguments(sub)
+        if name == "report":
+            sub.add_argument("--skip-switching", action="store_true")
+            sub.add_argument("--skip-ablation", action="store_true")
+            sub.add_argument("--skip-faults", action="store_true")
+        sub.set_defaults(handler=handler)
+
+    faults_parser = subparsers.add_parser(
+        "faults", help="fault-injection coverage campaign"
+    )
+    faults_parser.add_argument("--trials", type=int, default=50)
+    faults_parser.add_argument("--seed", type=int, default=0)
+    faults_parser.set_defaults(handler=_cmd_faults)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Common utilities shared by every subsystem of the reproduction.
+
+The package deliberately contains only small, dependency-free building
+blocks:
+
+* :mod:`repro.common.rng` -- deterministic random number generation,
+* :mod:`repro.common.addresses` -- address, page and cache-line arithmetic,
+* :mod:`repro.common.stats` -- counters, running statistics and confidence
+  intervals,
+* :mod:`repro.common.events` -- a tiny discrete-event queue.
+"""
+
+from repro.common.addresses import (
+    AddressSpaceLayout,
+    Region,
+    align_down,
+    align_up,
+    cache_line_address,
+    cache_line_index,
+    page_number,
+    page_offset,
+)
+from repro.common.events import Event, EventQueue
+from repro.common.rng import DeterministicRng
+from repro.common.stats import (
+    ConfidenceInterval,
+    RunningStat,
+    StatSet,
+    confidence_interval_95,
+    geometric_mean,
+)
+
+__all__ = [
+    "AddressSpaceLayout",
+    "Region",
+    "align_down",
+    "align_up",
+    "cache_line_address",
+    "cache_line_index",
+    "page_number",
+    "page_offset",
+    "Event",
+    "EventQueue",
+    "DeterministicRng",
+    "ConfidenceInterval",
+    "RunningStat",
+    "StatSet",
+    "confidence_interval_95",
+    "geometric_mean",
+]

@@ -1,0 +1,90 @@
+"""A minimal discrete-event queue.
+
+The main simulation loop is quantum based rather than fully event driven (see
+``DESIGN.md``), but a few components benefit from an ordered event queue: the
+fingerprint network models in-flight fingerprints, and the fault injector
+schedules fault arrivals at absolute cycle times.  :class:`EventQueue` is a
+thin, deterministic wrapper over :mod:`heapq` that breaks ties by insertion
+order so results do not depend on hash ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Event:
+    """An event scheduled at an absolute cycle time."""
+
+    time: int
+    kind: str
+    payload: Any = None
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._counter = itertools.count()
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """The time of the most recently popped event (0 initially)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def schedule(self, time: int, kind: str, payload: Any = None) -> Event:
+        """Schedule an event; scheduling in the past raises ``SimulationError``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {kind!r} at {time} before current time {self._now}"
+            )
+        event = Event(time=time, kind=kind, payload=payload)
+        heapq.heappush(self._heap, (time, next(self._counter), event))
+        return event
+
+    def schedule_after(self, delay: int, kind: str, payload: Any = None) -> Event:
+        """Schedule an event ``delay`` cycles after the current time."""
+        return self.schedule(self._now + delay, kind, payload)
+
+    def peek(self) -> Optional[Event]:
+        """Return (without removing) the earliest event, or ``None``."""
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise SimulationError("pop() on an empty event queue")
+        time, _, event = heapq.heappop(self._heap)
+        self._now = time
+        return event
+
+    def pop_until(self, time: int) -> Iterator[Event]:
+        """Yield and remove every event scheduled at or before ``time``."""
+        while self._heap and self._heap[0][0] <= time:
+            yield self.pop()
+        if time > self._now:
+            self._now = time
+
+    def drain(self, handler: Callable[[Event], None]) -> int:
+        """Pop every event, calling ``handler`` on each; return the count."""
+        handled = 0
+        while self._heap:
+            handler(self.pop())
+            handled += 1
+        return handled

@@ -1,0 +1,125 @@
+"""Deterministic random number generation.
+
+All stochastic behaviour in the simulator (synthetic workload generation,
+fault arrival, address streams) flows through :class:`DeterministicRng` so
+that a simulation is exactly reproducible from its seed.  The class wraps
+:class:`random.Random` and adds the handful of distributions the simulator
+actually needs, keeping call sites readable.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRng:
+    """A seeded random source with helpers used throughout the simulator.
+
+    Parameters
+    ----------
+    seed:
+        Any hashable seed.  Two instances created with the same seed produce
+        identical streams of values.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._random = random.Random(seed)
+
+    @property
+    def seed(self) -> int:
+        """The seed this generator was created with."""
+        return self._seed
+
+    def fork(self, label: str) -> "DeterministicRng":
+        """Return an independent generator derived from this seed and ``label``.
+
+        Forking is used to give each VCPU, workload and fault injector its own
+        stream so that adding one consumer does not perturb the others.  The
+        derivation uses a stable CRC (not Python's ``hash``, which is salted
+        per process) so that runs are reproducible across processes.
+        """
+        derived = zlib.crc32(f"{self._seed}:{label}".encode("utf-8")) & 0x7FFF_FFFF
+        return DeterministicRng(derived)
+
+    def chance(self, probability: float) -> bool:
+        """Return ``True`` with the given probability (clamped to [0, 1])."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self._random.random() < probability
+
+    def uniform(self, low: float, high: float) -> float:
+        """Uniform float in ``[low, high)``."""
+        return self._random.uniform(low, high)
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in ``[low, high]`` (inclusive)."""
+        return self._random.randint(low, high)
+
+    def geometric(self, mean: float) -> int:
+        """A geometric-ish positive integer with the requested mean.
+
+        Used for phase lengths (user instructions between OS entries, OS
+        service lengths).  The distribution is a shifted geometric so the
+        result is always at least 1.
+        """
+        if mean <= 1.0:
+            return 1
+        p = 1.0 / mean
+        # Inverse-CDF sampling of a geometric distribution.
+        u = self._random.random()
+        # Guard against log(0).
+        u = max(u, 1e-12)
+        import math
+
+        value = int(math.log(u) / math.log(1.0 - p)) + 1
+        return max(1, value)
+
+    def gauss_positive(self, mean: float, stddev: float) -> float:
+        """A normal sample truncated below at a small positive value."""
+        return max(1e-9, self._random.gauss(mean, stddev))
+
+    def choice(self, items: Sequence[T]) -> T:
+        """Pick one element uniformly."""
+        return self._random.choice(items)
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """Pick one element with the given (unnormalised) weights."""
+        return self._random.choices(items, weights=weights, k=1)[0]
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        self._random.shuffle(items)
+
+    def sample_address(self, base: int, span: int, alignment: int = 1) -> int:
+        """Uniform address in ``[base, base + span)`` aligned to ``alignment``."""
+        if span <= 0:
+            return base
+        offset = self._random.randrange(0, span)
+        if alignment > 1:
+            offset -= offset % alignment
+        return base + offset
+
+    def hot_cold_address(
+        self,
+        base: int,
+        hot_span: int,
+        cold_span: int,
+        hot_probability: float,
+        alignment: int = 1,
+    ) -> int:
+        """Address from a hot set with high probability, else the cold span.
+
+        This is the simple temporal-locality model used by the synthetic
+        address streams: a small hot working set absorbs most accesses while
+        the remainder spread over a larger cold region.
+        """
+        if self.chance(hot_probability) or cold_span <= hot_span:
+            return self.sample_address(base, hot_span, alignment)
+        return self.sample_address(base + hot_span, cold_span - hot_span, alignment)

@@ -1,0 +1,241 @@
+"""Statistics helpers: counters, running statistics, confidence intervals.
+
+The paper reports averages over multiple runs with 95% confidence intervals;
+:func:`confidence_interval_95` provides the same summary for the
+reproduction's experiment runner.  :class:`StatSet` is the lightweight counter
+bag every simulated component uses to expose its behaviour (cache misses,
+C2C transfers, window-full cycles, PAB violations, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean together with a symmetric 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    count: int
+
+    @property
+    def low(self) -> float:
+        """Lower bound of the interval."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper bound of the interval."""
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.count})"
+
+
+# Two-sided 97.5% t quantiles for small sample sizes (index = degrees of freedom).
+_T_TABLE = {
+    1: 12.706,
+    2: 4.303,
+    3: 3.182,
+    4: 2.776,
+    5: 2.571,
+    6: 2.447,
+    7: 2.365,
+    8: 2.306,
+    9: 2.262,
+    10: 2.228,
+    15: 2.131,
+    20: 2.086,
+    30: 2.042,
+}
+
+
+def _t_quantile(dof: int) -> float:
+    """Approximate two-sided 95% t quantile for ``dof`` degrees of freedom."""
+    if dof <= 0:
+        return 0.0
+    if dof in _T_TABLE:
+        return _T_TABLE[dof]
+    keys = sorted(_T_TABLE)
+    for key in keys:
+        if dof < key:
+            return _T_TABLE[key]
+    return 1.96
+
+
+def confidence_interval_95(values: Iterable[float]) -> ConfidenceInterval:
+    """Return the sample mean and 95% confidence half-width of ``values``.
+
+    With a single sample the half-width is zero (there is no spread to
+    estimate), mirroring how the experiment runner reports single-seed runs.
+    """
+    data = list(values)
+    if not data:
+        return ConfidenceInterval(mean=0.0, half_width=0.0, count=0)
+    n = len(data)
+    mean = sum(data) / n
+    if n == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0, count=1)
+    variance = sum((x - mean) ** 2 for x in data) / (n - 1)
+    sem = math.sqrt(variance / n)
+    return ConfidenceInterval(mean=mean, half_width=_t_quantile(n - 1) * sem, count=n)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0 if the sequence is empty)."""
+    data = [v for v in values if v > 0]
+    if not data:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in data) / len(data))
+
+
+@dataclass
+class RunningStat:
+    """Online mean/min/max/variance accumulator (Welford's algorithm)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 with fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStat") -> None:
+        """Fold another accumulator into this one."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean = (self.mean * self.count + other.mean * other.count) / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+class StatSet:
+    """A named bag of integer counters with a few convenience operations.
+
+    ``StatSet`` behaves like a ``defaultdict(int)`` with explicit methods so
+    that call sites read as instrumentation rather than dictionary plumbing::
+
+        stats.add("l2.misses")
+        stats.add("cycles", 17)
+        stats.merge(other_stats)
+    """
+
+    def __init__(self, initial: Mapping[str, float] | None = None) -> None:
+        self._counters: Dict[str, float] = dict(initial or {})
+
+    def add(self, name: str, amount: float = 1) -> None:
+        """Increment counter ``name`` by ``amount`` (creating it at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set(self, name: str, value: float) -> None:
+        """Overwrite counter ``name``."""
+        self._counters[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        """Read counter ``name`` (``default`` when absent)."""
+        return self._counters.get(name, default)
+
+    def merge(self, other: "StatSet") -> None:
+        """Add every counter of ``other`` into this set."""
+        for name, value in other.items():
+            self.add(name, value)
+
+    def scaled(self, factor: float) -> "StatSet":
+        """Return a copy with every counter multiplied by ``factor``."""
+        return StatSet({name: value * factor for name, value in self.items()})
+
+    def items(self):
+        """Iterate over ``(name, value)`` pairs sorted by name."""
+        return sorted(self._counters.items())
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a plain dictionary copy of the counters."""
+        return dict(self._counters)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Return ``numerator / denominator`` (0 when the denominator is 0)."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.items())
+        return f"StatSet({inner})"
+
+
+@dataclass
+class LatencyHistogram:
+    """A coarse histogram of latencies, used for mode-switch breakdowns."""
+
+    bucket_width: int = 100
+    buckets: Dict[int, int] = field(default_factory=dict)
+    total: int = 0
+    count: int = 0
+
+    def record(self, latency: int) -> None:
+        """Record one latency observation."""
+        bucket = int(latency) // self.bucket_width
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.total += int(latency)
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Average recorded latency."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def percentile(self, fraction: float) -> int:
+        """Approximate percentile (returns the bucket upper bound)."""
+        if not self.buckets:
+            return 0
+        target = max(1, math.ceil(self.count * fraction))
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= target:
+                return (bucket + 1) * self.bucket_width
+        return (max(self.buckets) + 1) * self.bucket_width

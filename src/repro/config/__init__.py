@@ -1,0 +1,37 @@
+"""System configuration for the mixed-mode multicore reproduction.
+
+:mod:`repro.config.system` defines frozen dataclasses describing every
+hardware parameter the simulator uses; :mod:`repro.config.presets` provides
+the paper's 16-core target configuration and a scaled-down configuration used
+by the test suite.
+"""
+
+from repro.config.presets import (
+    evaluation_system_config,
+    paper_system_config,
+    small_system_config,
+)
+from repro.config.system import (
+    CacheConfig,
+    CoreConfig,
+    InterconnectConfig,
+    MemoryConfig,
+    PabConfig,
+    ReunionConfig,
+    SystemConfig,
+    VirtualizationConfig,
+)
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "InterconnectConfig",
+    "MemoryConfig",
+    "PabConfig",
+    "ReunionConfig",
+    "SystemConfig",
+    "VirtualizationConfig",
+    "evaluation_system_config",
+    "paper_system_config",
+    "small_system_config",
+]

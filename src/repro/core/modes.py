@@ -1,0 +1,43 @@
+"""Reliability modes and mode-decision helpers.
+
+The per-VCPU reliability register itself lives with the VCPU
+(:class:`repro.virt.vcpu.ReliabilityMode`); this module re-exports it and adds
+the small pieces of policy the paper states in Sections 2 and 3.4.2:
+
+* software at the highest privilege level always runs reliably,
+* a VCPU in ``PERFORMANCE_USER_ONLY`` mode must transition to DMR whenever it
+  enters privileged code (system call, trap, interrupt), and
+* a VCPU in ``PERFORMANCE`` mode never transitions (used for whole guest VMs
+  whose OS the paper chooses not to protect).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import PrivilegeLevel
+from repro.virt.vcpu import ReliabilityMode
+
+__all__ = ["ReliabilityMode", "requires_dmr", "is_mode_transition_boundary"]
+
+
+def requires_dmr(mode: ReliabilityMode, privilege: PrivilegeLevel) -> bool:
+    """Whether code at ``privilege`` must run redundantly under ``mode``.
+
+    The most privileged software (the OS of a single-OS system or the VMM of
+    a consolidated server) always runs reliably regardless of the VCPU's
+    register value -- a fault while executing it could corrupt state used on
+    behalf of reliable applications.
+    """
+    if privilege is PrivilegeLevel.HYPERVISOR:
+        return True
+    if mode is ReliabilityMode.RELIABLE:
+        return True
+    if mode is ReliabilityMode.PERFORMANCE:
+        return False
+    return privilege is not PrivilegeLevel.USER
+
+
+def is_mode_transition_boundary(
+    mode: ReliabilityMode, from_privilege: PrivilegeLevel, to_privilege: PrivilegeLevel
+) -> bool:
+    """True when moving between the two privilege levels forces a mode switch."""
+    return requires_dmr(mode, from_privilege) != requires_dmr(mode, to_privilege)

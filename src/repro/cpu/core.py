@@ -1,0 +1,90 @@
+"""Physical core bookkeeping.
+
+:class:`PhysicalCore` tracks what a core is doing right now -- which VCPU it
+runs, in which role (independent, DMR vocal, DMR mute, or idle) -- and is the
+unit the hardware scheduler assigns work to.  The timing behaviour lives in
+:mod:`repro.cpu.timing`; this class is deliberately just state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional
+
+from repro.common.stats import StatSet
+from repro.errors import SchedulingError
+
+
+class CoreRole(Enum):
+    """What a physical core is currently doing."""
+
+    IDLE = auto()
+    #: Running a VCPU on its own (non-DMR).
+    INDEPENDENT = auto()
+    #: Master of a DMR pair: maintains full coherence.
+    DMR_VOCAL = auto()
+    #: Slave of a DMR pair: loads through its own hierarchy, stays incoherent.
+    DMR_MUTE = auto()
+
+
+@dataclass
+class PhysicalCore:
+    """One physical core of the simulated chip."""
+
+    core_id: int
+    role: CoreRole = CoreRole.IDLE
+    vcpu_id: Optional[int] = None
+    partner_core_id: Optional[int] = None
+    stats: StatSet = field(default_factory=StatSet)
+
+    @property
+    def is_idle(self) -> bool:
+        """True when the core has no work assigned."""
+        return self.role is CoreRole.IDLE
+
+    @property
+    def in_dmr_pair(self) -> bool:
+        """True when the core is half of a DMR pair."""
+        return self.role in (CoreRole.DMR_VOCAL, CoreRole.DMR_MUTE)
+
+    def assign_independent(self, vcpu_id: int) -> None:
+        """Run ``vcpu_id`` on this core alone (performance / baseline mode)."""
+        self._require_idle()
+        self.role = CoreRole.INDEPENDENT
+        self.vcpu_id = vcpu_id
+        self.partner_core_id = None
+        self.stats.add("assignments.independent")
+
+    def assign_vocal(self, vcpu_id: int, mute_core_id: int) -> None:
+        """Run ``vcpu_id`` as the vocal half of a DMR pair."""
+        self._require_idle()
+        if mute_core_id == self.core_id:
+            raise SchedulingError(f"core {self.core_id} cannot pair with itself")
+        self.role = CoreRole.DMR_VOCAL
+        self.vcpu_id = vcpu_id
+        self.partner_core_id = mute_core_id
+        self.stats.add("assignments.vocal")
+
+    def assign_mute(self, vcpu_id: int, vocal_core_id: int) -> None:
+        """Run ``vcpu_id`` as the mute half of a DMR pair."""
+        self._require_idle()
+        if vocal_core_id == self.core_id:
+            raise SchedulingError(f"core {self.core_id} cannot pair with itself")
+        self.role = CoreRole.DMR_MUTE
+        self.vcpu_id = vcpu_id
+        self.partner_core_id = vocal_core_id
+        self.stats.add("assignments.mute")
+
+    def release(self) -> None:
+        """Return the core to the idle pool."""
+        self.role = CoreRole.IDLE
+        self.vcpu_id = None
+        self.partner_core_id = None
+        self.stats.add("releases")
+
+    def _require_idle(self) -> None:
+        if not self.is_idle:
+            raise SchedulingError(
+                f"core {self.core_id} is already {self.role.name} for VCPU {self.vcpu_id}"
+            )

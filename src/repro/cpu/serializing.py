@@ -1,0 +1,62 @@
+"""Serialising-instruction cost model.
+
+OS-intensive workloads encounter frequent serialising instructions (SIs):
+privileged register writes, traps, returns, memory-barrier-like operations.
+An SI cannot execute until every older instruction has committed and stalls
+fetch until it is itself validated.  Reunion makes SIs markedly more
+expensive (Section 5.1): younger instructions must clear the Check stage
+before the SI can execute, and the SI itself must be validated (a fingerprint
+round trip) before younger instructions may enter the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.system import CoreConfig, InterconnectConfig, ReunionConfig
+from repro.cpu.window import InstructionWindowModel
+
+
+@dataclass(frozen=True)
+class SerializingCosts:
+    """Cycle costs charged for one serialising instruction."""
+
+    drain_cycles: float
+    validation_cycles: float
+
+    @property
+    def total(self) -> float:
+        """Total exposed cycles for the serialising instruction."""
+        return self.drain_cycles + self.validation_cycles
+
+
+class SerializingInstructionModel:
+    """Computes the exposed cost of serialising instructions."""
+
+    def __init__(
+        self,
+        core_config: CoreConfig,
+        reunion_config: ReunionConfig,
+        interconnect_config: InterconnectConfig,
+        window_model: InstructionWindowModel,
+    ) -> None:
+        self.core_config = core_config
+        self.reunion_config = reunion_config
+        self.interconnect_config = interconnect_config
+        self.window_model = window_model
+
+    def cost(self, dmr_active: bool) -> SerializingCosts:
+        """Exposed cycles for one serialising instruction."""
+        drain = self.window_model.drain_cycles(dmr_active)
+        drain += self.core_config.serializing_drain_cycles
+        if not dmr_active:
+            return SerializingCosts(drain_cycles=drain, validation_cycles=0.0)
+        # Under Reunion the SI must be validated before younger instructions
+        # may enter the pipeline: one fingerprint exchange over the dedicated
+        # network plus the comparison/commit hand-shake.
+        validation = (
+            self.interconnect_config.fingerprint_latency
+            + self.reunion_config.serializing_check_cycles
+            + self.reunion_config.check_stage_cycles
+        )
+        return SerializingCosts(drain_cycles=drain, validation_cycles=float(validation))

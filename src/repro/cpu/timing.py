@@ -1,0 +1,450 @@
+"""Quantum-based analytic core timing model.
+
+:class:`CoreTimingModel` executes a slice of one VCPU's synthetic instruction
+stream on a physical core (or on a DMR pair) and returns how many cycles the
+slice consumed, how many instructions were committed, and a detailed stall
+breakdown.  The simulator drives one such call per VCPU per scheduling
+quantum.
+
+The model charges, per dynamic instruction:
+
+* an issue cost of ``1 / issue_width`` cycles;
+* branch misprediction and instruction-cache-miss penalties drawn from the
+  workload profile;
+* for memory operations: TLB translate latency, the *exposed* portion of the
+  data access latency (exposure depends on the level that served the access,
+  the instruction window size, and whether Reunion's Check stage is active),
+  and -- for stores under sequential consistency -- the portion of the
+  write-through latency that keeps the store in the window;
+* for serialising instructions: a window drain plus, under DMR, the
+  fingerprint validation round trip;
+* under DMR: the amortised fingerprint-exchange cost per instruction, the
+  slower of the vocal/mute data accesses (the mute fetches through its own,
+  incoherent hierarchy and frequently pays a 3-hop cache-to-cache transfer),
+  and any recovery penalty from fingerprint mismatches;
+* in performance mode within an MMM: the PAB store-permission check
+  (parallel lookups are free on a hit; serial lookups and PAT fills expose
+  latency on the store path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import List, Optional, Protocol, Sequence
+
+from repro.common.stats import StatSet
+from repro.config.system import SystemConfig
+from repro.cpu.lsq import LoadStoreQueueModel
+from repro.cpu.parameters import TimingModelParameters
+from repro.cpu.serializing import SerializingInstructionModel
+from repro.cpu.window import InstructionWindowModel
+from repro.dmr.reunion import ReunionPair
+from repro.errors import SimulationError
+from repro.isa.instructions import Instruction, PrivilegeLevel
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.protection.pab import ProtectionAssistanceBuffer
+from repro.protection.violations import (
+    ProtectionViolation,
+    ViolationKind,
+    ViolationLog,
+)
+from repro.tlb.tlb import TranslationLookasideBuffer
+from repro.workloads.generator import SyntheticWorkload
+
+
+class ExecutionMode(Enum):
+    """How a VCPU is currently being executed."""
+
+    #: Non-DMR execution in a machine that never mixes modes (the paper's
+    #: ``No DMR`` baselines); the PAB is not consulted.
+    BASELINE = auto()
+    #: Non-DMR execution inside a mixed-mode machine; every store is
+    #: re-validated by the PAB.
+    PERFORMANCE = auto()
+    #: Redundant execution on a Reunion vocal/mute pair.
+    DMR = auto()
+
+
+class StopReason(Enum):
+    """Why :meth:`CoreTimingModel.run_quantum` returned."""
+
+    BUDGET_EXHAUSTED = auto()
+    OS_ENTRY = auto()
+    OS_EXIT = auto()
+    INSTRUCTION_LIMIT = auto()
+
+
+class FaultHook(Protocol):
+    """Interface the fault injector exposes to the timing model."""
+
+    def perturb_store_address(
+        self, core_id: int, mode: ExecutionMode, physical_address: int
+    ) -> int:
+        """Possibly redirect a store's physical address (TLB/datapath fault)."""
+
+    def corrupt_execution(self, core_id: int, mode: ExecutionMode) -> bool:
+        """Return True when this instruction's result is corrupted on ``core_id``."""
+
+
+@dataclass(frozen=True)
+class CoreAssignment:
+    """Where and how a VCPU executes during one quantum."""
+
+    mode: ExecutionMode
+    primary_core: int
+    secondary_core: Optional[int] = None
+    reunion_pair: Optional[ReunionPair] = None
+
+    def __post_init__(self) -> None:
+        if self.mode is ExecutionMode.DMR:
+            if self.secondary_core is None:
+                raise SimulationError("DMR execution needs a secondary (mute) core")
+            if self.secondary_core == self.primary_core:
+                raise SimulationError("DMR execution needs two distinct cores")
+        elif self.secondary_core is not None:
+            raise SimulationError("non-DMR execution must not name a secondary core")
+
+    @property
+    def cores(self) -> Sequence[int]:
+        """All physical cores consumed by this assignment."""
+        if self.secondary_core is None:
+            return (self.primary_core,)
+        return (self.primary_core, self.secondary_core)
+
+
+@dataclass
+class QuantumResult:
+    """Outcome of running one VCPU for one quantum."""
+
+    cycles: int
+    instructions: int
+    user_instructions: int
+    os_instructions: int
+    stop_reason: StopReason
+    stats: StatSet = field(default_factory=StatSet)
+    violations: List[ProtectionViolation] = field(default_factory=list)
+
+    @property
+    def user_ipc(self) -> float:
+        """Committed user instructions per cycle for this quantum."""
+        if self.cycles == 0:
+            return 0.0
+        return self.user_instructions / self.cycles
+
+    @property
+    def total_ipc(self) -> float:
+        """All committed instructions per cycle for this quantum."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+class CoreTimingModel:
+    """Analytic timing model shared by every core of the machine."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        hierarchy: MemoryHierarchy,
+        tlbs: Sequence[TranslationLookasideBuffer],
+        pabs: Optional[Sequence[ProtectionAssistanceBuffer]] = None,
+        parameters: Optional[TimingModelParameters] = None,
+        violation_log: Optional[ViolationLog] = None,
+        fault_hook: Optional[FaultHook] = None,
+    ) -> None:
+        config.validate()
+        if len(tlbs) != config.num_cores:
+            raise SimulationError(
+                f"expected {config.num_cores} TLBs, got {len(tlbs)}"
+            )
+        if pabs is not None and len(pabs) != config.num_cores:
+            raise SimulationError(
+                f"expected {config.num_cores} PABs, got {len(pabs)}"
+            )
+        self.config = config
+        self.hierarchy = hierarchy
+        self.tlbs = list(tlbs)
+        self.pabs = list(pabs) if pabs is not None else None
+        self.parameters = (parameters or TimingModelParameters()).validate()
+        # Note: an empty ViolationLog is falsy, so "or" must not be used here.
+        self.violation_log = violation_log if violation_log is not None else ViolationLog()
+        self.fault_hook = fault_hook
+        self.window_model = InstructionWindowModel(config.core, self.parameters)
+        self.lsq_model = LoadStoreQueueModel(config.core, self.parameters)
+        self.si_model = SerializingInstructionModel(
+            config.core, config.reunion, config.interconnect, self.window_model
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-instruction cost components
+    # ------------------------------------------------------------------ #
+
+    def _branch_cost(self, instruction: Instruction) -> float:
+        # Deterministic pseudo-random misprediction decision derived from the
+        # instruction's synthetic result, so runs are reproducible.
+        threshold = int(self.config.core.branch_mispredict_rate * 256)
+        if (instruction.result & 0xFF) < threshold:
+            return float(self.config.core.branch_penalty_cycles)
+        return 0.0
+
+    def _icache_cost(self, workload: SyntheticWorkload, privilege: PrivilegeLevel) -> float:
+        mpki = workload.profile.icache_mpki_for(privilege)
+        miss_latency = self.config.l2.hit_latency * self.parameters.icache_exposure
+        return (mpki / 1000.0) * miss_latency
+
+    def _record_violation(
+        self,
+        kind: ViolationKind,
+        cycle: int,
+        core_id: int,
+        vcpu_id: Optional[int],
+        address: Optional[int],
+        description: str,
+        sink: List[ProtectionViolation],
+    ) -> None:
+        violation = ProtectionViolation(
+            kind=kind,
+            cycle=cycle,
+            core_id=core_id,
+            vcpu_id=vcpu_id,
+            physical_address=address,
+            description=description,
+        )
+        sink.append(violation)
+        self.violation_log.record(violation)
+
+    # ------------------------------------------------------------------ #
+    # Quantum execution
+    # ------------------------------------------------------------------ #
+
+    def run_quantum(
+        self,
+        workload: SyntheticWorkload,
+        assignment: CoreAssignment,
+        cycle_budget: int,
+        start_cycle: int = 0,
+        vcpu_id: Optional[int] = None,
+        stop_on_os_entry: bool = False,
+        stop_on_os_exit: bool = False,
+        max_instructions: Optional[int] = None,
+        active_cores: Optional[int] = None,
+    ) -> QuantumResult:
+        """Run one VCPU until the cycle budget (or a stop condition) is reached.
+
+        ``active_cores`` is the number of physical cores concurrently doing
+        work this quantum (including this VCPU's own cores); it drives the
+        shared-resource contention term applied to off-core access latencies.
+        """
+        if cycle_budget <= 0:
+            raise SimulationError(f"cycle budget must be positive, got {cycle_budget}")
+        dmr = assignment.mode is ExecutionMode.DMR
+        performance_mode = assignment.mode is ExecutionMode.PERFORMANCE
+        core_id = assignment.primary_core
+        mute_id = assignment.secondary_core
+        pair = assignment.reunion_pair
+        tlb = self.tlbs[core_id]
+        pab = (
+            self.pabs[core_id]
+            if performance_mode and self.pabs is not None
+            else None
+        )
+
+        issue_cost = 1.0 / self.config.core.issue_width
+        dmr_check_cost = 0.0
+        if dmr:
+            dmr_check_cost = (
+                self.config.interconnect.fingerprint_latency
+                / self.config.reunion.fingerprint_interval
+            ) * self.parameters.dmr_check_utilisation
+        store_exposure = self.lsq_model.store_exposure(dmr)
+        load_pressure = self.lsq_model.load_queue_pressure()
+        if active_cores is None:
+            active_cores = len(assignment.cores)
+        contention = 1.0
+        if self.config.num_cores > 1:
+            contention += self.parameters.shared_resource_contention * (
+                max(0, min(active_cores, self.config.num_cores) - 1)
+                / (self.config.num_cores - 1)
+            )
+
+        cycles = 0.0
+        instructions = 0
+        user_instructions = 0
+        os_instructions = 0
+        stats = StatSet()
+        violations: List[ProtectionViolation] = []
+        stop_reason = StopReason.BUDGET_EXHAUSTED
+
+        while cycles < cycle_budget:
+            if max_instructions is not None and instructions >= max_instructions:
+                stop_reason = StopReason.INSTRUCTION_LIMIT
+                break
+            instruction = workload.next_instruction()
+            instructions += 1
+            if instruction.is_user:
+                user_instructions += 1
+            else:
+                os_instructions += 1
+
+            cycles += issue_cost
+            cycles += self._icache_cost(workload, instruction.privilege)
+            stats.add("issue_cycles", issue_cost)
+
+            if dmr:
+                cycles += dmr_check_cost
+                stats.add("dmr_check_cycles", dmr_check_cost)
+
+            if instruction.is_branch:
+                penalty = self._branch_cost(instruction)
+                if penalty:
+                    cycles += penalty
+                    stats.add("branch_penalty_cycles", penalty)
+
+            elif instruction.is_serializing and not instruction.is_memory:
+                cost = self.si_model.cost(dmr)
+                cycles += cost.total
+                stats.add("si_count")
+                stats.add("si_stall_cycles", cost.total)
+                if dmr and pair is not None:
+                    # The pair must agree on architected state before the SI.
+                    outcome = pair.synchronize()
+                    if outcome is not None and not outcome.matched:
+                        cycles += outcome.penalty_cycles
+                        stats.add("dmr_recoveries")
+                        stats.add("dmr_recovery_cycles", outcome.penalty_cycles)
+
+            elif instruction.is_memory and instruction.address is not None:
+                translation = tlb.translate(
+                    instruction.address,
+                    is_store=instruction.is_store,
+                    privileged=instruction.is_privileged_code,
+                )
+                if translation.latency:
+                    exposed_tlb = translation.latency * 0.7
+                    cycles += exposed_tlb
+                    stats.add("tlb_miss_cycles", exposed_tlb)
+                if not translation.permitted:
+                    # The TLB's own check caught the access (fault-free path).
+                    self._record_violation(
+                        ViolationKind.TLB_DENIED,
+                        start_cycle + int(cycles),
+                        core_id,
+                        vcpu_id,
+                        translation.physical_address,
+                        "TLB permission check denied a store",
+                        violations,
+                    )
+                    stats.add("tlb_denials")
+                    continue
+
+                physical = translation.physical_address
+                if instruction.is_store and self.fault_hook is not None:
+                    physical = self.fault_hook.perturb_store_address(
+                        core_id, assignment.mode, physical
+                    )
+
+                if pab is not None and instruction.is_store:
+                    check = pab.check_store(physical)
+                    if check.latency:
+                        # A serialised lookup delays the write-through itself,
+                        # so its latency is exposed in full; PAT-fill latency
+                        # behaves like any other store-completion latency.
+                        exposure = 1.0 if check.serialized else store_exposure
+                        exposed_pab = check.latency * exposure
+                        cycles += exposed_pab
+                        stats.add("pab_stall_cycles", exposed_pab)
+                    stats.add("pab_checks")
+                    if not check.allowed:
+                        self._record_violation(
+                            ViolationKind.PAB_BLOCKED,
+                            start_cycle + int(cycles),
+                            core_id,
+                            vcpu_id,
+                            physical,
+                            "PAB blocked a store to a reliable-only page",
+                            violations,
+                        )
+                        stats.add("pab_violations")
+                        continue
+
+                vocal_access = self.hierarchy.access(
+                    core_id, physical, is_store=instruction.is_store, coherent=True
+                )
+                latency = vocal_access.latency
+                level = vocal_access.level
+                if vocal_access.c2c:
+                    stats.add("c2c_transfers")
+                if dmr and mute_id is not None:
+                    mute_access = self.hierarchy.access(
+                        mute_id, physical, is_store=instruction.is_store, coherent=False
+                    )
+                    if mute_access.c2c:
+                        stats.add("mute_c2c_transfers")
+                    if mute_access.latency > latency:
+                        latency = mute_access.latency
+                        level = mute_access.level
+
+                if level in ("l3", "c2c", "memory"):
+                    # Shared-resource queueing: more active cores stretch the
+                    # effective latency of off-core accesses.
+                    latency = latency * contention
+                if instruction.is_store:
+                    exposed = latency * store_exposure
+                    stats.add("store_stall_cycles", exposed)
+                else:
+                    exposure = self.window_model.exposure_for_level(level, dmr)
+                    exposed = latency * exposure * load_pressure
+                    stats.add("load_stall_cycles", exposed)
+                cycles += exposed
+                stats.add(f"accesses.{level}")
+
+            if dmr and pair is not None and self.fault_hook is not None:
+                if self.fault_hook.corrupt_execution(core_id, assignment.mode):
+                    outcome = pair.observe_commit(instruction, mute_corrupted=True)
+                    stats.add("dmr_corruptions_injected")
+                    if outcome is not None and not outcome.matched:
+                        cycles += outcome.penalty_cycles
+                        stats.add("dmr_recoveries")
+                        stats.add("dmr_recovery_cycles", outcome.penalty_cycles)
+                        self._record_violation(
+                            ViolationKind.DMR_DETECTED,
+                            start_cycle + int(cycles),
+                            core_id,
+                            vcpu_id,
+                            instruction.address,
+                            "fingerprint mismatch detected an injected fault",
+                            violations,
+                        )
+                elif pair is not None:
+                    outcome = pair.observe_commit(instruction)
+                    if outcome is not None and not outcome.matched:
+                        cycles += outcome.penalty_cycles
+                        stats.add("dmr_recoveries")
+                        stats.add("dmr_recovery_cycles", outcome.penalty_cycles)
+            elif dmr and pair is not None:
+                outcome = pair.observe_commit(instruction)
+                if outcome is not None and not outcome.matched:
+                    cycles += outcome.penalty_cycles
+                    stats.add("dmr_recoveries")
+                    stats.add("dmr_recovery_cycles", outcome.penalty_cycles)
+
+            if stop_on_os_entry and instruction.enters_os:
+                stop_reason = StopReason.OS_ENTRY
+                break
+            if stop_on_os_exit and instruction.exits_os:
+                stop_reason = StopReason.OS_EXIT
+                break
+
+        total_cycles = max(1, int(round(cycles)))
+        stats.set("cycles", total_cycles)
+        stats.set("instructions", instructions)
+        return QuantumResult(
+            cycles=total_cycles,
+            instructions=instructions,
+            user_instructions=user_instructions,
+            os_instructions=os_instructions,
+            stop_reason=stop_reason,
+            stats=stats,
+            violations=violations,
+        )

@@ -1,0 +1,15 @@
+"""Reunion-style Dual-Modular Redundancy substrate.
+
+Reunion ("loose lock-stepping") pairs two cores into one logical processor:
+the *vocal* core is the coherent master, the *mute* core redundantly executes
+the same instruction stream through its own private cache hierarchy without
+exposing any values.  Both cores compute fingerprints over their retiring
+instructions and exchange them over a dedicated network; a mismatch indicates
+a fault (or mute incoherence) and triggers recovery before anything reaches
+architected state.
+"""
+
+from repro.dmr.fingerprint_network import FingerprintNetwork
+from repro.dmr.reunion import CheckOutcome, ReunionPair
+
+__all__ = ["FingerprintNetwork", "CheckOutcome", "ReunionPair"]

@@ -1,0 +1,80 @@
+"""Dedicated fingerprint exchange network.
+
+The paper assumes a dedicated network with a 10-cycle latency for exchanging
+fingerprints between the two halves of a DMR pair (as in the original Reunion
+evaluation).  The network here tracks exchanges and, optionally, in-flight
+fingerprints on a small event queue so tests can verify ordering and latency
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.events import EventQueue
+from repro.common.stats import StatSet
+from repro.config.system import InterconnectConfig
+from repro.isa.fingerprints import Fingerprint
+
+
+@dataclass(frozen=True)
+class FingerprintDelivery:
+    """A fingerprint that has arrived at the partner core."""
+
+    sender_core: int
+    receiver_core: int
+    fingerprint: Fingerprint
+    arrival_cycle: int
+
+
+class FingerprintNetwork:
+    """Models the point-to-point fingerprint links of all DMR pairs."""
+
+    def __init__(self, config: InterconnectConfig) -> None:
+        self.config = config
+        self.stats = StatSet()
+        self._queue = EventQueue()
+
+    @property
+    def latency(self) -> int:
+        """One-way latency of a fingerprint message."""
+        return self.config.fingerprint_latency
+
+    def exchange_latency(self) -> int:
+        """Latency for both cores to have seen each other's fingerprint.
+
+        The two messages travel concurrently, so the exchange completes after
+        a single network traversal plus the comparison itself (charged by the
+        caller).
+        """
+        self.stats.add("exchanges")
+        return self.latency
+
+    def send(
+        self,
+        sender_core: int,
+        receiver_core: int,
+        fingerprint: Fingerprint,
+        now: int,
+    ) -> FingerprintDelivery:
+        """Explicitly model one fingerprint message (used by detailed tests)."""
+        arrival = now + self.latency
+        delivery = FingerprintDelivery(
+            sender_core=sender_core,
+            receiver_core=receiver_core,
+            fingerprint=fingerprint,
+            arrival_cycle=arrival,
+        )
+        self._queue.schedule(arrival, "fingerprint", delivery)
+        self.stats.add("messages")
+        return delivery
+
+    def deliveries_until(self, cycle: int) -> list[FingerprintDelivery]:
+        """Pop every message that has arrived by ``cycle``."""
+        return [event.payload for event in self._queue.pop_until(cycle)]
+
+    def pending(self) -> Optional[FingerprintDelivery]:
+        """The next in-flight message, if any (without removing it)."""
+        event = self._queue.peek()
+        return event.payload if event is not None else None

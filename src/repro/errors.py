@@ -1,0 +1,64 @@
+"""Exception hierarchy for the mixed-mode multicore reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  More specific subclasses are raised close to
+the subsystem that detected the problem (configuration, scheduling, memory
+protection, simulation driver, workload synthesis).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A system or experiment configuration is inconsistent or unsupported.
+
+    Raised, for example, when a cache size is not a multiple of its line
+    size, when the number of cores is odd but DMR pairing is requested, or
+    when an experiment asks for more VCPUs than the scheduler can expose.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload profile or synthetic instruction stream is invalid."""
+
+
+class SchedulingError(ReproError):
+    """The hardware scheduler was asked to perform an impossible mapping.
+
+    Examples: assigning two VCPUs to the same physical core in one quantum,
+    or pairing a core with itself for DMR execution.
+    """
+
+
+class ProtectionError(ReproError):
+    """A memory-protection structure (PAT/PAB/TLB) was misused.
+
+    Note that *detected protection violations* during simulation are not
+    errors -- they are reported as events (see
+    :mod:`repro.protection.violations`).  This exception covers API misuse,
+    such as marking a page outside of physical memory.
+    """
+
+
+class MemorySystemError(ReproError):
+    """The cache hierarchy, directory, or interconnect was misused."""
+
+
+class TransitionError(ReproError):
+    """A mode transition (Enter DMR / Leave DMR) could not be performed."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault specification or injection campaign is invalid."""
+
+
+class SimulationError(ReproError):
+    """The simulation driver reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition (figure/table reproduction) is invalid."""

@@ -1,0 +1,36 @@
+"""Hardware fault modelling and injection.
+
+The paper's motivation is that future chips will suffer transient,
+intermittent and permanent faults from particle strikes, process variation
+and wear-out.  This package models the fault scenarios the MMM design must
+handle:
+
+* corrupted execution on a DMR pair (caught by fingerprint comparison),
+* a store from a performance-mode core whose physical address or permission
+  was corrupted by a TLB / datapath fault (caught by the PAB, silent
+  corruption without it),
+* a privileged register corrupted while a core ran in performance mode
+  (caught by the Enter-DMR verification step).
+
+:class:`FaultInjector` plugs into the core timing model as its fault hook;
+:class:`FaultInjectionCampaign` runs functional coverage trials over the real
+protection components and produces the coverage report used by the
+``bench_fault_coverage`` benchmark and the fault-injection example.
+"""
+
+from repro.faults.campaign import CampaignConfiguration, FaultInjectionCampaign
+from repro.faults.injector import FaultInjector, FaultRates
+from repro.faults.models import FaultSite, FaultSpec, FaultType
+from repro.faults.outcomes import CoverageReport, FaultOutcome
+
+__all__ = [
+    "CampaignConfiguration",
+    "FaultInjectionCampaign",
+    "FaultInjector",
+    "FaultRates",
+    "FaultSite",
+    "FaultSpec",
+    "FaultType",
+    "CoverageReport",
+    "FaultOutcome",
+]

@@ -1,0 +1,261 @@
+"""Fault-injection coverage campaigns.
+
+A campaign answers the qualitative protection questions of Sections 2.1 and
+3.4 of the paper by injecting individual faults into the *real* protection
+components and classifying what happens:
+
+* execution faults on a DMR pair are detected by fingerprint comparison;
+* store-address faults in performance mode are blocked by the PAB (and
+  silently corrupt reliable memory when the PAB is disabled);
+* privileged-register corruption in performance mode is caught by the
+  Enter-DMR verification step;
+* faults whose effect stays within the performance application's own memory
+  are *contained* -- exactly the trade-off a performance application accepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.common.addresses import AddressSpaceLayout
+from repro.common.rng import DeterministicRng
+from repro.config.system import ReunionConfig, SystemConfig
+from repro.dmr.fingerprint_network import FingerprintNetwork
+from repro.dmr.reunion import ReunionPair
+from repro.errors import FaultInjectionError
+from repro.faults.models import FaultSite, FaultSpec, FaultType
+from repro.faults.outcomes import CoverageReport, FaultOutcome, TrialRecord
+from repro.isa.instructions import Instruction, InstructionClass, PrivilegeLevel
+from repro.isa.registers import ArchitecturalState
+from repro.protection.pab import ProtectionAssistanceBuffer
+from repro.protection.pat import ProtectionAssistanceTable
+
+
+@dataclass(frozen=True)
+class CampaignConfiguration:
+    """Which protection mechanisms are active for a set of trials."""
+
+    name: str
+    dmr_active: bool
+    pab_active: bool
+    #: Whether Enter-DMR verification of privileged registers happens (it
+    #: always does in an MMM; disabling it models a naive design that simply
+    #: turns DMR off and on).
+    transition_verification: bool = True
+
+
+#: The three configurations the paper implicitly compares: a traditional DMR
+#: machine, an MMM with its protection mechanisms, and a naive design that
+#: turns DMR off without adding any protection.
+DEFAULT_CONFIGURATIONS: Sequence[CampaignConfiguration] = (
+    CampaignConfiguration(name="always-dmr", dmr_active=True, pab_active=False),
+    CampaignConfiguration(name="mmm", dmr_active=False, pab_active=True),
+    CampaignConfiguration(
+        name="naive-mode-switch",
+        dmr_active=False,
+        pab_active=False,
+        transition_verification=False,
+    ),
+)
+
+
+class FaultInjectionCampaign:
+    """Runs functional fault-injection trials against the protection stack."""
+
+    def __init__(self, config: SystemConfig, seed: int = 0) -> None:
+        self.config = config
+        self.rng = DeterministicRng(seed).fork("fault-campaign")
+        self.layout = AddressSpaceLayout(num_vms=2)
+        self.pat = ProtectionAssistanceTable(
+            physical_memory_bytes=self.layout.total_bytes,
+            page_size=config.pab.page_bytes,
+            backing_region=self.layout.pat_region(),
+        )
+        # VM 0 is the reliable guest: its memory (and the VMM structures) are
+        # reliable-only; VM 1 is the performance guest.
+        self.pat.mark_reliable_region(self.layout.vm_region(0))
+        self.pat.mark_reliable_region(self.layout.scratchpad_region())
+        self.pat.mark_reliable_region(self.layout.pat_region())
+
+    # ------------------------------------------------------------------ #
+    # Individual trials
+    # ------------------------------------------------------------------ #
+
+    def _reliable_address(self) -> int:
+        region = self.layout.user_region(0)
+        return self.rng.sample_address(region.base, region.size, 64)
+
+    def _performance_address(self) -> int:
+        region = self.layout.user_region(1)
+        return self.rng.sample_address(region.base, region.size, 64)
+
+    def _trial_execution_fault(
+        self, configuration: CampaignConfiguration
+    ) -> TrialRecord:
+        spec = FaultSpec(site=FaultSite.EXECUTION_RESULT, fault_type=FaultType.TRANSIENT)
+        if not configuration.dmr_active:
+            # Without redundancy the corrupted result lands in the performance
+            # application's own state: tolerated, but only within its domain.
+            return TrialRecord(
+                spec=spec,
+                outcome=FaultOutcome.CONTAINED_TO_PERFORMANCE_DOMAIN,
+                configuration=configuration.name,
+                detail="no redundancy: corruption confined to the faulty application",
+            )
+        pair = ReunionPair(
+            vocal_core_id=0,
+            mute_core_id=1,
+            config=ReunionConfig(fingerprint_interval=4),
+            network=FingerprintNetwork(self.config.interconnect),
+        )
+        outcome = FaultOutcome.MASKED
+        for seq in range(8):
+            instruction = Instruction(
+                seq=seq,
+                iclass=InstructionClass.ALU,
+                privilege=PrivilegeLevel.USER,
+                result=self.rng.randint(0, 0xFFFF),
+            )
+            check = pair.observe_commit(instruction, mute_corrupted=(seq == 2))
+            if check is not None and not check.matched:
+                outcome = FaultOutcome.DETECTED_DMR
+                break
+        return TrialRecord(
+            spec=spec,
+            outcome=outcome,
+            configuration=configuration.name,
+            detail="fingerprint comparison",
+        )
+
+    def _trial_store_address_fault(
+        self, configuration: CampaignConfiguration
+    ) -> TrialRecord:
+        target = self._reliable_address()
+        spec = FaultSpec(
+            site=FaultSite.STORE_ADDRESS_PATH,
+            fault_type=FaultType.TRANSIENT,
+            target_address=target,
+        ).validate()
+        if configuration.dmr_active:
+            # The corrupted address differs between vocal and mute, so the
+            # store's fingerprint mismatches before it can retire.
+            return TrialRecord(
+                spec=spec,
+                outcome=FaultOutcome.DETECTED_DMR,
+                configuration=configuration.name,
+                detail="store address diverges the fingerprints",
+            )
+        if configuration.pab_active:
+            pab = ProtectionAssistanceBuffer(
+                config=self.config.pab, pat=self.pat, core_id=0, hierarchy=None
+            )
+            check = pab.check_store(target)
+            outcome = (
+                FaultOutcome.DETECTED_PAB if not check.allowed else FaultOutcome.SILENT_CORRUPTION
+            )
+            return TrialRecord(
+                spec=spec,
+                outcome=outcome,
+                configuration=configuration.name,
+                detail="PAB physical-address permission check",
+            )
+        return TrialRecord(
+            spec=spec,
+            outcome=FaultOutcome.SILENT_CORRUPTION,
+            configuration=configuration.name,
+            detail="no redundant permission check on the store path",
+        )
+
+    def _trial_store_within_domain(
+        self, configuration: CampaignConfiguration
+    ) -> TrialRecord:
+        target = self._performance_address()
+        spec = FaultSpec(
+            site=FaultSite.STORE_ADDRESS_PATH,
+            fault_type=FaultType.TRANSIENT,
+            target_address=target,
+        ).validate()
+        if configuration.dmr_active:
+            return TrialRecord(
+                spec=spec,
+                outcome=FaultOutcome.DETECTED_DMR,
+                configuration=configuration.name,
+                detail="store address diverges the fingerprints",
+            )
+        if configuration.pab_active:
+            pab = ProtectionAssistanceBuffer(
+                config=self.config.pab, pat=self.pat, core_id=0, hierarchy=None
+            )
+            check = pab.check_store(target)
+            outcome = (
+                FaultOutcome.CONTAINED_TO_PERFORMANCE_DOMAIN
+                if check.allowed
+                else FaultOutcome.DETECTED_PAB
+            )
+            return TrialRecord(
+                spec=spec,
+                outcome=outcome,
+                configuration=configuration.name,
+                detail="corrupted store stays inside the performance VM's memory",
+            )
+        return TrialRecord(
+            spec=spec,
+            outcome=FaultOutcome.CONTAINED_TO_PERFORMANCE_DOMAIN,
+            configuration=configuration.name,
+            detail="corrupted store stays inside the performance VM's memory",
+        )
+
+    def _trial_privileged_register_fault(
+        self, configuration: CampaignConfiguration
+    ) -> TrialRecord:
+        spec = FaultSpec(
+            site=FaultSite.PRIVILEGED_REGISTER,
+            fault_type=FaultType.TRANSIENT,
+            register_name="tba",
+        ).validate()
+        if configuration.dmr_active:
+            return TrialRecord(
+                spec=spec,
+                outcome=FaultOutcome.DETECTED_DMR,
+                configuration=configuration.name,
+                detail="register writes are fingerprinted",
+            )
+        live = ArchitecturalState()
+        redundant = live.copy()
+        live.privileged["tba"] ^= 0x40
+        if configuration.transition_verification:
+            ok, mismatches = live.verify_privileged_against(redundant)
+            outcome = (
+                FaultOutcome.DETECTED_TRANSITION if not ok else FaultOutcome.MASKED
+            )
+            detail = f"Enter-DMR verification mismatches: {', '.join(mismatches)}"
+        else:
+            outcome = FaultOutcome.SILENT_CORRUPTION
+            detail = "no verification when re-entering DMR"
+        return TrialRecord(
+            spec=spec, outcome=outcome, configuration=configuration.name, detail=detail
+        )
+
+    # ------------------------------------------------------------------ #
+    # Campaign driver
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        trials_per_site: int = 25,
+        configurations: Sequence[CampaignConfiguration] = DEFAULT_CONFIGURATIONS,
+    ) -> List[CoverageReport]:
+        """Run ``trials_per_site`` trials of every fault class per configuration."""
+        if trials_per_site < 1:
+            raise FaultInjectionError("trials_per_site must be at least 1")
+        reports: List[CoverageReport] = []
+        for configuration in configurations:
+            report = CoverageReport(configuration=configuration.name)
+            for _ in range(trials_per_site):
+                report.record(self._trial_execution_fault(configuration))
+                report.record(self._trial_store_address_fault(configuration))
+                report.record(self._trial_store_within_domain(configuration))
+                report.record(self._trial_privileged_register_fault(configuration))
+            reports.append(report)
+        return reports

@@ -1,0 +1,115 @@
+"""Probabilistic fault injector.
+
+:class:`FaultInjector` implements the :class:`repro.cpu.timing.FaultHook`
+protocol used by the core timing model, deciding per instruction whether a
+fault strikes and what it does.  Rates are expressed per dynamic instruction
+so that scaled-down simulations still observe faults; realistic rates would
+be many orders of magnitude lower, but the mechanisms exercised are the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.rng import DeterministicRng
+from repro.common.stats import StatSet
+from repro.cpu.timing import ExecutionMode
+from repro.isa.registers import PRIVILEGED_REGISTERS
+from repro.virt.vcpu import VirtualCPU
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-instruction probabilities of each modelled fault."""
+
+    #: Probability that an instruction's result is corrupted on one core of a
+    #: DMR pair (combinational-logic upset).
+    execution_result: float = 0.0
+    #: Probability that a store's physical address is redirected towards a
+    #: reliable-only page while in performance mode (TLB / datapath fault).
+    store_address: float = 0.0
+    #: Probability per quantum that a privileged register is corrupted while
+    #: a VCPU runs in performance mode.
+    privileged_register: float = 0.0
+
+    def any_active(self) -> bool:
+        """True when at least one rate is non-zero."""
+        return (
+            self.execution_result > 0.0
+            or self.store_address > 0.0
+            or self.privileged_register > 0.0
+        )
+
+
+class FaultInjector:
+    """Injects faults into the timing model and the functional structures."""
+
+    def __init__(
+        self,
+        rates: FaultRates,
+        rng: DeterministicRng,
+        reliable_target_address: int | None = None,
+    ) -> None:
+        self.rates = rates
+        self.rng = rng
+        #: Physical address inside reliable memory that corrupted stores are
+        #: redirected to (chosen by the machine builder when available).
+        self.reliable_target_address = reliable_target_address
+        self.stats = StatSet()
+
+    # ------------------------------------------------------------------ #
+    # FaultHook protocol (called by the core timing model)
+    # ------------------------------------------------------------------ #
+
+    def perturb_store_address(
+        self, core_id: int, mode: ExecutionMode, physical_address: int
+    ) -> int:
+        """Possibly redirect a performance-mode store to reliable memory."""
+        if mode is ExecutionMode.DMR:
+            # In DMR mode a corrupted address diverges the fingerprints and is
+            # caught there; the address itself is not silently redirected.
+            return physical_address
+        if self.rates.store_address <= 0.0 or self.reliable_target_address is None:
+            return physical_address
+        if self.rng.chance(self.rates.store_address):
+            self.stats.add("store_address_faults")
+            return self.reliable_target_address
+        return physical_address
+
+    def corrupt_execution(self, core_id: int, mode: ExecutionMode) -> bool:
+        """Whether this instruction's result is corrupted on ``core_id``."""
+        if self.rates.execution_result <= 0.0:
+            return False
+        if self.rng.chance(self.rates.execution_result):
+            self.stats.add("execution_faults")
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Quantum-level injections (called by the simulator)
+    # ------------------------------------------------------------------ #
+
+    def maybe_corrupt_privileged_register(self, vcpu: VirtualCPU) -> str | None:
+        """Corrupt one privileged register of a performance-mode VCPU.
+
+        Returns the register name when a fault was injected.  The corruption
+        is only *detected* (and repaired) by the privileged-register
+        verification of the next Enter-DMR transition.
+        """
+        if self.rates.privileged_register <= 0.0:
+            return None
+        if not self.rng.chance(self.rates.privileged_register):
+            return None
+        register = self.rng.choice(PRIVILEGED_REGISTERS)
+        vcpu.arch_state.privileged[register] ^= 0x1
+        self.stats.add("privileged_register_faults")
+        return register
+
+    @property
+    def injected_fault_count(self) -> int:
+        """Total faults injected so far."""
+        return int(
+            self.stats.get("store_address_faults")
+            + self.stats.get("execution_faults")
+            + self.stats.get("privileged_register_faults")
+        )

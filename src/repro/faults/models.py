@@ -1,0 +1,67 @@
+"""Fault taxonomy: types, sites, and specifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import FaultInjectionError
+
+
+class FaultType(Enum):
+    """Temporal behaviour of a hardware fault."""
+
+    #: A one-shot upset (e.g. a particle strike): affects a single operation.
+    TRANSIENT = auto()
+    #: Comes and goes over a window of operations (marginal circuits,
+    #: temperature/voltage sensitivity).
+    INTERMITTENT = auto()
+    #: Permanent damage: affects every operation using the broken structure.
+    PERMANENT = auto()
+
+
+class FaultSite(Enum):
+    """Hardware structure affected by a fault."""
+
+    #: Combinational logic in the core datapath: corrupts an instruction's
+    #: architectural result.
+    EXECUTION_RESULT = auto()
+    #: The TLB array or its checking logic: corrupts a cached translation's
+    #: physical page or permission bits.
+    TLB_ENTRY = auto()
+    #: A privileged register written erroneously during unprivileged execution.
+    PRIVILEGED_REGISTER = auto()
+    #: The address path between the TLB and the L2: redirects a store to the
+    #: wrong physical address.
+    STORE_ADDRESS_PATH = auto()
+    #: An unprotected L1 cache line (L2/L3 are assumed ECC-protected).
+    L1_LINE = auto()
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject."""
+
+    site: FaultSite
+    fault_type: FaultType = FaultType.TRANSIENT
+    #: Which core the fault strikes (None = any / chosen by the injector).
+    core_id: int | None = None
+    #: For address-path faults: the physical address the store is redirected
+    #: to (typically inside a reliable application's memory).
+    target_address: int | None = None
+    #: For register faults: the privileged register name to corrupt.
+    register_name: str | None = None
+    #: For intermittent faults: how many operations the fault persists.
+    duration_operations: int = 1
+
+    def validate(self) -> "FaultSpec":
+        """Check the specification is internally consistent."""
+        if self.duration_operations < 1:
+            raise FaultInjectionError("fault duration must be at least one operation")
+        if self.site is FaultSite.STORE_ADDRESS_PATH and self.target_address is None:
+            raise FaultInjectionError(
+                "a store-address fault needs a target physical address"
+            )
+        if self.site is FaultSite.PRIVILEGED_REGISTER and self.register_name is None:
+            raise FaultInjectionError("a register fault needs a register name")
+        return self

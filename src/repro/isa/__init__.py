@@ -1,0 +1,24 @@
+"""Abstract instruction set used by the synthetic workloads.
+
+The reproduction does not interpret a real ISA.  It models the *classes* of
+instructions whose behaviour matters to the paper's mechanisms: memory
+operations (which exercise the TLB, caches and PAB), branches, serialising
+instructions (which interact badly with Reunion's Check stage), privileged
+instructions and syscall boundaries (which force DMR mode), and ordinary ALU
+work.
+"""
+
+from repro.isa.fingerprints import FingerprintUnit, fingerprint_of
+from repro.isa.instructions import Instruction, InstructionClass, PrivilegeLevel
+from repro.isa.registers import ArchitecturalState, PRIVILEGED_REGISTERS, USER_REGISTERS
+
+__all__ = [
+    "FingerprintUnit",
+    "fingerprint_of",
+    "Instruction",
+    "InstructionClass",
+    "PrivilegeLevel",
+    "ArchitecturalState",
+    "PRIVILEGED_REGISTERS",
+    "USER_REGISTERS",
+]

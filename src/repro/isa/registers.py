@@ -1,0 +1,120 @@
+"""Architectural register state.
+
+Only a functional sketch of the register file is needed: the fault-injection
+study corrupts privileged registers on performance-mode cores and checks that
+the mode-transition verification step (Section 3.4.3) or DMR fingerprinting
+catches the corruption.  The state intentionally mirrors the split the paper
+relies on: *user* registers (replicated freely) versus *privileged* registers
+(verified against the mute core's saved copy when re-entering DMR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+#: Names of the general-purpose (user-visible) registers.
+USER_REGISTERS: Tuple[str, ...] = tuple(f"r{i}" for i in range(32)) + (
+    "pc",
+    "npc",
+    "ccr",
+    "y",
+)
+
+#: Names of the privileged registers the mode-transition machinery protects.
+#: Loosely modelled on the SPARC v9 privileged state the paper targets.
+PRIVILEGED_REGISTERS: Tuple[str, ...] = (
+    "pstate",
+    "tba",
+    "tl",
+    "tt",
+    "tpc",
+    "tnpc",
+    "tstate",
+    "pil",
+    "cwp",
+    "cansave",
+    "canrestore",
+    "asi",
+    "ver",
+    "context",
+)
+
+#: Registers that may legitimately change during unprivileged execution and
+#: therefore receive only a sanity check (not an equality check) when
+#: re-entering DMR mode (Section 3.4.3).
+SANITY_CHECK_ONLY: Tuple[str, ...] = ("tt", "tpc", "tnpc", "tstate", "tl")
+
+
+@dataclass
+class ArchitecturalState:
+    """Functional register state of one VCPU."""
+
+    user: Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in USER_REGISTERS}
+    )
+    privileged: Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in PRIVILEGED_REGISTERS}
+    )
+
+    def copy(self) -> "ArchitecturalState":
+        """Deep copy of the state (used for redundant scratchpad copies)."""
+        return ArchitecturalState(user=dict(self.user), privileged=dict(self.privileged))
+
+    def write_user(self, name: str, value: int) -> None:
+        """Write a user register."""
+        if name not in self.user:
+            raise KeyError(f"unknown user register {name!r}")
+        self.user[name] = value & 0xFFFF_FFFF_FFFF_FFFF
+
+    def write_privileged(self, name: str, value: int) -> None:
+        """Write a privileged register."""
+        if name not in self.privileged:
+            raise KeyError(f"unknown privileged register {name!r}")
+        self.privileged[name] = value & 0xFFFF_FFFF_FFFF_FFFF
+
+    def read_user(self, name: str) -> int:
+        """Read a user register."""
+        return self.user[name]
+
+    def read_privileged(self, name: str) -> int:
+        """Read a privileged register."""
+        return self.privileged[name]
+
+    def privileged_digest(self, include: Iterable[str] | None = None) -> int:
+        """A stable hash of (a subset of) the privileged registers.
+
+        Used by the Enter-DMR verification step to compare the vocal core's
+        privileged state against the redundant copy saved in the scratchpad.
+        """
+        names = tuple(include) if include is not None else PRIVILEGED_REGISTERS
+        acc = 0xCBF29CE484222325
+        for name in names:
+            value = self.privileged.get(name, 0)
+            for byte in name.encode("utf-8"):
+                acc ^= byte
+                acc = (acc * 0x100000001B3) & 0xFFFF_FFFF_FFFF_FFFF
+            acc ^= value & 0xFFFF_FFFF_FFFF_FFFF
+            acc = (acc * 0x100000001B3) & 0xFFFF_FFFF_FFFF_FFFF
+        return acc
+
+    def verify_privileged_against(
+        self, other: "ArchitecturalState"
+    ) -> Tuple[bool, Tuple[str, ...]]:
+        """Compare privileged registers with another copy.
+
+        Registers in :data:`SANITY_CHECK_ONLY` are allowed to differ (they can
+        legitimately change during unprivileged execution); every other
+        privileged register must match exactly.  Returns ``(ok, mismatches)``.
+        """
+        mismatches = tuple(
+            name
+            for name in PRIVILEGED_REGISTERS
+            if name not in SANITY_CHECK_ONLY
+            and self.privileged[name] != other.privileged[name]
+        )
+        return (not mismatches, mismatches)
+
+    def state_bytes(self) -> int:
+        """Approximate architected state size in bytes (8 bytes per register)."""
+        return 8 * (len(self.user) + len(self.privileged))

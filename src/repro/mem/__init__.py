@@ -1,0 +1,32 @@
+"""Memory-system substrate: caches, coherence directory, interconnect, DRAM.
+
+The hierarchy mirrors the paper's target multicore (Section 4.1): per-core
+write-through L1 caches and a private L2, a shared L3 that maintains
+*exclusion* with the private L2s, a MOSI directory over a point-to-point
+interconnect, and 350-cycle main memory behind a 40 GB/s off-chip link.
+
+The central class is :class:`repro.mem.hierarchy.MemoryHierarchy`, which
+offers a coherent access path (normal and vocal cores), an *incoherent*
+best-effort access path (Reunion mute cores), and the L2 flush operation used
+by MMM-TP's Leave-DMR transition.
+"""
+
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.directory import Directory, DirectoryEntry
+from repro.mem.dram import MainMemory
+from repro.mem.hierarchy import AccessResult, FlushResult, MemoryHierarchy
+from repro.mem.interconnect import Interconnect
+from repro.mem.lines import CacheLine, LineState
+
+__all__ = [
+    "SetAssociativeCache",
+    "Directory",
+    "DirectoryEntry",
+    "MainMemory",
+    "AccessResult",
+    "FlushResult",
+    "MemoryHierarchy",
+    "Interconnect",
+    "CacheLine",
+    "LineState",
+]

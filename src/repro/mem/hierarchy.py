@@ -1,0 +1,445 @@
+"""The three-level cache hierarchy of the target multicore.
+
+Structure (Section 4.1 of the paper):
+
+* per-core split write-through L1 I/D caches,
+* per-core private L2,
+* one shared L3 that maintains **exclusion** with the private L2s (like the
+  IBM Power5 / AMD quad-core Opteron): a line lives either in some core's L2
+  or in the L3, not both,
+* a MOSI directory (shadow tags co-located with the L3) over a point-to-point
+  interconnect,
+* flat DRAM behind a bandwidth-limited off-chip link.
+
+Two access paths are provided:
+
+``coherent=True``
+    Normal requests (non-DMR cores and Reunion vocal cores).  These update
+    directory state, invalidate remote sharers on stores, and move lines
+    between the L2s and the exclusive L3.
+
+``coherent=False``
+    Reunion *mute* requests.  They are best-effort: they may read data from
+    the owner's L2 (a 3-hop cache-to-cache transfer) or from the L3/DRAM, but
+    they never change the directory, never invalidate anybody, and every line
+    they bring into the mute's private hierarchy is marked incoherent so it
+    can never be written back.
+
+The class also implements the line-by-line L2 flush used when an MMM-TP pair
+leaves DMR mode (Section 3.4.3): each frame of the L2 is inspected at one
+line per cycle, coherent dirty lines are written back to the L3, and
+incoherent lines are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.stats import StatSet
+from repro.config.system import SystemConfig
+from repro.errors import MemorySystemError
+from repro.mem.cache import SetAssociativeCache
+from repro.mem.directory import Directory
+from repro.mem.dram import MainMemory
+from repro.mem.interconnect import Interconnect
+from repro.mem.lines import LineState
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of one data access through the hierarchy."""
+
+    latency: int
+    level: str
+    c2c: bool = False
+    offchip: bool = False
+    invalidations: int = 0
+
+
+@dataclass(slots=True)
+class FlushResult:
+    """Outcome of flushing one core's private L2."""
+
+    cycles: int
+    lines_inspected: int
+    dirty_writebacks: int
+    incoherent_dropped: int
+
+
+class MemoryHierarchy:
+    """The shared memory system used by every core of the simulated chip."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        config.validate()
+        self.config = config
+        self.num_cores = config.num_cores
+        self.line_bytes = config.l2.line_bytes
+        self.l1d: List[SetAssociativeCache] = [
+            SetAssociativeCache(config.l1d) for _ in range(self.num_cores)
+        ]
+        self.l1i: List[SetAssociativeCache] = [
+            SetAssociativeCache(config.l1i) for _ in range(self.num_cores)
+        ]
+        self.l2: List[SetAssociativeCache] = [
+            SetAssociativeCache(config.l2) for _ in range(self.num_cores)
+        ]
+        self.l3 = SetAssociativeCache(config.l3)
+        self.directory = Directory(line_bytes=self.line_bytes)
+        self.interconnect = Interconnect(
+            config.interconnect, config.memory, line_bytes=self.line_bytes
+        )
+        self.memory = MainMemory(config.memory)
+        self.stats = StatSet()
+
+    # ------------------------------------------------------------------ #
+    # Window management (bandwidth accounting)
+    # ------------------------------------------------------------------ #
+
+    def begin_window(self, window_cycles: int) -> None:
+        """Open a new bandwidth accounting window (one scheduling quantum)."""
+        self.interconnect.begin_window(window_cycles)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.num_cores:
+            raise MemorySystemError(
+                f"core {core_id} outside the configured {self.num_cores}-core chip"
+            )
+
+    def _line(self, address: int) -> int:
+        return address - (address % self.line_bytes)
+
+    def _victimise_l2_line(self, core_id: int, victim) -> None:
+        """Handle an L2 eviction: victim goes to the exclusive L3 if coherent."""
+        self.directory.record_eviction(victim.line_addr, core_id)
+        if not victim.coherent:
+            self.stats.add("l2.incoherent_victims_dropped")
+            return
+        l3_victim = self.l3.insert(
+            victim.line_addr,
+            state=victim.state if victim.state is not LineState.INVALID else LineState.SHARED,
+            dirty=victim.dirty,
+            coherent=True,
+        )
+        self.stats.add("l2.victims_to_l3")
+        if l3_victim is not None and l3_victim.needs_writeback:
+            self.interconnect.record_offchip_transfer()
+            self.memory.writeback_latency(self.interconnect.offchip_contention_factor())
+            self.stats.add("l3.writebacks")
+
+    def _fill_l2(
+        self, core_id: int, line_addr: int, state: LineState, dirty: bool, coherent: bool
+    ) -> None:
+        victim = self.l2[core_id].insert(line_addr, state=state, dirty=dirty, coherent=coherent)
+        if victim is not None:
+            # Keep the L1 consistent with the L2 (inclusive L1/L2 assumption).
+            self.l1d[core_id].invalidate(victim.line_addr)
+            self.l1i[core_id].invalidate(victim.line_addr)
+            self._victimise_l2_line(core_id, victim)
+
+    def _fill_l1(self, core_id: int, line_addr: int, coherent: bool) -> None:
+        # The write-through L1 never holds dirty data, so victims are dropped.
+        self.l1d[core_id].insert(line_addr, state=LineState.SHARED, dirty=False, coherent=coherent)
+
+    def _invalidate_remote_copies(self, line_addr: int, cores: set[int]) -> None:
+        for other in cores:
+            self.l1d[other].invalidate(line_addr)
+            self.l1i[other].invalidate(line_addr)
+            self.l2[other].invalidate(line_addr)
+            self.stats.add("remote_invalidations")
+
+    # ------------------------------------------------------------------ #
+    # Coherent access path (normal and vocal cores)
+    # ------------------------------------------------------------------ #
+
+    def _remote_holder(self, line_addr: int, requester: int) -> Optional[int]:
+        """Find a remote private L2 currently holding the line.
+
+        The directory's shadow tags know both the owner (M/O) and the sharers
+        of a line; because the L3 is exclusive with the L2s, a line held only
+        by sharers is *not* in the L3 and must be forwarded from one of them
+        (a clean cache-to-cache transfer).  The owner is preferred when there
+        is one (dirty cache-to-cache transfer).
+        """
+        entry = self.directory.peek(line_addr)
+        if entry is None:
+            return None
+        owner = entry.owner
+        if owner is not None and owner != requester and self.l2[owner].contains(line_addr):
+            return owner
+        for sharer in sorted(entry.sharers):
+            if sharer != requester and self.l2[sharer].contains(line_addr):
+                return sharer
+        return None
+
+    def _coherent_miss_fill(
+        self, core_id: int, line_addr: int, is_store: bool
+    ) -> AccessResult:
+        """Serve an L2 miss coherently from a remote L2, the L3, or memory."""
+        l2_latency = self.config.l2.hit_latency
+        l3_latency = self.config.l3.hit_latency
+        owner = self._remote_holder(line_addr, core_id)
+        invalidations = 0
+
+        if owner is not None:
+            # 3-hop dirty cache-to-cache transfer from the owning L2.
+            latency = self.interconnect.cache_to_cache_latency(l3_latency, l2_latency)
+            self.stats.add("c2c_transfers")
+            if is_store:
+                targets = self.directory.record_exclusive_fetch(line_addr, core_id)
+                invalidations = len(targets)
+                latency += self.interconnect.invalidation_latency(invalidations)
+                self._invalidate_remote_copies(line_addr, targets)
+                self._fill_l2(core_id, line_addr, LineState.MODIFIED, dirty=True, coherent=True)
+            else:
+                self.directory.record_downgrade(line_addr, owner)
+                self.directory.record_shared_fetch(line_addr, core_id)
+                self._fill_l2(core_id, line_addr, LineState.SHARED, dirty=False, coherent=True)
+            self._fill_l1(core_id, line_addr, coherent=True)
+            return AccessResult(latency=latency, level="c2c", c2c=True, invalidations=invalidations)
+
+        l3_line = self.l3.touch(line_addr)
+        if l3_line is not None:
+            # Exclusive L3: the line moves from the L3 into the requester's L2.
+            latency = self.interconnect.l3_access_latency(l3_latency)
+            dirty = l3_line.dirty
+            self.l3.invalidate(line_addr)
+            self.stats.add("l3.hits")
+            if is_store:
+                targets = self.directory.record_exclusive_fetch(line_addr, core_id)
+                invalidations = len(targets)
+                latency += self.interconnect.invalidation_latency(invalidations)
+                self._invalidate_remote_copies(line_addr, targets)
+                self._fill_l2(core_id, line_addr, LineState.MODIFIED, dirty=True, coherent=True)
+            else:
+                self.directory.record_shared_fetch(line_addr, core_id)
+                state = LineState.OWNED if dirty else LineState.SHARED
+                self._fill_l2(core_id, line_addr, state, dirty=dirty, coherent=True)
+            self._fill_l1(core_id, line_addr, coherent=True)
+            return AccessResult(latency=latency, level="l3", invalidations=invalidations)
+
+        # Off-chip access.
+        self.stats.add("l3.misses")
+        self.interconnect.record_offchip_transfer()
+        latency = l3_latency + self.memory.access_latency(
+            self.interconnect.offchip_contention_factor()
+        )
+        if is_store:
+            targets = self.directory.record_exclusive_fetch(line_addr, core_id)
+            invalidations = len(targets)
+            latency += self.interconnect.invalidation_latency(invalidations)
+            self._invalidate_remote_copies(line_addr, targets)
+            self._fill_l2(core_id, line_addr, LineState.MODIFIED, dirty=True, coherent=True)
+        else:
+            self.directory.record_shared_fetch(line_addr, core_id)
+            self._fill_l2(core_id, line_addr, LineState.SHARED, dirty=False, coherent=True)
+        self._fill_l1(core_id, line_addr, coherent=True)
+        return AccessResult(
+            latency=latency, level="memory", offchip=True, invalidations=invalidations
+        )
+
+    def _coherent_load(self, core_id: int, address: int) -> AccessResult:
+        line_addr = self._line(address)
+        if self.l1d[core_id].touch(line_addr) is not None:
+            self.stats.add("l1d.hits")
+            return AccessResult(latency=self.config.l1d.hit_latency, level="l1")
+        self.stats.add("l1d.misses")
+        l2_line = self.l2[core_id].touch(line_addr)
+        if l2_line is not None:
+            self._fill_l1(core_id, line_addr, coherent=l2_line.coherent)
+            self.stats.add("l2.hits")
+            return AccessResult(latency=self.config.l2.hit_latency, level="l2")
+        self.stats.add("l2.misses")
+        return self._coherent_miss_fill(core_id, line_addr, is_store=False)
+
+    def _coherent_store(self, core_id: int, address: int) -> AccessResult:
+        line_addr = self._line(address)
+        # The write-through L1 forwards every store to the L2; the L1 copy (if
+        # any) is simply kept up to date at no extra cost.
+        l2_line = self.l2[core_id].touch(line_addr)
+        if l2_line is not None:
+            self.stats.add("l2.hits")
+            latency = self.config.l2.hit_latency
+            invalidations = 0
+            if l2_line.state in (LineState.SHARED, LineState.OWNED):
+                targets = self.directory.record_exclusive_fetch(line_addr, core_id)
+                targets.discard(core_id)
+                invalidations = len(targets)
+                latency += self.interconnect.invalidation_latency(invalidations)
+                self._invalidate_remote_copies(line_addr, targets)
+            l2_line.state = LineState.MODIFIED
+            l2_line.dirty = True
+            if self.directory.owner_of(line_addr) != core_id:
+                self.directory.record_exclusive_fetch(line_addr, core_id)
+            return AccessResult(latency=latency, level="l2", invalidations=invalidations)
+        self.stats.add("l2.misses")
+        return self._coherent_miss_fill(core_id, line_addr, is_store=True)
+
+    # ------------------------------------------------------------------ #
+    # Incoherent (mute) access path
+    # ------------------------------------------------------------------ #
+
+    def _mute_access(self, core_id: int, address: int, is_store: bool) -> AccessResult:
+        line_addr = self._line(address)
+        if self.l1d[core_id].touch(line_addr) is not None:
+            self.stats.add("mute.l1d.hits")
+            if is_store:
+                l2_line = self.l2[core_id].lookup(line_addr)
+                if l2_line is not None:
+                    l2_line.dirty = True
+                    l2_line.coherent = False
+            return AccessResult(latency=self.config.l1d.hit_latency, level="l1")
+        l2_line = self.l2[core_id].touch(line_addr)
+        if l2_line is not None:
+            self.stats.add("mute.l2.hits")
+            if is_store:
+                l2_line.dirty = True
+                l2_line.coherent = False
+            return AccessResult(latency=self.config.l2.hit_latency, level="l2")
+
+        # Best-effort fill without changing global state.
+        self.stats.add("mute.l2.misses")
+        l2_latency = self.config.l2.hit_latency
+        l3_latency = self.config.l3.hit_latency
+        holder = self._remote_holder(line_addr, core_id)
+        if holder is not None:
+            latency = self.interconnect.cache_to_cache_latency(l3_latency, l2_latency)
+            level = "c2c"
+            c2c = True
+            offchip = False
+            self.stats.add("c2c_transfers")
+            self.stats.add("mute.c2c_transfers")
+        elif self.l3.lookup(line_addr) is not None:
+            latency = self.interconnect.l3_access_latency(l3_latency)
+            level = "l3"
+            c2c = False
+            offchip = False
+            self.stats.add("mute.l3_hits")
+        else:
+            self.interconnect.record_offchip_transfer()
+            latency = l3_latency + self.memory.access_latency(
+                self.interconnect.offchip_contention_factor()
+            )
+            level = "memory"
+            c2c = False
+            offchip = True
+            self.stats.add("mute.memory_accesses")
+        self._fill_l2(
+            core_id,
+            line_addr,
+            LineState.MODIFIED if is_store else LineState.SHARED,
+            dirty=is_store,
+            coherent=False,
+        )
+        self._fill_l1(core_id, line_addr, coherent=False)
+        return AccessResult(latency=latency, level=level, c2c=c2c, offchip=offchip)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def access(
+        self, core_id: int, address: int, is_store: bool, coherent: bool = True
+    ) -> AccessResult:
+        """Perform one data access and return its latency and classification."""
+        self._check_core(core_id)
+        if address < 0:
+            raise MemorySystemError(f"negative physical address {address}")
+        if coherent:
+            if is_store:
+                return self._coherent_store(core_id, address)
+            return self._coherent_load(core_id, address)
+        return self._mute_access(core_id, address, is_store)
+
+    def load(self, core_id: int, address: int, coherent: bool = True) -> AccessResult:
+        """Convenience wrapper for a load access."""
+        return self.access(core_id, address, is_store=False, coherent=coherent)
+
+    def store(self, core_id: int, address: int, coherent: bool = True) -> AccessResult:
+        """Convenience wrapper for a store access."""
+        return self.access(core_id, address, is_store=True, coherent=coherent)
+
+    def flush_l2(self, core_id: int) -> FlushResult:
+        """Flush one core's private L2 (and L1s) line by line.
+
+        Used when an MMM-TP pair leaves DMR mode: the mute core's cache can
+        contain a mixture of incoherent lines (from Reunion's best-effort
+        path) and coherent lines (VCPU state moved during mode switches), so
+        every frame must be inspected.  The paper pessimistically assumes one
+        line inspected or written back per cycle, which is what makes Leave
+        DMR roughly 8 k cycles more expensive than Enter DMR on the 512 KB L2.
+        """
+        self._check_core(core_id)
+        l2 = self.l2[core_id]
+        resident = l2.resident_lines()
+        dirty_writebacks = 0
+        incoherent_dropped = 0
+        for line in resident:
+            if line.needs_writeback:
+                dirty_writebacks += 1
+                l3_victim = self.l3.insert(
+                    line.line_addr, state=LineState.OWNED, dirty=True, coherent=True
+                )
+                if l3_victim is not None and l3_victim.needs_writeback:
+                    self.interconnect.record_offchip_transfer()
+                    self.stats.add("l3.writebacks")
+            elif not line.coherent:
+                incoherent_dropped += 1
+            self.directory.record_eviction(line.line_addr, core_id)
+        l2.clear()
+        self.l1d[core_id].clear()
+        self.l1i[core_id].clear()
+        # One cycle per frame inspected plus one per line written back.
+        cycles = l2.capacity_lines + dirty_writebacks
+        self.stats.add("l2.flushes")
+        self.stats.add("l2.flush_cycles", cycles)
+        return FlushResult(
+            cycles=cycles,
+            lines_inspected=l2.capacity_lines,
+            dirty_writebacks=dirty_writebacks,
+            incoherent_dropped=incoherent_dropped,
+        )
+
+    def invalidate_incoherent_lines(self, core_id: int) -> int:
+        """Drop every incoherent line from a core's private caches.
+
+        Cheaper than a full flush; used when a mute core is re-purposed
+        without having observed any coherent state.
+        """
+        self._check_core(core_id)
+        dropped = 0
+        for cache in (self.l1d[core_id], self.l1i[core_id], self.l2[core_id]):
+            for line in cache.resident_lines():
+                if not line.coherent:
+                    cache.invalidate(line.line_addr)
+                    dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------ #
+    # Introspection helpers
+    # ------------------------------------------------------------------ #
+
+    def l2_for(self, core_id: int) -> SetAssociativeCache:
+        """The private L2 of ``core_id``."""
+        self._check_core(core_id)
+        return self.l2[core_id]
+
+    def l1d_for(self, core_id: int) -> SetAssociativeCache:
+        """The private L1 data cache of ``core_id``."""
+        self._check_core(core_id)
+        return self.l1d[core_id]
+
+    def c2c_transfer_count(self) -> int:
+        """Total dirty cache-to-cache transfers observed so far."""
+        return int(self.stats.get("c2c_transfers"))
+
+    def merged_stats(self) -> StatSet:
+        """Hierarchy-wide statistics including interconnect and DRAM counters."""
+        merged = StatSet(self.stats.as_dict())
+        merged.merge(self.interconnect.stats)
+        merged.merge(self.memory.stats)
+        return merged

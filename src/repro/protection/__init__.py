@@ -1,0 +1,30 @@
+"""Memory-protection assistance structures (the paper's PAT and PAB).
+
+When a core runs in performance (non-DMR) mode, a hardware fault can defeat
+the TLB's permission check and let a store reach a physical page owned by
+reliable software or by the system software.  The paper's defence is a second,
+independent permission check on the store's *physical* address:
+
+* the **Protection Assistance Table (PAT)** is a memory-resident bitmap with
+  one bit per physical page -- ``1`` means the page may only be written by
+  software running in reliable mode;
+* the **Protection Assistance Buffer (PAB)** is a small per-core cache of PAT
+  entries consulted for every store write-through from a performance-mode
+  core, either in parallel with or serially before the L2 access.
+
+A mismatch between the TLB's decision and the PAB's decision raises an
+exception to system software *before* the store can corrupt anything.
+"""
+
+from repro.protection.pab import PabCheckResult, ProtectionAssistanceBuffer
+from repro.protection.pat import ProtectionAssistanceTable
+from repro.protection.violations import ProtectionViolation, ViolationKind, ViolationLog
+
+__all__ = [
+    "PabCheckResult",
+    "ProtectionAssistanceBuffer",
+    "ProtectionAssistanceTable",
+    "ProtectionViolation",
+    "ViolationKind",
+    "ViolationLog",
+]

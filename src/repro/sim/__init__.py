@@ -1,0 +1,12 @@
+"""Simulation driver, results, experiments and reporting.
+
+* :mod:`repro.sim.simulator` -- the quantum-based simulation loop,
+* :mod:`repro.sim.results` -- result containers and metrics,
+* :mod:`repro.sim.experiments` -- one entry point per paper table/figure,
+* :mod:`repro.sim.reporting` -- plain-text rendering of the results.
+"""
+
+from repro.sim.results import SimulationResult, VmResult
+from repro.sim.simulator import SimulationOptions, Simulator
+
+__all__ = ["SimulationResult", "VmResult", "SimulationOptions", "Simulator"]

@@ -1,0 +1,919 @@
+"""Per-figure / per-table experiment entry points.
+
+Every table and figure of the paper's evaluation (Section 5) has one function
+here that builds the relevant machines, runs them, and returns a structured
+result object with the same rows/series the paper reports:
+
+======================  =====================================================
+Paper artefact          Entry point
+======================  =====================================================
+Figure 5(a)/(b)         :func:`run_dmr_overhead_experiment`
+Figure 6(a)/(b)         :func:`run_mixed_mode_experiment`
+Section 5.2 (PAB)       :func:`run_pab_latency_study`
+Table 1                 :func:`run_switch_overhead_experiment`
+Table 2                 :func:`run_switch_frequency_experiment`
+Section 5.3 bottom line :func:`run_single_os_overhead_study`
+Window/TSO ablation     :func:`run_window_ablation`
+======================  =====================================================
+
+All experiments share :class:`ExperimentSettings`, which holds the scaled-down
+run lengths and the capacity/footprint scale factor (see
+``evaluation_system_config``) so that the whole evaluation completes on a
+laptop while preserving the relative behaviour the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import normalize_to, percent_change
+from repro.analysis.tables import TextTable
+from repro.common.stats import ConfidenceInterval, confidence_interval_95
+from repro.config.presets import evaluation_system_config, paper_system_config
+from repro.config.system import ConsistencyModel, PabLookupMode, SystemConfig
+from repro.core.machine import MixedModeMachine, VmSpec
+from repro.core.transitions import TransitionFlavor
+from repro.cpu.timing import CoreAssignment, ExecutionMode
+from repro.errors import ExperimentError
+from repro.sim.simulator import SimulationOptions, Simulator
+from repro.virt.vcpu import ReliabilityMode
+from repro.workloads.profiles import PAPER_WORKLOAD_NAMES
+
+#: Timeslice assumed by the paper (1 ms at 3 GHz).
+PAPER_TIMESLICE_CYCLES = 3_000_000
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Shared knobs of the reproduction experiments."""
+
+    #: Factor by which cache capacities (and workload footprints) are scaled
+    #: down relative to the paper's machine; 1 = full size.
+    capacity_scale: int = 8
+    #: Measured cycles per run (after warmup).
+    total_cycles: int = 60_000
+    #: Warmup cycles per run.
+    warmup_cycles: int = 15_000
+    #: Gang-scheduling timeslice used by the consolidated-server runs.
+    timeslice_cycles: int = 25_000
+    #: Scale applied to the workloads' user/OS phase lengths.
+    phase_scale: float = 0.01
+    #: Seeds to average over (the paper reports 95% confidence intervals
+    #: over multiple runs).
+    seeds: Tuple[int, ...] = (0,)
+    #: Workloads to evaluate, in the paper's figure order.
+    workloads: Tuple[str, ...] = PAPER_WORKLOAD_NAMES
+    #: VCPUs exposed by the reliable guest (the paper uses 8 on 16 cores).
+    reliable_vcpus: int = 8
+
+    @property
+    def footprint_scale(self) -> float:
+        """Workload footprints shrink with the cache capacities."""
+        return 1.0 / self.capacity_scale
+
+    def config(self) -> SystemConfig:
+        """The (scaled) machine configuration used by the experiments."""
+        return evaluation_system_config(
+            capacity_scale=self.capacity_scale,
+            timeslice_cycles=self.timeslice_cycles,
+        )
+
+    def transition_cost_scale(self) -> float:
+        """Keep the paper's ratio of transition cost to timeslice length."""
+        return min(1.0, self.timeslice_cycles / PAPER_TIMESLICE_CYCLES)
+
+    def options(self) -> SimulationOptions:
+        """Simulation options shared by the timing experiments."""
+        return SimulationOptions(
+            total_cycles=self.total_cycles,
+            warmup_cycles=self.warmup_cycles,
+            transition_cost_scale=self.transition_cost_scale(),
+        )
+
+    @classmethod
+    def quick(cls) -> "ExperimentSettings":
+        """Very small settings for smoke tests of the experiment plumbing."""
+        return cls(
+            capacity_scale=16,
+            total_cycles=12_000,
+            warmup_cycles=4_000,
+            timeslice_cycles=4_000,
+            phase_scale=0.005,
+            workloads=("apache", "pmake"),
+            reliable_vcpus=4,
+        )
+
+    def with_workloads(self, workloads: Sequence[str]) -> "ExperimentSettings":
+        """A copy restricted to the given workloads."""
+        return replace(self, workloads=tuple(workloads))
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+# ===================================================================== #
+# Figure 5: overhead of dual redundancy
+# ===================================================================== #
+
+#: Configuration labels of Figure 5, in presentation order.
+FIGURE5_CONFIGS = ("no-dmr-2x", "no-dmr", "reunion")
+
+
+@dataclass
+class DmrOverheadRow:
+    """One workload's Figure 5 data."""
+
+    workload: str
+    per_thread_ipc: Dict[str, ConfidenceInterval]
+    throughput: Dict[str, ConfidenceInterval]
+
+    def normalized_ipc(self) -> Dict[str, float]:
+        """Per-thread IPC normalised to the ``no-dmr-2x`` configuration."""
+        return normalize_to(
+            {name: ci.mean for name, ci in self.per_thread_ipc.items()}, "no-dmr-2x"
+        )
+
+    def normalized_throughput(self) -> Dict[str, float]:
+        """Throughput normalised to the ``no-dmr-2x`` configuration."""
+        return normalize_to(
+            {name: ci.mean for name, ci in self.throughput.items()}, "no-dmr-2x"
+        )
+
+
+@dataclass
+class DmrOverheadResult:
+    """Figure 5(a) and 5(b) of the paper."""
+
+    settings: ExperimentSettings
+    rows: List[DmrOverheadRow] = field(default_factory=list)
+
+    def row(self, workload: str) -> DmrOverheadRow:
+        """Row for one workload."""
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise ExperimentError(f"no Figure 5 row for workload {workload!r}")
+
+    def format_ipc_table(self) -> str:
+        """Figure 5(a): normalised per-thread user IPC."""
+        table = TextTable(
+            ["workload", *FIGURE5_CONFIGS],
+            title="Figure 5(a): per-thread user IPC (normalised to No DMR 2X)",
+        )
+        for row in self.rows:
+            normalized = row.normalized_ipc()
+            table.add_row([row.workload, *[normalized[c] for c in FIGURE5_CONFIGS]])
+        return table.render()
+
+    def format_throughput_table(self) -> str:
+        """Figure 5(b): normalised overall throughput."""
+        table = TextTable(
+            ["workload", *FIGURE5_CONFIGS],
+            title="Figure 5(b): overall throughput (normalised to No DMR 2X)",
+        )
+        for row in self.rows:
+            normalized = row.normalized_throughput()
+            table.add_row([row.workload, *[normalized[c] for c in FIGURE5_CONFIGS]])
+        return table.render()
+
+
+def _figure5_machine(
+    settings: ExperimentSettings, workload: str, configuration: str, seed: int
+) -> MixedModeMachine:
+    config = settings.config()
+    if configuration == "no-dmr-2x":
+        num_vcpus, policy = config.num_cores, "no-dmr"
+    elif configuration == "no-dmr":
+        num_vcpus, policy = config.num_cores // 2, "no-dmr"
+    elif configuration == "reunion":
+        num_vcpus, policy = config.num_cores // 2, "dmr-base"
+    else:
+        raise ExperimentError(f"unknown Figure 5 configuration {configuration!r}")
+    spec = VmSpec(
+        name="baseline",
+        workload=workload,
+        num_vcpus=num_vcpus,
+        reliability=ReliabilityMode.RELIABLE,
+        phase_scale=settings.phase_scale,
+        footprint_scale=settings.footprint_scale,
+    )
+    return MixedModeMachine(config=config, vm_specs=[spec], policy=policy, seed=seed)
+
+
+def run_dmr_overhead_experiment(
+    settings: Optional[ExperimentSettings] = None,
+) -> DmrOverheadResult:
+    """Reproduce Figure 5: per-thread IPC and throughput of DMR vs. no DMR."""
+    settings = settings or ExperimentSettings()
+    result = DmrOverheadResult(settings=settings)
+    for workload in settings.workloads:
+        ipc: Dict[str, ConfidenceInterval] = {}
+        throughput: Dict[str, ConfidenceInterval] = {}
+        for configuration in FIGURE5_CONFIGS:
+            ipc_samples: List[float] = []
+            tput_samples: List[float] = []
+            for seed in settings.seeds:
+                machine = _figure5_machine(settings, workload, configuration, seed)
+                sim = Simulator(machine, settings.options())
+                run = sim.run()
+                vm = run.vm("baseline")
+                ipc_samples.append(vm.average_user_ipc(run.total_cycles))
+                tput_samples.append(run.overall_throughput())
+            ipc[configuration] = confidence_interval_95(ipc_samples)
+            throughput[configuration] = confidence_interval_95(tput_samples)
+        result.rows.append(
+            DmrOverheadRow(workload=workload, per_thread_ipc=ipc, throughput=throughput)
+        )
+    return result
+
+
+# ===================================================================== #
+# Figure 6: mixed-mode performance
+# ===================================================================== #
+
+#: Configuration labels of Figure 6, in presentation order.
+FIGURE6_CONFIGS = ("dmr-base", "mmm-ipc", "mmm-tp")
+
+
+@dataclass
+class MixedModeRow:
+    """One workload's Figure 6 data."""
+
+    workload: str
+    reliable_ipc: Dict[str, ConfidenceInterval]
+    performance_ipc: Dict[str, ConfidenceInterval]
+    reliable_throughput: Dict[str, ConfidenceInterval]
+    performance_throughput: Dict[str, ConfidenceInterval]
+    overall_throughput: Dict[str, ConfidenceInterval]
+
+    def normalized_performance_ipc(self) -> Dict[str, float]:
+        """Performance-VM per-thread IPC normalised to DMR Base."""
+        return normalize_to(
+            {name: ci.mean for name, ci in self.performance_ipc.items()}, "dmr-base"
+        )
+
+    def normalized_reliable_ipc(self) -> Dict[str, float]:
+        """Reliable-VM per-thread IPC normalised to DMR Base."""
+        return normalize_to(
+            {name: ci.mean for name, ci in self.reliable_ipc.items()}, "dmr-base"
+        )
+
+    def normalized_performance_throughput(self) -> Dict[str, float]:
+        """Performance-VM throughput normalised to DMR Base."""
+        return normalize_to(
+            {name: ci.mean for name, ci in self.performance_throughput.items()},
+            "dmr-base",
+        )
+
+    def normalized_overall_throughput(self) -> Dict[str, float]:
+        """Machine-wide throughput normalised to DMR Base."""
+        return normalize_to(
+            {name: ci.mean for name, ci in self.overall_throughput.items()}, "dmr-base"
+        )
+
+
+@dataclass
+class MixedModeResult:
+    """Figure 6(a) and 6(b) of the paper."""
+
+    settings: ExperimentSettings
+    rows: List[MixedModeRow] = field(default_factory=list)
+
+    def row(self, workload: str) -> MixedModeRow:
+        """Row for one workload."""
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise ExperimentError(f"no Figure 6 row for workload {workload!r}")
+
+    def format_ipc_table(self) -> str:
+        """Figure 6(a): normalised per-thread IPC of each guest VM."""
+        table = TextTable(
+            ["workload", "vm", *FIGURE6_CONFIGS],
+            title="Figure 6(a): per-thread user IPC (normalised to DMR Base)",
+        )
+        for row in self.rows:
+            reliable = row.normalized_reliable_ipc()
+            performance = row.normalized_performance_ipc()
+            table.add_row(
+                [row.workload, "reliable", *[reliable[c] for c in FIGURE6_CONFIGS]]
+            )
+            table.add_row(
+                [row.workload, "performance", *[performance[c] for c in FIGURE6_CONFIGS]]
+            )
+        return table.render()
+
+    def format_throughput_table(self) -> str:
+        """Figure 6(b): normalised throughput (performance VM and overall)."""
+        table = TextTable(
+            ["workload", "series", *FIGURE6_CONFIGS],
+            title="Figure 6(b): throughput (normalised to DMR Base)",
+        )
+        for row in self.rows:
+            perf = row.normalized_performance_throughput()
+            overall = row.normalized_overall_throughput()
+            table.add_row(
+                [row.workload, "performance-vm", *[perf[c] for c in FIGURE6_CONFIGS]]
+            )
+            table.add_row(
+                [row.workload, "overall", *[overall[c] for c in FIGURE6_CONFIGS]]
+            )
+        return table.render()
+
+
+def _figure6_machine(
+    settings: ExperimentSettings,
+    workload: str,
+    configuration: str,
+    seed: int,
+    config: Optional[SystemConfig] = None,
+) -> MixedModeMachine:
+    config = config if config is not None else settings.config()
+    if configuration == "dmr-base":
+        policy, perf_vcpus, perf_mode = "dmr-base", config.num_cores // 2, ReliabilityMode.RELIABLE
+    elif configuration == "mmm-ipc":
+        policy, perf_vcpus, perf_mode = "mmm-ipc", config.num_cores // 2, ReliabilityMode.PERFORMANCE
+    elif configuration == "mmm-tp":
+        policy, perf_vcpus, perf_mode = "mmm-tp", config.num_cores, ReliabilityMode.PERFORMANCE
+    else:
+        raise ExperimentError(f"unknown Figure 6 configuration {configuration!r}")
+    specs = [
+        VmSpec(
+            name="reliable",
+            workload=workload,
+            num_vcpus=min(settings.reliable_vcpus, config.num_cores // 2),
+            reliability=ReliabilityMode.RELIABLE,
+            phase_scale=settings.phase_scale,
+            footprint_scale=settings.footprint_scale,
+        ),
+        VmSpec(
+            name="performance",
+            workload=workload,
+            num_vcpus=perf_vcpus,
+            reliability=perf_mode,
+            phase_scale=settings.phase_scale,
+            footprint_scale=settings.footprint_scale,
+        ),
+    ]
+    return MixedModeMachine(config=config, vm_specs=specs, policy=policy, seed=seed)
+
+
+def run_mixed_mode_experiment(
+    settings: Optional[ExperimentSettings] = None,
+    configurations: Sequence[str] = FIGURE6_CONFIGS,
+) -> MixedModeResult:
+    """Reproduce Figure 6: mixed-mode consolidated-server performance."""
+    settings = settings or ExperimentSettings()
+    result = MixedModeResult(settings=settings)
+    for workload in settings.workloads:
+        reliable_ipc: Dict[str, ConfidenceInterval] = {}
+        performance_ipc: Dict[str, ConfidenceInterval] = {}
+        reliable_tput: Dict[str, ConfidenceInterval] = {}
+        performance_tput: Dict[str, ConfidenceInterval] = {}
+        overall_tput: Dict[str, ConfidenceInterval] = {}
+        for configuration in configurations:
+            samples: Dict[str, List[float]] = {
+                "rel_ipc": [], "perf_ipc": [], "rel_tput": [], "perf_tput": [], "overall": []
+            }
+            for seed in settings.seeds:
+                machine = _figure6_machine(settings, workload, configuration, seed)
+                run = Simulator(machine, settings.options()).run()
+                reliable = run.vm("reliable")
+                performance = run.vm("performance")
+                samples["rel_ipc"].append(reliable.average_user_ipc(run.total_cycles))
+                samples["perf_ipc"].append(performance.average_user_ipc(run.total_cycles))
+                samples["rel_tput"].append(reliable.throughput(run.total_cycles))
+                samples["perf_tput"].append(performance.throughput(run.total_cycles))
+                samples["overall"].append(run.overall_throughput())
+            reliable_ipc[configuration] = confidence_interval_95(samples["rel_ipc"])
+            performance_ipc[configuration] = confidence_interval_95(samples["perf_ipc"])
+            reliable_tput[configuration] = confidence_interval_95(samples["rel_tput"])
+            performance_tput[configuration] = confidence_interval_95(samples["perf_tput"])
+            overall_tput[configuration] = confidence_interval_95(samples["overall"])
+        result.rows.append(
+            MixedModeRow(
+                workload=workload,
+                reliable_ipc=reliable_ipc,
+                performance_ipc=performance_ipc,
+                reliable_throughput=reliable_tput,
+                performance_throughput=performance_tput,
+                overall_throughput=overall_tput,
+            )
+        )
+    return result
+
+
+# ===================================================================== #
+# Section 5.2: effect of PAB latency
+# ===================================================================== #
+
+
+@dataclass
+class PabLatencyRow:
+    """One workload's serial-vs-parallel PAB comparison."""
+
+    workload: str
+    parallel_ipc: float
+    serial_ipc: float
+    reliable_parallel_ipc: float
+    reliable_serial_ipc: float
+
+    @property
+    def performance_ipc_change_percent(self) -> float:
+        """IPC change of the performance VM when the PAB lookup is serialised."""
+        return percent_change(self.serial_ipc, self.parallel_ipc)
+
+    @property
+    def reliable_ipc_change_percent(self) -> float:
+        """IPC change of the reliable VM (expected to be ~0: it never uses the PAB)."""
+        return percent_change(self.reliable_serial_ipc, self.reliable_parallel_ipc)
+
+
+@dataclass
+class PabLatencyResult:
+    """Section 5.2's serial-PAB sensitivity study."""
+
+    settings: ExperimentSettings
+    rows: List[PabLatencyRow] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Render the study as a table of IPC changes."""
+        table = TextTable(
+            ["workload", "parallel ipc", "serial ipc", "perf change %", "reliable change %"],
+            title="Effect of a 2-cycle serial PAB lookup (MMM-TP, performance VM)",
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row.workload,
+                    row.parallel_ipc,
+                    row.serial_ipc,
+                    row.performance_ipc_change_percent,
+                    row.reliable_ipc_change_percent,
+                ]
+            )
+        return table.render()
+
+
+def run_pab_latency_study(
+    settings: Optional[ExperimentSettings] = None,
+) -> PabLatencyResult:
+    """Reproduce the serial-vs-parallel PAB lookup comparison of Section 5.2."""
+    settings = settings or ExperimentSettings()
+    result = PabLatencyResult(settings=settings)
+    for workload in settings.workloads:
+        ipc: Dict[str, float] = {}
+        reliable_ipc: Dict[str, float] = {}
+        for mode in (PabLookupMode.PARALLEL, PabLookupMode.SERIAL):
+            samples: List[float] = []
+            reliable_samples: List[float] = []
+            for seed in settings.seeds:
+                machine = _figure6_machine(
+                    settings,
+                    workload,
+                    "mmm-tp",
+                    seed,
+                    config=settings.config().with_pab_lookup(mode),
+                )
+                run = Simulator(machine, settings.options()).run()
+                samples.append(run.vm("performance").average_user_ipc(run.total_cycles))
+                reliable_samples.append(run.vm("reliable").average_user_ipc(run.total_cycles))
+            ipc[mode.value] = _mean(samples)
+            reliable_ipc[mode.value] = _mean(reliable_samples)
+        result.rows.append(
+            PabLatencyRow(
+                workload=workload,
+                parallel_ipc=ipc[PabLookupMode.PARALLEL.value],
+                serial_ipc=ipc[PabLookupMode.SERIAL.value],
+                reliable_parallel_ipc=reliable_ipc[PabLookupMode.PARALLEL.value],
+                reliable_serial_ipc=reliable_ipc[PabLookupMode.SERIAL.value],
+            )
+        )
+    return result
+
+
+# ===================================================================== #
+# Table 1: mode-switching overheads
+# ===================================================================== #
+
+
+@dataclass
+class SwitchOverheadRow:
+    """One workload's Table 1 data (cycles)."""
+
+    workload: str
+    enter_dmr_cycles: float
+    leave_dmr_cycles: float
+
+
+@dataclass
+class SwitchOverheadResult:
+    """Table 1 of the paper."""
+
+    rows: List[SwitchOverheadRow] = field(default_factory=list)
+
+    def row(self, workload: str) -> SwitchOverheadRow:
+        """Row for one workload."""
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise ExperimentError(f"no Table 1 row for workload {workload!r}")
+
+    def format_table(self) -> str:
+        """Render Table 1."""
+        table = TextTable(
+            ["workload", "Enter DMR", "Leave DMR"],
+            title="Table 1: mixed-mode switching overheads (cycles, MMM-TP)",
+        )
+        for row in self.rows:
+            table.add_row(
+                [row.workload, f"{row.enter_dmr_cycles:.0f}", f"{row.leave_dmr_cycles:.0f}"]
+            )
+        return table.render()
+
+    def average_round_trip_cycles(self) -> float:
+        """Average cost of one Enter + Leave pair across workloads."""
+        if not self.rows:
+            return 0.0
+        return _mean([row.enter_dmr_cycles + row.leave_dmr_cycles for row in self.rows])
+
+
+def run_switch_overhead_experiment(
+    workloads: Sequence[str] = PAPER_WORKLOAD_NAMES,
+    transitions_to_measure: int = 8,
+    warmup_cycles: int = 8_000,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+) -> SwitchOverheadResult:
+    """Reproduce Table 1: the cycle cost of Enter-DMR and Leave-DMR.
+
+    Unlike the timing experiments this uses the *full-size* paper
+    configuration by default, because the Leave-DMR cost is dominated by the
+    one-line-per-cycle flush of the 512 KB (8192-line) L2.
+    """
+    config = (config or paper_system_config()).validate()
+    result = SwitchOverheadResult()
+    for workload in workloads:
+        specs = [
+            VmSpec(
+                name="reliable",
+                workload=workload,
+                num_vcpus=config.num_cores // 2,
+                reliability=ReliabilityMode.RELIABLE,
+                phase_scale=0.02,
+            ),
+            VmSpec(
+                name="performance",
+                workload=workload,
+                num_vcpus=config.num_cores,
+                reliability=ReliabilityMode.PERFORMANCE,
+                phase_scale=0.02,
+            ),
+        ]
+        machine = MixedModeMachine(config=config, vm_specs=specs, policy="mmm-tp", seed=seed)
+        reliable_vcpu = machine.vms[0].vcpus[0]
+        perf_vcpu_a = machine.vms[1].vcpus[0]
+        perf_vcpu_b = machine.vms[1].vcpus[1]
+
+        # Warm the caches with a little DMR and performance execution so that
+        # transition costs reflect realistic cache contents.
+        machine.hierarchy.begin_window(warmup_cycles)
+        # In steady state every VCPU's scratchpad save area has been written
+        # many times and lives in the (large) cache hierarchy; touch the slots
+        # once so the measured transitions do not pay compulsory DRAM misses.
+        for vcpu in (reliable_vcpu, perf_vcpu_a, perf_vcpu_b):
+            for copy in ("primary", "redundant"):
+                for address in machine.scratchpad.line_addresses(vcpu.vcpu_id, copy):
+                    machine.hierarchy.load(0, address)
+                    machine.hierarchy.load(1, address, coherent=False)
+        machine.timing_model.run_quantum(
+            workload=reliable_vcpu.workload,
+            assignment=CoreAssignment(
+                mode=ExecutionMode.DMR,
+                primary_core=0,
+                secondary_core=1,
+                reunion_pair=machine.pair_factory(0, 1),
+            ),
+            cycle_budget=warmup_cycles,
+            vcpu_id=reliable_vcpu.vcpu_id,
+        )
+        machine.timing_model.run_quantum(
+            workload=perf_vcpu_a.workload,
+            assignment=CoreAssignment(mode=ExecutionMode.PERFORMANCE, primary_core=2),
+            cycle_budget=warmup_cycles,
+            vcpu_id=perf_vcpu_a.vcpu_id,
+        )
+
+        enter_costs: List[float] = []
+        leave_costs: List[float] = []
+        for index in range(transitions_to_measure):
+            leave = machine.transition_engine.leave_dmr(
+                vocal_core=0,
+                mute_core=1,
+                vcpu=reliable_vcpu,
+                incoming_vocal_vcpu=perf_vcpu_a,
+                incoming_mute_vcpu=perf_vcpu_b,
+                flavor=TransitionFlavor.MMM_TP,
+                current_cycle=index,
+            )
+            leave_costs.append(leave.total_cycles)
+            # Run a little in performance mode so the next Enter has work to
+            # context switch out and the mute core has incoherent lines again.
+            machine.timing_model.run_quantum(
+                workload=perf_vcpu_a.workload,
+                assignment=CoreAssignment(mode=ExecutionMode.PERFORMANCE, primary_core=0),
+                cycle_budget=2_000,
+                vcpu_id=perf_vcpu_a.vcpu_id,
+            )
+            machine.timing_model.run_quantum(
+                workload=perf_vcpu_b.workload,
+                assignment=CoreAssignment(mode=ExecutionMode.PERFORMANCE, primary_core=1),
+                cycle_budget=2_000,
+                vcpu_id=perf_vcpu_b.vcpu_id,
+            )
+            enter = machine.transition_engine.enter_dmr(
+                vocal_core=0,
+                mute_core=1,
+                vcpu=reliable_vcpu,
+                outgoing_vocal_vcpu=perf_vcpu_a,
+                outgoing_mute_vcpu=perf_vcpu_b,
+                flavor=TransitionFlavor.MMM_TP,
+                current_cycle=index,
+            )
+            enter_costs.append(enter.total_cycles)
+            # Run a little in DMR mode so the mute cache is populated again.
+            machine.timing_model.run_quantum(
+                workload=reliable_vcpu.workload,
+                assignment=CoreAssignment(
+                    mode=ExecutionMode.DMR,
+                    primary_core=0,
+                    secondary_core=1,
+                    reunion_pair=machine.pair_factory(0, 1),
+                ),
+                cycle_budget=2_000,
+                vcpu_id=reliable_vcpu.vcpu_id,
+            )
+        result.rows.append(
+            SwitchOverheadRow(
+                workload=workload,
+                enter_dmr_cycles=_mean(enter_costs),
+                leave_dmr_cycles=_mean(leave_costs),
+            )
+        )
+    return result
+
+
+# ===================================================================== #
+# Table 2: cycles before switching modes (single-OS)
+# ===================================================================== #
+
+
+@dataclass
+class SwitchFrequencyRow:
+    """One workload's Table 2 data (cycles, extrapolated to full-size phases)."""
+
+    workload: str
+    user_cycles: float
+    os_cycles: float
+
+    @property
+    def round_trip_cycles(self) -> float:
+        """User plus OS cycles for one enter/exit round trip."""
+        return self.user_cycles + self.os_cycles
+
+
+@dataclass
+class SwitchFrequencyResult:
+    """Table 2 of the paper."""
+
+    rows: List[SwitchFrequencyRow] = field(default_factory=list)
+
+    def row(self, workload: str) -> SwitchFrequencyRow:
+        """Row for one workload."""
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise ExperimentError(f"no Table 2 row for workload {workload!r}")
+
+    def format_table(self) -> str:
+        """Render Table 2."""
+        table = TextTable(
+            ["workload", "User Cycles", "OS Cycles"],
+            title="Table 2: cycles before switching modes (single-OS, non-DMR baseline)",
+        )
+        for row in self.rows:
+            table.add_row(
+                [row.workload, f"{row.user_cycles / 1000:.0f}k", f"{row.os_cycles / 1000:.0f}k"]
+            )
+        return table.render()
+
+
+def run_switch_frequency_experiment(
+    workloads: Sequence[str] = PAPER_WORKLOAD_NAMES,
+    phases_to_measure: int = 3,
+    measurement_phase_scale: float = 0.1,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+) -> SwitchFrequencyResult:
+    """Reproduce Table 2: average user and OS cycles between mode switches.
+
+    The measurement runs a single VCPU of each workload on the non-DMR
+    baseline and times each user phase (up to the OS entry) and each OS phase
+    (up to the OS exit).  Phases are generated at ``measurement_phase_scale``
+    of their full length and the measured cycles are scaled back up, which
+    keeps the measurement cheap without changing the achieved IPC.
+    """
+    config = (config or evaluation_system_config()).validate()
+    result = SwitchFrequencyResult()
+    for workload in workloads:
+        spec = VmSpec(
+            name="baseline",
+            workload=workload,
+            num_vcpus=1,
+            reliability=ReliabilityMode.RELIABLE,
+            phase_scale=measurement_phase_scale,
+            footprint_scale=1.0 / 8,
+        )
+        machine = MixedModeMachine(config=config, vm_specs=[spec], policy="no-dmr", seed=seed)
+        vcpu = machine.vms[0].vcpus[0]
+        assignment = CoreAssignment(mode=ExecutionMode.BASELINE, primary_core=0)
+        machine.hierarchy.begin_window(1_000_000)
+
+        user_cycles: List[float] = []
+        os_cycles: List[float] = []
+        # Discard the first partial phase, then time alternate phases.
+        machine.timing_model.run_quantum(
+            workload=vcpu.workload,
+            assignment=assignment,
+            cycle_budget=10_000_000,
+            vcpu_id=vcpu.vcpu_id,
+            stop_on_os_entry=True,
+        )
+        for _ in range(phases_to_measure):
+            os_run = machine.timing_model.run_quantum(
+                workload=vcpu.workload,
+                assignment=assignment,
+                cycle_budget=50_000_000,
+                vcpu_id=vcpu.vcpu_id,
+                stop_on_os_exit=True,
+            )
+            os_cycles.append(os_run.cycles)
+            user_run = machine.timing_model.run_quantum(
+                workload=vcpu.workload,
+                assignment=assignment,
+                cycle_budget=50_000_000,
+                vcpu_id=vcpu.vcpu_id,
+                stop_on_os_entry=True,
+            )
+            user_cycles.append(user_run.cycles)
+        scale = 1.0 / measurement_phase_scale
+        result.rows.append(
+            SwitchFrequencyRow(
+                workload=workload,
+                user_cycles=_mean(user_cycles) * scale,
+                os_cycles=_mean(os_cycles) * scale,
+            )
+        )
+    return result
+
+
+# ===================================================================== #
+# Section 5.3: single-OS mode-switching overhead
+# ===================================================================== #
+
+
+@dataclass
+class SingleOsOverheadRow:
+    """Estimated single-OS mode-switching overhead for one workload."""
+
+    workload: str
+    switch_cycles: float
+    round_trip_cycles: float
+
+    @property
+    def overhead_percent(self) -> float:
+        """Switching cycles as a share of one user+OS round trip."""
+        total = self.round_trip_cycles + self.switch_cycles
+        if total == 0:
+            return 0.0
+        return self.switch_cycles / total * 100.0
+
+
+@dataclass
+class SingleOsOverheadResult:
+    """The bottom-line analysis at the end of Section 5.3."""
+
+    rows: List[SingleOsOverheadRow] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Render the overhead estimate."""
+        table = TextTable(
+            ["workload", "switch cycles", "user+OS cycles", "overhead %"],
+            title="Single-OS mode-switching overhead (Table 1 + Table 2 combined)",
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row.workload,
+                    f"{row.switch_cycles:.0f}",
+                    f"{row.round_trip_cycles / 1000:.0f}k",
+                    row.overhead_percent,
+                ]
+            )
+        return table.render()
+
+
+def run_single_os_overhead_study(
+    switch_overheads: Optional[SwitchOverheadResult] = None,
+    switch_frequency: Optional[SwitchFrequencyResult] = None,
+    workloads: Sequence[str] = PAPER_WORKLOAD_NAMES,
+) -> SingleOsOverheadResult:
+    """Combine Table 1 and Table 2 into the paper's single-OS overhead estimate."""
+    switch_overheads = switch_overheads or run_switch_overhead_experiment(workloads)
+    switch_frequency = switch_frequency or run_switch_frequency_experiment(workloads)
+    result = SingleOsOverheadResult()
+    for workload in workloads:
+        overhead_row = switch_overheads.row(workload)
+        frequency_row = switch_frequency.row(workload)
+        result.rows.append(
+            SingleOsOverheadRow(
+                workload=workload,
+                switch_cycles=overhead_row.enter_dmr_cycles + overhead_row.leave_dmr_cycles,
+                round_trip_cycles=frequency_row.round_trip_cycles,
+            )
+        )
+    return result
+
+
+# ===================================================================== #
+# Ablation: instruction window size and consistency model
+# ===================================================================== #
+
+
+@dataclass
+class WindowAblationRow:
+    """Reunion IPC under different window / consistency configurations."""
+
+    workload: str
+    ipc_by_variant: Dict[str, float]
+
+    def normalized(self) -> Dict[str, float]:
+        """IPC normalised to the paper's configuration (128-entry window, SC)."""
+        return normalize_to(self.ipc_by_variant, "window128-sc")
+
+
+@dataclass
+class WindowAblationResult:
+    """The design-space ablation behind Section 5.1's prior-work comparison."""
+
+    settings: ExperimentSettings
+    rows: List[WindowAblationRow] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Render the ablation."""
+        variants = list(self.rows[0].ipc_by_variant) if self.rows else []
+        table = TextTable(
+            ["workload", *variants],
+            title="Reunion per-thread IPC vs window size / consistency (normalised)",
+        )
+        for row in self.rows:
+            normalized = row.normalized()
+            table.add_row([row.workload, *[normalized[v] for v in variants]])
+        return table.render()
+
+
+def run_window_ablation(
+    settings: Optional[ExperimentSettings] = None,
+) -> WindowAblationResult:
+    """Reproduce the prior-work comparison: a larger window and a TSO store
+    buffer recover much of Reunion's IPC loss."""
+    settings = settings or ExperimentSettings(workloads=("apache", "oltp"))
+    variants = {
+        "window128-sc": (128, ConsistencyModel.SEQUENTIAL),
+        "window256-sc": (256, ConsistencyModel.SEQUENTIAL),
+        "window256-tso": (256, ConsistencyModel.TSO),
+    }
+    result = WindowAblationResult(settings=settings)
+    for workload in settings.workloads:
+        ipc_by_variant: Dict[str, float] = {}
+        for label, (window, consistency) in variants.items():
+            config = (
+                settings.config().with_window_entries(window).with_consistency(consistency)
+            )
+            spec = VmSpec(
+                name="baseline",
+                workload=workload,
+                num_vcpus=config.num_cores // 2,
+                reliability=ReliabilityMode.RELIABLE,
+                phase_scale=settings.phase_scale,
+                footprint_scale=settings.footprint_scale,
+            )
+            machine = MixedModeMachine(
+                config=config, vm_specs=[spec], policy="dmr-base", seed=settings.seeds[0]
+            )
+            run = Simulator(machine, settings.options()).run()
+            ipc_by_variant[label] = run.vm("baseline").average_user_ipc(run.total_cycles)
+        result.rows.append(WindowAblationRow(workload=workload, ipc_by_variant=ipc_by_variant))
+    return result

@@ -1,0 +1,84 @@
+"""Plain-text reporting for the reproduction experiments.
+
+:func:`full_report` runs every experiment and stitches their tables into one
+document -- this is what the ``EXPERIMENTS.md`` measurements were generated
+with, and what the benchmark harness prints so results can be compared to the
+paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.tables import TextTable
+from repro.config.presets import paper_system_config
+from repro.faults.campaign import FaultInjectionCampaign
+from repro.faults.outcomes import CoverageReport
+from repro.sim.experiments import (
+    ExperimentSettings,
+    run_dmr_overhead_experiment,
+    run_mixed_mode_experiment,
+    run_pab_latency_study,
+    run_single_os_overhead_study,
+    run_switch_frequency_experiment,
+    run_switch_overhead_experiment,
+    run_window_ablation,
+)
+
+
+def format_coverage_reports(reports: List[CoverageReport]) -> str:
+    """Render the fault-injection coverage comparison."""
+    table = TextTable(
+        ["configuration", "trials", "coverage", "silent corruption rate"],
+        title="Fault-injection coverage (fraction of faults from which reliable state was protected)",
+    )
+    for report in reports:
+        table.add_row(
+            [report.configuration, report.total, report.coverage, report.silent_corruption_rate]
+        )
+    return table.render()
+
+
+def fault_coverage_report(trials_per_site: int = 25, seed: int = 0) -> str:
+    """Run the default fault-injection campaign and render its summary."""
+    campaign = FaultInjectionCampaign(config=paper_system_config(), seed=seed)
+    return format_coverage_reports(campaign.run(trials_per_site=trials_per_site))
+
+
+def full_report(
+    settings: Optional[ExperimentSettings] = None,
+    include_switching: bool = True,
+    include_ablation: bool = True,
+    include_faults: bool = True,
+) -> str:
+    """Run every experiment and return one combined plain-text report."""
+    settings = settings or ExperimentSettings()
+    sections: List[str] = []
+
+    figure5 = run_dmr_overhead_experiment(settings)
+    sections.append(figure5.format_ipc_table())
+    sections.append(figure5.format_throughput_table())
+
+    figure6 = run_mixed_mode_experiment(settings)
+    sections.append(figure6.format_ipc_table())
+    sections.append(figure6.format_throughput_table())
+
+    pab = run_pab_latency_study(settings)
+    sections.append(pab.format_table())
+
+    if include_switching:
+        table1 = run_switch_overhead_experiment(settings.workloads)
+        sections.append(table1.format_table())
+        table2 = run_switch_frequency_experiment(settings.workloads)
+        sections.append(table2.format_table())
+        single_os = run_single_os_overhead_study(table1, table2, settings.workloads)
+        sections.append(single_os.format_table())
+
+    if include_ablation:
+        ablation = run_window_ablation(settings.with_workloads(settings.workloads[:2]))
+        sections.append(ablation.format_table())
+
+    if include_faults:
+        sections.append(fault_coverage_report())
+
+    return "\n\n".join(sections)

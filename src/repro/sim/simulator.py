@@ -1,0 +1,457 @@
+"""The quantum-based simulation loop.
+
+The simulator advances the machine in scheduling quanta.  For each quantum it:
+
+1. asks the gang scheduler which guest VM owns the machine,
+2. asks the mapping policy to place that VM's VCPUs onto cores (DMR pairs,
+   single performance cores, or paused),
+3. charges mode-transition costs at timeslice boundaries where the machine
+   switches between a reliable VM and a performance VM (scaled by
+   ``transition_cost_scale`` so scaled-down timeslices keep the paper's
+   amortisation ratio),
+4. runs every placed VCPU through the core timing model for the quantum's
+   cycle budget (VCPUs whose reliability register is
+   ``PERFORMANCE_USER_ONLY`` are run with fine-grained switching: they
+   escalate to DMR at every OS entry and drop back at every OS exit, paying
+   the transition engine's costs each time), and
+5. accumulates results into the VCPUs and the machine-wide statistics.
+
+A warmup period can be simulated before measurement begins; caches, TLBs and
+PABs stay warm across the measurement boundary but all counters are reset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.stats import StatSet
+from repro.core.transitions import TransitionFlavor
+from repro.cpu.timing import CoreAssignment, ExecutionMode, StopReason
+from repro.errors import SimulationError
+from repro.sim.results import SimulationResult, build_vm_results
+from repro.virt.scheduler import GangScheduler, MappingPlan, VcpuPlacement
+from repro.virt.vcpu import ReliabilityMode, VirtualCPU
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Knobs of one simulation run."""
+
+    #: Measured cycles (after warmup).
+    total_cycles: int = 40_000
+    #: Cycles simulated before measurement starts (caches warm up).
+    warmup_cycles: int = 10_000
+    #: Quantum length; defaults to the gang-scheduling timeslice.
+    quantum_cycles: Optional[int] = None
+    #: Factor applied to mode-transition costs charged at timeslice
+    #: boundaries.  The paper uses 1 ms timeslices with transitions of a few
+    #: thousand cycles; scaled-down runs pass ``scaled_timeslice / 3e6`` here
+    #: so the amortisation ratio is preserved.
+    transition_cost_scale: float = 1.0
+    #: Whether VCPUs in PERFORMANCE_USER_ONLY mode switch modes at every OS
+    #: entry/exit (single-OS behaviour).  Requires a policy that reserves a
+    #: partner core (MMM-IPC).
+    fine_grained_switching: bool = True
+    #: Touch every VCPU's working set through the hierarchy before simulation
+    #: starts, reproducing the steady-state cache contents a long-running
+    #: workload would have (the paper's methodology starts from warmed
+    #: checkpoints).  Costs no simulated cycles.
+    functional_warming: bool = True
+    #: Re-establish the incoming VM's cache contents whenever the gang
+    #: scheduler switches VMs.  The paper's 1 ms timeslices are long enough
+    #: that the cache refill after a VM switch is amortised to a small
+    #: fraction of the slice; scaled-down timeslices are not, so without this
+    #: approximation the refill would (wrongly) dominate every slice.
+    rewarm_on_vm_switch: bool = True
+    #: Floor on the usable cycles of a quantum after transition costs.
+    minimum_quantum_cycles: int = 64
+
+    def validate(self) -> "SimulationOptions":
+        """Check the options are usable; return ``self``."""
+        if self.total_cycles <= 0:
+            raise SimulationError("total_cycles must be positive")
+        if self.warmup_cycles < 0:
+            raise SimulationError("warmup_cycles cannot be negative")
+        if self.quantum_cycles is not None and self.quantum_cycles <= 0:
+            raise SimulationError("quantum_cycles must be positive when given")
+        if not 0.0 <= self.transition_cost_scale <= 10.0:
+            raise SimulationError("transition_cost_scale outside [0, 10]")
+        return self
+
+
+class Simulator:
+    """Drives one machine through warmup and measurement."""
+
+    def __init__(self, machine, options: SimulationOptions) -> None:
+        self.machine = machine
+        self.options = options.validate()
+        self.quantum_stats = StatSet()
+        timeslice = machine.config.virtualization.timeslice_cycles
+        self._quantum = min(
+            timeslice,
+            options.quantum_cycles if options.quantum_cycles is not None else timeslice,
+        )
+        self.gang = GangScheduler(
+            vm_ids=[vm.vm_id for vm in machine.vms], timeslice_cycles=timeslice
+        )
+        self._previous_vm_id: Optional[int] = None
+        self._previous_plan: Optional[MappingPlan] = None
+        self._measuring = False
+        self._transitions = 0
+        self._transition_cycles = 0
+        self._paused_quanta = 0
+
+    # ------------------------------------------------------------------ #
+    # Top-level driver
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SimulationResult:
+        """Run warmup plus measurement and return the collected results."""
+        machine = self.machine
+        if self.options.functional_warming:
+            self._functional_warm()
+        end = self.options.warmup_cycles + self.options.total_cycles
+        cycle = 0
+        self._measuring = self.options.warmup_cycles == 0
+        while cycle < end:
+            if not self._measuring and cycle >= self.options.warmup_cycles:
+                self._reset_measurement_state()
+                self._measuring = True
+            quantum_end = min(end, self.gang.next_boundary(cycle), cycle + self._quantum)
+            self._run_quantum(cycle, quantum_end - cycle)
+            cycle = quantum_end
+
+        measured = self.options.total_cycles
+        result = SimulationResult(
+            policy_name=machine.policy.name,
+            total_cycles=measured,
+            warmup_cycles=self.options.warmup_cycles,
+            vm_results=build_vm_results(machine, measured),
+            transitions=self._transitions,
+            transition_cycles=self._transition_cycles,
+            enter_dmr_transitions=int(
+                machine.transition_engine.stats.get("enter_dmr_transitions")
+            ),
+            leave_dmr_transitions=int(
+                machine.transition_engine.stats.get("leave_dmr_transitions")
+            ),
+            average_enter_dmr_cycles=machine.transition_engine.average_enter_cycles(),
+            average_leave_dmr_cycles=machine.transition_engine.average_leave_cycles(),
+            paused_vcpu_quanta=self._paused_quanta,
+            violation_counts=self._violation_counts(),
+            hierarchy_stats=machine.hierarchy.merged_stats().as_dict(),
+            quantum_stats=self.quantum_stats.as_dict(),
+        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Functional cache warming
+    # ------------------------------------------------------------------ #
+
+    def _functional_warm(self) -> None:
+        """Touch every VCPU's working set on the cores it will run on.
+
+        This reproduces steady-state cache/TLB contents without charging any
+        simulated cycles, so short measurement windows are not dominated by
+        compulsory (first-touch) misses that a real long-running workload
+        would have amortised long ago.
+        """
+        machine = self.machine
+        for vm in machine.vms:
+            machine.allocator.reset()
+            plan = machine.policy.plan_quantum(
+                vm.vcpus, machine.allocator, machine.pair_factory
+            )
+            self._warm_vm_plan(plan)
+        machine.allocator.reset()
+
+    def _warm_vm_plan(self, plan: MappingPlan) -> None:
+        machine = self.machine
+        for placement in plan.placements:
+            vcpu = machine.vcpus[placement.vcpu_id]
+            primary = placement.assignment.primary_core
+            secondary = placement.assignment.secondary_core
+            for address in vcpu.workload.address_model.warm_addresses():
+                machine.hierarchy.load(primary, address)
+                if secondary is not None:
+                    machine.hierarchy.load(secondary, address, coherent=False)
+
+    # ------------------------------------------------------------------ #
+    # Quantum execution
+    # ------------------------------------------------------------------ #
+
+    def _run_quantum(self, cycle: int, budget: int) -> None:
+        machine = self.machine
+        vm = machine.vms[self.gang.vm_at(cycle)]
+        machine.hierarchy.begin_window(budget)
+        machine.allocator.reset()
+        plan = machine.policy.plan_quantum(
+            vm.vcpus, machine.allocator, machine.pair_factory
+        ).validate(machine.num_cores)
+
+        vm_switched = self._previous_vm_id is not None and self._previous_vm_id != vm.vm_id
+        transition_cost = 0
+        if machine.policy.mixed_mode and vm_switched:
+            transition_cost = self._charge_boundary_transition(vm, plan, cycle)
+        if (
+            vm_switched
+            and self.options.functional_warming
+            and self.options.rewarm_on_vm_switch
+        ):
+            # Amortised-timeslice approximation: the incoming VM's steady-state
+            # cache contents are re-established (see SimulationOptions).
+            self._warm_vm_plan(plan)
+        effective_budget = max(
+            self.options.minimum_quantum_cycles, budget - transition_cost
+        )
+
+        active_cores = sum(len(p.assignment.cores) for p in plan.placements)
+        for placement in plan.placements:
+            vcpu = machine.vcpus[placement.vcpu_id]
+            if (
+                self.options.fine_grained_switching
+                and machine.policy.mixed_mode
+                and vcpu.mode_register is ReliabilityMode.PERFORMANCE_USER_ONLY
+            ):
+                self._run_fine_grained(
+                    vcpu, placement, effective_budget, cycle, active_cores
+                )
+            else:
+                self._run_placement(
+                    vcpu, placement.assignment, effective_budget, cycle, active_cores
+                )
+
+        self._paused_quanta += len(plan.paused_vcpu_ids)
+        self.quantum_stats.add("quanta")
+        self.quantum_stats.add("placed_vcpus", len(plan.placements))
+        self.quantum_stats.add("paused_vcpus", len(plan.paused_vcpu_ids))
+        self._previous_vm_id = vm.vm_id
+        self._previous_plan = plan
+
+    def _run_placement(
+        self,
+        vcpu: VirtualCPU,
+        assignment: CoreAssignment,
+        budget: int,
+        cycle: int,
+        active_cores: int,
+    ) -> None:
+        machine = self.machine
+        if (
+            machine.fault_injector is not None
+            and assignment.mode is ExecutionMode.PERFORMANCE
+        ):
+            machine.fault_injector.maybe_corrupt_privileged_register(vcpu)
+        result = machine.timing_model.run_quantum(
+            workload=vcpu.workload,
+            assignment=assignment,
+            cycle_budget=budget,
+            start_cycle=cycle,
+            vcpu_id=vcpu.vcpu_id,
+            active_cores=active_cores,
+        )
+        vcpu.record_quantum(
+            cycles=result.cycles,
+            instructions=result.instructions,
+            user_instructions=result.user_instructions,
+            os_instructions=result.os_instructions,
+        )
+        self.quantum_stats.merge(result.stats)
+
+    def _run_fine_grained(
+        self,
+        vcpu: VirtualCPU,
+        placement: VcpuPlacement,
+        budget: int,
+        cycle: int,
+        active_cores: int,
+    ) -> None:
+        """Single-OS style execution: switch modes at every OS entry/exit."""
+        machine = self.machine
+        vocal, mute = self._pair_for_fine_grained(placement)
+        remaining = budget
+        while remaining > self.options.minimum_quantum_cycles:
+            needs_dmr = vcpu.requires_dmr()
+            if needs_dmr:
+                assignment = CoreAssignment(
+                    mode=ExecutionMode.DMR,
+                    primary_core=vocal,
+                    secondary_core=mute,
+                    reunion_pair=machine.pair_factory(vocal, mute),
+                )
+                result = machine.timing_model.run_quantum(
+                    workload=vcpu.workload,
+                    assignment=assignment,
+                    cycle_budget=remaining,
+                    start_cycle=cycle,
+                    vcpu_id=vcpu.vcpu_id,
+                    stop_on_os_exit=True,
+                    active_cores=active_cores,
+                )
+            else:
+                if machine.fault_injector is not None:
+                    machine.fault_injector.maybe_corrupt_privileged_register(vcpu)
+                assignment = CoreAssignment(
+                    mode=ExecutionMode.PERFORMANCE, primary_core=vocal
+                )
+                result = machine.timing_model.run_quantum(
+                    workload=vcpu.workload,
+                    assignment=assignment,
+                    cycle_budget=remaining,
+                    start_cycle=cycle,
+                    vcpu_id=vcpu.vcpu_id,
+                    stop_on_os_entry=True,
+                    active_cores=active_cores,
+                )
+            vcpu.record_quantum(
+                cycles=result.cycles,
+                instructions=result.instructions,
+                user_instructions=result.user_instructions,
+                os_instructions=result.os_instructions,
+            )
+            self.quantum_stats.merge(result.stats)
+            remaining -= result.cycles
+
+            if result.stop_reason is StopReason.OS_ENTRY:
+                breakdown = machine.transition_engine.enter_dmr(
+                    vocal_core=vocal,
+                    mute_core=mute,
+                    vcpu=vcpu,
+                    flavor=TransitionFlavor.MMM_IPC,
+                    current_cycle=cycle,
+                )
+                cost = int(breakdown.total_cycles * self.options.transition_cost_scale)
+                vcpu.record_mode_switch(cost)
+                self._transitions += 1
+                self._transition_cycles += cost
+                remaining -= cost
+            elif result.stop_reason is StopReason.OS_EXIT:
+                breakdown = machine.transition_engine.leave_dmr(
+                    vocal_core=vocal,
+                    mute_core=mute,
+                    vcpu=vcpu,
+                    flavor=TransitionFlavor.MMM_IPC,
+                    current_cycle=cycle,
+                )
+                cost = int(breakdown.total_cycles * self.options.transition_cost_scale)
+                vcpu.record_mode_switch(cost)
+                self._transitions += 1
+                self._transition_cycles += cost
+                remaining -= cost
+            else:
+                break
+
+    def _pair_for_fine_grained(self, placement: VcpuPlacement) -> tuple[int, int]:
+        assignment = placement.assignment
+        if assignment.secondary_core is not None:
+            return assignment.primary_core, assignment.secondary_core
+        if placement.reserved_partner_core is not None:
+            return assignment.primary_core, placement.reserved_partner_core
+        raise SimulationError(
+            "fine-grained mode switching needs a reserved partner core; "
+            "use the MMM-IPC policy for PERFORMANCE_USER_ONLY VCPUs"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Timeslice-boundary transitions (consolidated server)
+    # ------------------------------------------------------------------ #
+
+    def _charge_boundary_transition(self, vm, plan: MappingPlan, cycle: int) -> int:
+        """Charge Enter/Leave DMR at a boundary between VMs of different modes."""
+        machine = self.machine
+        previous_vm = machine.vms[self._previous_vm_id]
+        flavor = (
+            TransitionFlavor.MMM_TP
+            if machine.policy.name == "mmm-tp"
+            else TransitionFlavor.MMM_IPC
+        )
+        costs = []
+        if vm.is_reliable and not previous_vm.is_reliable:
+            # Entering the reliable VM's timeslice: each new DMR pair performs
+            # an Enter-DMR transition (the performance VCPUs that were using
+            # the cores are context switched out).
+            outgoing = previous_vm.vcpus
+            for index, placement in enumerate(plan.placements):
+                assignment = placement.assignment
+                if assignment.mode is not ExecutionMode.DMR:
+                    continue
+                vcpu = machine.vcpus[placement.vcpu_id]
+                outgoing_vocal = outgoing[index % len(outgoing)] if outgoing else None
+                breakdown = machine.transition_engine.enter_dmr(
+                    vocal_core=assignment.primary_core,
+                    mute_core=assignment.secondary_core,
+                    vcpu=vcpu,
+                    outgoing_vocal_vcpu=outgoing_vocal,
+                    outgoing_mute_vcpu=(
+                        outgoing[(index + 1) % len(outgoing)]
+                        if outgoing and flavor is TransitionFlavor.MMM_TP
+                        else None
+                    ),
+                    flavor=flavor,
+                    current_cycle=cycle,
+                )
+                costs.append(breakdown.total_cycles)
+                vcpu.record_mode_switch(breakdown.total_cycles)
+        elif previous_vm.is_reliable and not vm.is_reliable:
+            # Leaving DMR: the pairs of the previous plan dissolve; the mute
+            # cores are flushed (MMM-TP) and the incoming performance VCPUs
+            # are context switched in.
+            incoming = vm.vcpus
+            previous_plan = self._previous_plan
+            if previous_plan is not None:
+                for index, placement in enumerate(previous_plan.placements):
+                    assignment = placement.assignment
+                    if assignment.mode is not ExecutionMode.DMR:
+                        continue
+                    vcpu = machine.vcpus[placement.vcpu_id]
+                    breakdown = machine.transition_engine.leave_dmr(
+                        vocal_core=assignment.primary_core,
+                        mute_core=assignment.secondary_core,
+                        vcpu=vcpu,
+                        incoming_vocal_vcpu=(
+                            incoming[index % len(incoming)] if incoming else None
+                        ),
+                        incoming_mute_vcpu=(
+                            incoming[(index + 1) % len(incoming)]
+                            if incoming and flavor is TransitionFlavor.MMM_TP
+                            else None
+                        ),
+                        flavor=flavor,
+                        current_cycle=cycle,
+                    )
+                    costs.append(breakdown.total_cycles)
+                    vcpu.record_mode_switch(breakdown.total_cycles)
+        if not costs:
+            return 0
+        # The pairs transition in parallel; the machine is unavailable for the
+        # slowest of them, scaled to preserve the paper's amortisation ratio.
+        cost = int(max(costs) * self.options.transition_cost_scale)
+        self._transitions += len(costs)
+        self._transition_cycles += cost
+        return cost
+
+    # ------------------------------------------------------------------ #
+    # Measurement bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def _reset_measurement_state(self) -> None:
+        machine = self.machine
+        for vcpu in machine.vcpus.values():
+            vcpu.committed_instructions = 0
+            vcpu.committed_user_instructions = 0
+            vcpu.committed_os_instructions = 0
+            vcpu.active_cycles = 0
+            vcpu.mode_switches = 0
+            vcpu.mode_switch_cycles = 0
+        self._transitions = 0
+        self._transition_cycles = 0
+        self._paused_quanta = 0
+        self.quantum_stats = StatSet()
+        machine.violation_log.events.clear()
+
+    def _violation_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.machine.violation_log.events:
+            counts[event.kind.name] = counts.get(event.kind.name, 0) + 1
+        return counts

@@ -1,0 +1,21 @@
+"""Address translation: page table and hardware-filled TLB.
+
+The protection argument of the paper starts here: in a fault-free machine the
+TLB's permission check is sufficient to stop a user application from writing
+memory it does not own.  A hardware fault in the TLB array, its checking
+logic, or the privileged registers can defeat that check, which is why a
+performance-mode (non-DMR) core needs the redundant PAB check
+(:mod:`repro.protection`).
+"""
+
+from repro.tlb.page_table import PageFlags, PageTable, PageTableEntry
+from repro.tlb.tlb import TlbEntry, TranslationLookasideBuffer, TranslationResult
+
+__all__ = [
+    "PageFlags",
+    "PageTable",
+    "PageTableEntry",
+    "TlbEntry",
+    "TranslationLookasideBuffer",
+    "TranslationResult",
+]

@@ -1,0 +1,202 @@
+"""Hardware-filled translation lookaside buffer.
+
+The paper models a hardware-filled TLB (like the Ideal SPARC configuration of
+Wells & Sohi) so that TLB refills do not inflate the number of serialising
+instructions.  The reproduction does the same: a TLB miss costs a fixed
+hardware-walk latency and never traps to software.
+
+The TLB is also one of the fault-injection targets: a bit flip in a cached
+entry can change the physical page or the permission bits, which is precisely
+the failure mode the PAB is designed to catch for performance-mode cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.common.stats import StatSet
+from repro.config.system import TlbConfig
+from repro.errors import ProtectionError
+from repro.tlb.page_table import PageFlags, PageTable
+
+
+@dataclass(slots=True)
+class TlbEntry:
+    """One cached translation."""
+
+    virtual_page: int
+    physical_page: int
+    flags: PageFlags
+    domain: int
+    last_touch: int = 0
+
+
+@dataclass(slots=True)
+class TranslationResult:
+    """Outcome of one TLB translation."""
+
+    physical_address: int
+    flags: PageFlags
+    domain: int
+    hit: bool
+    latency: int
+    #: True when the access violates the TLB's permission check (the core
+    #: raises a trap); hardware faults may erroneously clear this.
+    permitted: bool
+
+
+class TranslationLookasideBuffer:
+    """A small fully-associative, hardware-filled TLB."""
+
+    def __init__(
+        self,
+        config: TlbConfig,
+        page_table: PageTable,
+        demap_listener: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.page_table = page_table
+        self._entries: Dict[int, TlbEntry] = {}
+        self._touch = 0
+        self._demap_listener = demap_listener
+        self.stats = StatSet()
+
+    @property
+    def page_size(self) -> int:
+        """Page size of the underlying page table."""
+        return self.page_table.page_size
+
+    def set_demap_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked with the physical page on each demap.
+
+        The PAB registers itself here so that a TLB demap invalidates the
+        corresponding PAB entry (Section 3.4.1: the PAB is kept coherent
+        during a TLB demap operation).
+        """
+        self._demap_listener = listener
+
+    # ------------------------------------------------------------------ #
+    # Translation
+    # ------------------------------------------------------------------ #
+
+    def _evict_if_needed(self) -> None:
+        if len(self._entries) < self.config.entries:
+            return
+        victim = min(self._entries.values(), key=lambda entry: entry.last_touch)
+        del self._entries[victim.virtual_page]
+        self.stats.add("evictions")
+
+    def _fill(self, virtual_page: int) -> TlbEntry:
+        pte = self.page_table.lookup_page(virtual_page)
+        if pte is None:
+            raise ProtectionError(f"TLB fill for unmapped page {virtual_page:#x}")
+        self._evict_if_needed()
+        self._touch += 1
+        entry = TlbEntry(
+            virtual_page=virtual_page,
+            physical_page=pte.physical_page,
+            flags=pte.flags,
+            domain=pte.domain,
+            last_touch=self._touch,
+        )
+        self._entries[virtual_page] = entry
+        self.stats.add("fills")
+        return entry
+
+    def translate(
+        self, virtual_address: int, is_store: bool, privileged: bool
+    ) -> TranslationResult:
+        """Translate ``virtual_address`` and perform the permission check."""
+        virtual_page = virtual_address // self.page_size
+        offset = virtual_address % self.page_size
+        entry = self._entries.get(virtual_page)
+        hit = entry is not None
+        latency = 0
+        if entry is None:
+            latency = self.config.fill_latency
+            entry = self._fill(virtual_page)
+            self.stats.add("misses")
+        else:
+            self._touch += 1
+            entry.last_touch = self._touch
+            self.stats.add("hits")
+
+        permitted = True
+        if is_store and not privileged and not (entry.flags & PageFlags.USER_WRITE):
+            permitted = False
+        if not privileged and (entry.flags & PageFlags.PRIVILEGED_ONLY):
+            permitted = False
+        if not permitted:
+            self.stats.add("permission_denials")
+
+        return TranslationResult(
+            physical_address=entry.physical_page * self.page_size + offset,
+            flags=entry.flags,
+            domain=entry.domain,
+            hit=hit,
+            latency=latency,
+            permitted=permitted,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def demap(self, virtual_page: int) -> bool:
+        """Remove one translation; notifies the PAB via the demap listener."""
+        entry = self._entries.pop(virtual_page, None)
+        if entry is None:
+            return False
+        self.stats.add("demaps")
+        if self._demap_listener is not None:
+            self._demap_listener(entry.physical_page)
+        return True
+
+    def flush(self) -> int:
+        """Drop every cached translation; returns the number dropped."""
+        count = len(self._entries)
+        if self._demap_listener is not None:
+            for entry in list(self._entries.values()):
+                self._demap_listener(entry.physical_page)
+        self._entries.clear()
+        self.stats.add("flushes")
+        return count
+
+    # ------------------------------------------------------------------ #
+    # Fault-injection hooks
+    # ------------------------------------------------------------------ #
+
+    def resident_entries(self) -> List[TlbEntry]:
+        """Every cached entry (fault injection picks a victim from these)."""
+        return list(self._entries.values())
+
+    def corrupt_entry(
+        self,
+        virtual_page: int,
+        new_physical_page: Optional[int] = None,
+        grant_user_write: bool = False,
+    ) -> TlbEntry:
+        """Model a hardware fault in the TLB array.
+
+        Either redirects the translation to a different physical page or
+        erroneously grants user write permission -- the two corruptions the
+        paper's protection discussion singles out.
+        """
+        entry = self._entries.get(virtual_page)
+        if entry is None:
+            raise ProtectionError(f"cannot corrupt non-resident page {virtual_page:#x}")
+        if new_physical_page is not None:
+            entry.physical_page = new_physical_page
+        if grant_user_write:
+            entry.flags = entry.flags | PageFlags.USER_WRITE
+            if entry.flags & PageFlags.PRIVILEGED_ONLY:
+                entry.flags = entry.flags & ~PageFlags.PRIVILEGED_ONLY
+        self.stats.add("injected_faults")
+        return entry
+
+    @property
+    def occupancy(self) -> int:
+        """Number of resident translations."""
+        return len(self._entries)

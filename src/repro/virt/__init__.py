@@ -1,0 +1,33 @@
+"""Hardware multicore virtualisation layer.
+
+MMM-TP relies on a thin hardware/firmware layer (below the ISA, invisible to
+system software) that decouples the OS-visible virtual processors (VCPUs)
+from the physical cores: VCPU state can be saved to and loaded from a
+scratchpad region of cacheable memory, VCPUs can migrate between cores, and
+more VCPUs can be exposed than there are core pairs (overcommit), with excess
+VCPUs paused when every pair is busy executing DMR work.
+
+This package provides the VCPU and guest-VM abstractions, the scratchpad
+manager, the VCPU state-transfer engine (whose latencies feed the mode-switch
+costs of Table 1), the core allocator, and the gang scheduler used by the
+consolidated-server experiments.
+"""
+
+from repro.virt.scheduler import CoreAllocator, GangScheduler, MappingPlan, VcpuPlacement
+from repro.virt.scratchpad import ScratchpadManager
+from repro.virt.migration import TransferResult, VcpuStateTransferEngine
+from repro.virt.vcpu import ReliabilityMode, VirtualCPU
+from repro.virt.vm import GuestVM
+
+__all__ = [
+    "CoreAllocator",
+    "GangScheduler",
+    "MappingPlan",
+    "VcpuPlacement",
+    "ScratchpadManager",
+    "TransferResult",
+    "VcpuStateTransferEngine",
+    "ReliabilityMode",
+    "VirtualCPU",
+    "GuestVM",
+]

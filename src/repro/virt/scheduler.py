@@ -1,0 +1,161 @@
+"""Core allocation and gang scheduling.
+
+Two mechanisms live here:
+
+* :class:`CoreAllocator` hands out physical cores (singles or DMR pairs) to
+  the mapping policies and enforces the invariants the hardware must uphold
+  (a core runs at most one VCPU per quantum; a pair consists of two distinct
+  cores).
+* :class:`GangScheduler` time-slices the machine between guest VMs, as the
+  paper's consolidated-server methodology does (all of a VM's VCPUs run
+  during its timeslice; the other VM's VCPUs wait for theirs).
+
+The decision of *which* VCPUs run in which mode belongs to the MMM mapping
+policies in :mod:`repro.core.policies`; this module only provides the
+mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cpu.core import PhysicalCore
+from repro.cpu.timing import CoreAssignment
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class VcpuPlacement:
+    """One VCPU's execution assignment for a quantum."""
+
+    vcpu_id: int
+    assignment: CoreAssignment
+    #: A core held in reserve for this VCPU but currently idle (MMM-IPC keeps
+    #: the mute core of a statically assigned pair idle while the VCPU runs
+    #: in performance mode, so that the pair can re-form at the next OS entry
+    #: without involving the scheduler).
+    reserved_partner_core: Optional[int] = None
+
+    @property
+    def occupied_cores(self) -> Tuple[int, ...]:
+        """Every core this placement makes unavailable to other VCPUs."""
+        cores = tuple(self.assignment.cores)
+        if self.reserved_partner_core is not None:
+            cores = cores + (self.reserved_partner_core,)
+        return cores
+
+
+@dataclass
+class MappingPlan:
+    """The full VCPU-to-core mapping for one quantum."""
+
+    placements: List[VcpuPlacement] = field(default_factory=list)
+    paused_vcpu_ids: List[int] = field(default_factory=list)
+
+    def validate(self, num_cores: int) -> "MappingPlan":
+        """Check no physical core is used twice; return ``self``."""
+        used: set[int] = set()
+        for placement in self.placements:
+            for core in placement.occupied_cores:
+                if core in used:
+                    raise SchedulingError(
+                        f"core {core} assigned to more than one VCPU in the same quantum"
+                    )
+                if not 0 <= core < num_cores:
+                    raise SchedulingError(f"core {core} does not exist on this chip")
+                used.add(core)
+        return self
+
+    @property
+    def active_vcpu_ids(self) -> List[int]:
+        """VCPUs that execute this quantum."""
+        return [placement.vcpu_id for placement in self.placements]
+
+    @property
+    def cores_in_use(self) -> int:
+        """Number of physical cores consumed by the plan."""
+        return sum(len(p.assignment.cores) for p in self.placements)
+
+
+class CoreAllocator:
+    """Tracks which physical cores are free during plan construction."""
+
+    def __init__(self, cores: Sequence[PhysicalCore]) -> None:
+        self.cores = list(cores)
+        self._free: List[int] = [core.core_id for core in self.cores]
+
+    @property
+    def num_cores(self) -> int:
+        """Total physical cores managed by the allocator."""
+        return len(self.cores)
+
+    @property
+    def free_count(self) -> int:
+        """Cores still available in the current allocation round."""
+        return len(self._free)
+
+    def reset(self) -> None:
+        """Return every core to the free pool (start of a new quantum)."""
+        for core in self.cores:
+            if not core.is_idle:
+                core.release()
+        self._free = [core.core_id for core in self.cores]
+
+    def allocate_single(self) -> Optional[int]:
+        """Take one free core (or ``None`` when none remain)."""
+        if not self._free:
+            return None
+        return self._free.pop(0)
+
+    def allocate_pair(self) -> Optional[Tuple[int, int]]:
+        """Take two free cores to form a DMR pair (or ``None``).
+
+        Reunion allows any core to serve as vocal or mute for any other, so
+        the allocator simply takes the two lowest-numbered free cores;
+        adjacency is not required.
+        """
+        if len(self._free) < 2:
+            return None
+        vocal = self._free.pop(0)
+        mute = self._free.pop(0)
+        return (vocal, mute)
+
+
+class GangScheduler:
+    """Round-robin gang scheduling of guest VMs with a fixed timeslice."""
+
+    def __init__(self, vm_ids: Sequence[int], timeslice_cycles: int) -> None:
+        if not vm_ids:
+            raise SchedulingError("gang scheduler needs at least one VM")
+        if timeslice_cycles <= 0:
+            raise SchedulingError("timeslice must be positive")
+        self.vm_ids = list(vm_ids)
+        self.timeslice_cycles = timeslice_cycles
+
+    def vm_at(self, cycle: int) -> int:
+        """VM scheduled on the machine at absolute ``cycle``."""
+        slot = (cycle // self.timeslice_cycles) % len(self.vm_ids)
+        return self.vm_ids[slot]
+
+    def slice_index(self, cycle: int) -> int:
+        """Index of the timeslice containing ``cycle``."""
+        return cycle // self.timeslice_cycles
+
+    def next_boundary(self, cycle: int) -> int:
+        """First cycle after ``cycle`` at which the scheduled VM changes."""
+        return (self.slice_index(cycle) + 1) * self.timeslice_cycles
+
+    def is_boundary(self, cycle: int) -> bool:
+        """True when ``cycle`` is the first cycle of a timeslice."""
+        return cycle % self.timeslice_cycles == 0
+
+    def schedule(self, total_cycles: int) -> List[Tuple[int, int, int]]:
+        """Return ``(start_cycle, end_cycle, vm_id)`` slices covering a run."""
+        slices: List[Tuple[int, int, int]] = []
+        cycle = 0
+        while cycle < total_cycles:
+            end = min(total_cycles, self.next_boundary(cycle))
+            slices.append((cycle, end, self.vm_at(cycle)))
+            cycle = end
+        return slices

@@ -1,0 +1,77 @@
+"""Guest virtual machines.
+
+In the consolidated-server experiments each guest VM (its OS plus its
+applications) is treated as a single entity with one reliability requirement:
+a *reliable* VM runs all of its VCPUs under DMR, a *performance* VM runs them
+without DMR (its guest OS included -- a fault inside a performance VM cannot
+affect the reliable VMs, so the paper does not protect guest OSes).  In the
+single-OS experiments there is exactly one "VM" whose OS is the most
+privileged software and therefore always reliable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.virt.vcpu import ReliabilityMode, VirtualCPU
+
+
+@dataclass
+class GuestVM:
+    """One guest virtual machine and its VCPUs."""
+
+    vm_id: int
+    name: str
+    reliability: ReliabilityMode
+    workload_name: str
+    vcpus: List[VirtualCPU] = field(default_factory=list)
+
+    def add_vcpu(self, vcpu: VirtualCPU) -> None:
+        """Attach a VCPU to this VM (it inherits the VM's reliability mode)."""
+        if vcpu.vm_id != self.vm_id:
+            raise ConfigurationError(
+                f"VCPU {vcpu.vcpu_id} belongs to VM {vcpu.vm_id}, not VM {self.vm_id}"
+            )
+        vcpu.mode_register = self.reliability
+        self.vcpus.append(vcpu)
+
+    @property
+    def vcpu_ids(self) -> List[int]:
+        """Identifiers of this VM's VCPUs."""
+        return [vcpu.vcpu_id for vcpu in self.vcpus]
+
+    @property
+    def num_vcpus(self) -> int:
+        """Number of VCPUs exposed by this VM."""
+        return len(self.vcpus)
+
+    @property
+    def is_reliable(self) -> bool:
+        """True when the VM requires DMR for all of its execution."""
+        return self.reliability is ReliabilityMode.RELIABLE
+
+    def committed_user_instructions(self) -> int:
+        """Total user instructions committed by this VM's VCPUs."""
+        return sum(vcpu.committed_user_instructions for vcpu in self.vcpus)
+
+    def committed_instructions(self) -> int:
+        """Total instructions committed by this VM's VCPUs."""
+        return sum(vcpu.committed_instructions for vcpu in self.vcpus)
+
+    def per_vcpu_user_ipc(self, total_cycles: int) -> List[float]:
+        """User IPC of each VCPU over the whole simulation."""
+        return [vcpu.user_ipc(total_cycles) for vcpu in self.vcpus]
+
+    def average_user_ipc(self, total_cycles: int) -> float:
+        """Average per-VCPU user IPC (the paper's per-thread metric)."""
+        if not self.vcpus or total_cycles <= 0:
+            return 0.0
+        return sum(self.per_vcpu_user_ipc(total_cycles)) / len(self.vcpus)
+
+    def throughput(self, total_cycles: int) -> float:
+        """Aggregate user instructions per cycle across all VCPUs."""
+        if total_cycles <= 0:
+            return 0.0
+        return self.committed_user_instructions() / total_cycles

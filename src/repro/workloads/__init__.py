@@ -1,0 +1,35 @@
+"""Synthetic workload models.
+
+The paper evaluates six commercial workloads (Apache, Zeus, OLTP/DB2, pgoltp,
+pgbench, pmake) running on Solaris under Simics.  The reproduction replaces
+them with synthetic instruction-stream generators whose statistical
+properties -- instruction mix, user/OS phase structure, serialising
+instruction density, working-set sizes and sharing behaviour -- are
+calibrated to the characteristics the paper reports (Table 2 and the
+discussion in Section 5.1).
+
+Public entry points:
+
+* :data:`PAPER_WORKLOADS` / :func:`get_profile` -- the six calibrated
+  profiles,
+* :class:`SyntheticWorkload` -- a resumable per-VCPU instruction stream,
+* :class:`AddressStreamModel` -- the underlying address generator.
+"""
+
+from repro.workloads.address_stream import AddressStreamModel
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.profiles import (
+    PAPER_WORKLOAD_NAMES,
+    PAPER_WORKLOADS,
+    WorkloadProfile,
+    get_profile,
+)
+
+__all__ = [
+    "AddressStreamModel",
+    "SyntheticWorkload",
+    "WorkloadProfile",
+    "PAPER_WORKLOADS",
+    "PAPER_WORKLOAD_NAMES",
+    "get_profile",
+]

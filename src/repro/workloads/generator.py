@@ -1,0 +1,208 @@
+"""Synthetic per-VCPU instruction stream generator.
+
+:class:`SyntheticWorkload` produces an endless stream of
+:class:`~repro.isa.instructions.Instruction` records that alternates between
+*user phases* and *OS phases*:
+
+* a user phase contains a geometrically distributed number of user-level
+  instructions drawn from the profile's user mix, then ends with a
+  ``SYSCALL_ENTRY`` instruction;
+* an OS phase contains privileged instructions drawn from the OS mix
+  (including a higher density of serialising and privileged-register
+  instructions), then ends with a ``SYSCALL_EXIT`` back to user code.
+
+The stream is *resumable*: the simulator pulls instructions quantum by
+quantum and the generator keeps its phase position, so a VCPU that is paused
+(e.g. because its core pair was appropriated for DMR) continues exactly where
+it stopped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.common.addresses import AddressSpaceLayout
+from repro.common.rng import DeterministicRng
+from repro.errors import WorkloadError
+from repro.isa.instructions import Instruction, InstructionClass, PrivilegeLevel
+from repro.workloads.address_stream import AddressStreamModel
+from repro.workloads.profiles import WorkloadProfile
+
+
+class SyntheticWorkload:
+    """A resumable synthetic instruction stream for one VCPU.
+
+    Parameters
+    ----------
+    profile:
+        Workload profile (see :mod:`repro.workloads.profiles`).
+    layout:
+        Physical address-space layout used to place the VCPU's data.
+    vm_id, vcpu_index, num_vcpus:
+        Identify the VCPU within its VM (selects private/shared windows).
+    seed:
+        Seed for the VCPU's private random stream.
+    phase_scale:
+        Factor applied to the profile's phase lengths.  Experiments that run
+        scaled-down simulations use values well below one so that every VCPU
+        still alternates between user and OS code several times per run.
+    os_privilege:
+        Privilege level of OS-phase instructions -- ``GUEST_OS`` for a guest
+        VM in a consolidated server, ``HYPERVISOR`` for the single-OS
+        experiments where the OS *is* the most privileged software.
+    """
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        layout: AddressSpaceLayout,
+        vm_id: int = 0,
+        vcpu_index: int = 0,
+        num_vcpus: int = 8,
+        seed: int = 0,
+        phase_scale: float = 1.0,
+        os_privilege: PrivilegeLevel = PrivilegeLevel.GUEST_OS,
+    ) -> None:
+        if os_privilege is PrivilegeLevel.USER:
+            raise WorkloadError("os_privilege must be a privileged level")
+        self.profile = profile.scaled(phase_scale=phase_scale) if phase_scale != 1.0 else profile
+        self.vm_id = vm_id
+        self.vcpu_index = vcpu_index
+        self._os_privilege = os_privilege
+        self._rng = DeterministicRng(seed).fork(f"wl.{profile.name}.{vm_id}.{vcpu_index}")
+        self._addresses = AddressStreamModel(
+            profile=self.profile,
+            layout=layout,
+            vm_id=vm_id,
+            vcpu_index=vcpu_index,
+            num_vcpus=num_vcpus,
+            rng=self._rng.fork("addr"),
+        )
+        self._seq = 0
+        self._in_os_phase = False
+        self._remaining_in_phase = self._sample_phase_length(user=True)
+        self._iterator: Optional[Iterator[Instruction]] = None
+
+        # Statistics the Table 2 experiment reads back.
+        self.user_phases_completed = 0
+        self.os_phases_completed = 0
+        self.user_instructions_emitted = 0
+        self.os_instructions_emitted = 0
+
+    # ------------------------------------------------------------------ #
+    # Phase machinery
+    # ------------------------------------------------------------------ #
+
+    def _sample_phase_length(self, user: bool) -> int:
+        mean = (
+            self.profile.mean_user_phase_instructions
+            if user
+            else self.profile.mean_os_phase_instructions
+        )
+        return self._rng.geometric(float(mean))
+
+    @property
+    def address_model(self) -> AddressStreamModel:
+        """The VCPU's data-address generator (used for cache warming)."""
+        return self._addresses
+
+    @property
+    def in_os_phase(self) -> bool:
+        """True while the stream is currently emitting OS-phase instructions."""
+        return self._in_os_phase
+
+    @property
+    def current_privilege(self) -> PrivilegeLevel:
+        """Privilege level of the next instruction to be emitted."""
+        return self._os_privilege if self._in_os_phase else PrivilegeLevel.USER
+
+    # ------------------------------------------------------------------ #
+    # Instruction synthesis
+    # ------------------------------------------------------------------ #
+
+    def _make_instruction(self, privilege: PrivilegeLevel) -> Instruction:
+        load_frac, store_frac, branch_frac = self.profile.mix_for(privilege)
+        si_prob = self.profile.si_per_kilo_for(privilege) / 1000.0
+        roll = self._rng.uniform(0.0, 1.0)
+        address = None
+        is_shared = False
+        if roll < si_prob:
+            iclass = (
+                InstructionClass.PRIVILEGED
+                if privilege is not PrivilegeLevel.USER and self._rng.chance(0.5)
+                else InstructionClass.SERIALIZING
+            )
+        elif roll < si_prob + load_frac:
+            iclass = InstructionClass.LOAD
+            address, is_shared = self._addresses.next_address(privilege, is_store=False)
+        elif roll < si_prob + load_frac + store_frac:
+            iclass = InstructionClass.STORE
+            address, is_shared = self._addresses.next_address(privilege, is_store=True)
+        elif roll < si_prob + load_frac + store_frac + branch_frac:
+            iclass = InstructionClass.BRANCH
+        else:
+            iclass = InstructionClass.ALU
+        instruction = Instruction(
+            seq=self._seq,
+            iclass=iclass,
+            privilege=privilege,
+            address=address,
+            result=self._rng.randint(0, 0xFFFF),
+            is_shared=is_shared,
+        )
+        self._seq += 1
+        return instruction
+
+    def _boundary_instruction(self, entering_os: bool) -> Instruction:
+        iclass = (
+            InstructionClass.SYSCALL_ENTRY if entering_os else InstructionClass.SYSCALL_EXIT
+        )
+        # The trap itself executes at the privileged level it transfers to /
+        # from, which is what forces the mode transition in an MMM.
+        instruction = Instruction(
+            seq=self._seq,
+            iclass=iclass,
+            privilege=self._os_privilege,
+            address=None,
+            result=self._rng.randint(0, 0xFFFF),
+        )
+        self._seq += 1
+        return instruction
+
+    def next_instruction(self) -> Instruction:
+        """Return the next dynamic instruction of this VCPU's stream."""
+        if self._remaining_in_phase <= 0:
+            if self._in_os_phase:
+                self.os_phases_completed += 1
+                self._in_os_phase = False
+                self._remaining_in_phase = self._sample_phase_length(user=True)
+                return self._boundary_instruction(entering_os=False)
+            self.user_phases_completed += 1
+            self._in_os_phase = True
+            self._remaining_in_phase = self._sample_phase_length(user=False)
+            return self._boundary_instruction(entering_os=True)
+
+        self._remaining_in_phase -= 1
+        privilege = self.current_privilege
+        instruction = self._make_instruction(privilege)
+        if privilege is PrivilegeLevel.USER:
+            self.user_instructions_emitted += 1
+        else:
+            self.os_instructions_emitted += 1
+        return instruction
+
+    def stream(self) -> Iterator[Instruction]:
+        """An infinite iterator over the VCPU's dynamic instruction stream."""
+        while True:
+            yield self.next_instruction()
+
+    def take(self, count: int) -> List[Instruction]:
+        """Return the next ``count`` instructions as a list (mainly for tests)."""
+        if count < 0:
+            raise WorkloadError("cannot take a negative number of instructions")
+        return [self.next_instruction() for _ in range(count)]
+
+    @property
+    def instructions_emitted(self) -> int:
+        """Total dynamic instructions emitted so far (including boundaries)."""
+        return self._seq

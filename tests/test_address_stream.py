@@ -1,0 +1,119 @@
+"""Tests for the synthetic data-address generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.addresses import AddressSpaceLayout
+from repro.common.rng import DeterministicRng
+from repro.errors import WorkloadError
+from repro.isa.instructions import PrivilegeLevel
+from repro.workloads.address_stream import AddressStreamModel
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture
+def layout():
+    return AddressSpaceLayout(vm_memory_bytes=4 * 1024 * 1024, num_vms=2)
+
+
+def make_model(layout, vm_id=0, vcpu_index=0, num_vcpus=4, name="oltp", seed=3):
+    return AddressStreamModel(
+        profile=get_profile(name),
+        layout=layout,
+        vm_id=vm_id,
+        vcpu_index=vcpu_index,
+        num_vcpus=num_vcpus,
+        rng=DeterministicRng(seed),
+    )
+
+
+def test_user_addresses_stay_inside_the_vm_region(layout):
+    model = make_model(layout, vm_id=1)
+    region = layout.vm_region(1)
+    for _ in range(500):
+        address, _ = model.next_address(PrivilegeLevel.USER, is_store=False)
+        assert region.contains(address)
+
+
+def test_os_addresses_stay_inside_kernel_region(layout):
+    model = make_model(layout)
+    kernel = layout.kernel_region(0)
+    for _ in range(500):
+        address, _ = model.next_address(PrivilegeLevel.GUEST_OS, is_store=True)
+        assert kernel.contains(address)
+
+
+def test_private_windows_of_different_vcpus_do_not_overlap(layout):
+    a = make_model(layout, vcpu_index=0)
+    b = make_model(layout, vcpu_index=1)
+    base_a, span_a = a.user_private_window
+    base_b, span_b = b.user_private_window
+    assert base_a + span_a <= base_b or base_b + span_b <= base_a
+
+
+def test_shared_flag_marks_shared_region_accesses(layout):
+    model = make_model(layout, name="oltp")
+    shared_base, shared_span = model.shared_window
+    shared_count = 0
+    for _ in range(3000):
+        address, is_shared = model.next_address(PrivilegeLevel.USER, is_store=False)
+        if is_shared:
+            shared_count += 1
+            assert shared_base <= address < shared_base + shared_span
+    # oltp has an 8% shared-access fraction.
+    assert 100 < shared_count < 500
+
+
+def test_pmake_generates_almost_no_shared_accesses(layout):
+    model = make_model(layout, name="pmake")
+    shared = sum(
+        model.next_address(PrivilegeLevel.USER, is_store=False)[1] for _ in range(2000)
+    )
+    assert shared < 80
+
+
+def test_addresses_are_line_aligned(layout):
+    model = make_model(layout)
+    for _ in range(200):
+        address, _ = model.next_address(PrivilegeLevel.USER, is_store=True)
+        assert address % 64 == 0
+
+
+def test_hot_set_absorbs_most_accesses(layout):
+    model = make_model(layout, name="pmake")
+    profile = get_profile("pmake")
+    base, _ = model.user_private_window
+    hot_end = base + profile.user_hot_bytes
+    in_hot = 0
+    total = 0
+    for _ in range(3000):
+        address, is_shared = model.next_address(PrivilegeLevel.USER, is_store=False)
+        if is_shared:
+            continue
+        total += 1
+        if address < hot_end:
+            in_hot += 1
+    assert in_hot / total > 0.85
+
+
+def test_warm_addresses_cover_hot_and_cold_windows(layout):
+    model = make_model(layout)
+    addresses = model.warm_addresses()
+    base, span = model.user_private_window
+    covered = {a for a in addresses if base <= a < base + span}
+    assert len(covered) == span // 64
+    # The hot set is touched again at the very end so it stays most recently
+    # used (the last warmed address is the last line of the user hot set).
+    profile = get_profile("oltp")
+    assert addresses[-1] == base + profile.user_hot_bytes - 64
+    # Deterministic: same model parameters give the same warm list.
+    again = make_model(layout)
+    assert addresses == again.warm_addresses()
+
+
+def test_invalid_vcpu_index_rejected(layout):
+    with pytest.raises(WorkloadError):
+        make_model(layout, vcpu_index=9, num_vcpus=4)
+    with pytest.raises(WorkloadError):
+        make_model(layout, num_vcpus=0)

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_help_lists_every_subcommand(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for command in ("run", "figure5", "figure6", "table1", "table2", "faults", "report"):
+        assert command in out
+
+
+def test_command_is_required():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_list_workloads_prints_all_six(capsys):
+    assert main(["list-workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("apache", "oltp", "pgoltp", "pmake", "pgbench", "zeus"):
+        assert name in out
+
+
+def test_run_consolidated_server_summary(capsys):
+    exit_code = main(
+        [
+            "run",
+            "--policy", "mmm-tp",
+            "--reliable", "oltp",
+            "--performance", "apache",
+            "--reliable-vcpus", "2",
+            "--cycles", "8000",
+            "--warmup", "2000",
+            "--timeslice", "4000",
+            "--capacity-scale", "16",
+            "--phase-scale", "0.004",
+        ]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "reliable" in out and "performance" in out
+    assert "overall throughput" in out
+    assert "silent corruptions: 0" in out
+
+
+def test_run_single_os_desktop(capsys):
+    exit_code = main(
+        [
+            "run",
+            "--single-os",
+            "--reliable-vcpus", "1",
+            "--cycles", "8000",
+            "--warmup", "2000",
+            "--timeslice", "4000",
+            "--capacity-scale", "16",
+            "--phase-scale", "0.004",
+        ]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "mmm-ipc" in out
+
+
+def test_figure5_quick_subset(capsys):
+    assert main(["figure5", "--quick", "--workloads", "apache"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5(a)" in out
+    assert "Figure 5(b)" in out
+    assert "apache" in out
+
+
+def test_faults_subcommand(capsys):
+    assert main(["faults", "--trials", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "always-dmr" in out
+    assert "naive-mode-switch" in out
+
+
+def test_rejects_unknown_workload():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure5", "--workloads", "speccpu"])
+
+
+def test_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--policy", "tmr"])

@@ -1,0 +1,104 @@
+"""Tests for the Reunion DMR substrate (pairing, fingerprints, network)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.system import InterconnectConfig, ReunionConfig
+from repro.dmr.fingerprint_network import FingerprintNetwork
+from repro.dmr.reunion import ReunionPair
+from repro.errors import SchedulingError
+from repro.isa.fingerprints import Fingerprint
+from repro.isa.instructions import Instruction, InstructionClass
+
+
+def make_pair(interval=4, recovery=100):
+    network = FingerprintNetwork(InterconnectConfig())
+    return ReunionPair(
+        vocal_core_id=0,
+        mute_core_id=1,
+        config=ReunionConfig(fingerprint_interval=interval, recovery_penalty_cycles=recovery),
+        network=network,
+    )
+
+
+def make_instruction(seq, result=0):
+    return Instruction(seq=seq, iclass=InstructionClass.ALU, result=result)
+
+
+class TestReunionPair:
+    def test_pair_needs_two_distinct_cores(self):
+        with pytest.raises(SchedulingError):
+            ReunionPair(0, 0, ReunionConfig(), FingerprintNetwork(InterconnectConfig()))
+
+    def test_fault_free_intervals_match(self):
+        pair = make_pair(interval=4)
+        outcomes = [pair.observe_commit(make_instruction(seq, seq)) for seq in range(8)]
+        checks = [o for o in outcomes if o is not None]
+        assert len(checks) == 2
+        assert all(check.matched for check in checks)
+        assert all(check.penalty_cycles == 0 for check in checks)
+        assert pair.mismatch_count() == 0
+
+    def test_corrupted_instruction_is_detected_within_its_interval(self):
+        pair = make_pair(interval=4, recovery=250)
+        outcomes = []
+        for seq in range(4):
+            outcomes.append(
+                pair.observe_commit(make_instruction(seq, seq), mute_corrupted=(seq == 1))
+            )
+        final = outcomes[-1]
+        assert final is not None
+        assert not final.matched
+        assert final.penalty_cycles == 250
+        assert pair.mismatch_count() == 1
+
+    def test_vocal_corruption_also_detected(self):
+        pair = make_pair(interval=2)
+        pair.observe_commit(make_instruction(0))
+        outcome = pair.observe_commit(make_instruction(1), vocal_corrupted=True)
+        assert outcome is not None and not outcome.matched
+
+    def test_synchronize_flushes_partial_interval(self):
+        pair = make_pair(interval=16)
+        pair.observe_commit(make_instruction(0, 5))
+        pair.observe_commit(make_instruction(1, 6))
+        outcome = pair.synchronize()
+        assert outcome is not None
+        assert outcome.matched
+        assert outcome.interval_instructions == 2
+        assert pair.synchronize() is None
+
+    def test_synchronize_detects_pending_corruption(self):
+        pair = make_pair(interval=16)
+        pair.observe_commit(make_instruction(0), mute_corrupted=True)
+        outcome = pair.synchronize()
+        assert outcome is not None and not outcome.matched
+
+    def test_cores_property(self):
+        assert make_pair().cores == (0, 1)
+
+    def test_comparison_uses_the_network(self):
+        pair = make_pair(interval=1)
+        pair.observe_commit(make_instruction(0))
+        assert pair.network.stats.get("exchanges") == 1
+
+
+class TestFingerprintNetwork:
+    def test_exchange_latency_matches_config(self):
+        network = FingerprintNetwork(InterconnectConfig(fingerprint_latency=10))
+        assert network.latency == 10
+        assert network.exchange_latency() == 10
+        assert network.stats.get("exchanges") == 1
+
+    def test_explicit_messages_arrive_after_latency(self):
+        network = FingerprintNetwork(InterconnectConfig(fingerprint_latency=10))
+        fingerprint = Fingerprint(value=1, first_seq=0, last_seq=3, count=4)
+        network.send(0, 1, fingerprint, now=100)
+        assert network.pending() is not None
+        assert network.deliveries_until(105) == []
+        deliveries = network.deliveries_until(110)
+        assert len(deliveries) == 1
+        assert deliveries[0].arrival_cycle == 110
+        assert deliveries[0].receiver_core == 1
+        assert network.pending() is None

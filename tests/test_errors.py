@@ -1,0 +1,41 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.WorkloadError,
+    errors.SchedulingError,
+    errors.ProtectionError,
+    errors.MemorySystemError,
+    errors.TransitionError,
+    errors.FaultInjectionError,
+    errors.SimulationError,
+    errors.ExperimentError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_every_error_derives_from_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_errors_carry_messages(error_type):
+    with pytest.raises(errors.ReproError, match="something broke"):
+        raise error_type("something broke")
+
+
+def test_catching_base_class_catches_subclasses():
+    caught = []
+    for error_type in ALL_ERRORS:
+        try:
+            raise error_type("x")
+        except errors.ReproError as exc:
+            caught.append(type(exc))
+    assert caught == ALL_ERRORS

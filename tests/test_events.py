@@ -1,0 +1,83 @@
+"""Tests for the discrete event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.events import EventQueue
+from repro.errors import SimulationError
+
+
+def test_events_pop_in_time_order():
+    queue = EventQueue()
+    queue.schedule(30, "c")
+    queue.schedule(10, "a")
+    queue.schedule(20, "b")
+    assert [queue.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    queue = EventQueue()
+    queue.schedule(5, "first")
+    queue.schedule(5, "second")
+    queue.schedule(5, "third")
+    assert [queue.pop().kind for _ in range(3)] == ["first", "second", "third"]
+
+
+def test_now_tracks_last_popped_event():
+    queue = EventQueue()
+    queue.schedule(7, "x")
+    assert queue.now == 0
+    queue.pop()
+    assert queue.now == 7
+
+
+def test_scheduling_in_the_past_raises():
+    queue = EventQueue()
+    queue.schedule(10, "x")
+    queue.pop()
+    with pytest.raises(SimulationError):
+        queue.schedule(5, "y")
+
+
+def test_schedule_after_uses_current_time():
+    queue = EventQueue()
+    queue.schedule(10, "x")
+    queue.pop()
+    event = queue.schedule_after(5, "later")
+    assert event.time == 15
+
+
+def test_pop_until_yields_only_due_events_and_advances_clock():
+    queue = EventQueue()
+    for time in (1, 2, 3, 10):
+        queue.schedule(time, f"t{time}")
+    due = [event.kind for event in queue.pop_until(5)]
+    assert due == ["t1", "t2", "t3"]
+    assert queue.now == 5
+    assert len(queue) == 1
+
+
+def test_peek_does_not_remove():
+    queue = EventQueue()
+    queue.schedule(4, "x", payload={"k": 1})
+    assert queue.peek().payload == {"k": 1}
+    assert len(queue) == 1
+
+
+def test_pop_empty_raises_and_bool_is_false():
+    queue = EventQueue()
+    assert not queue
+    with pytest.raises(SimulationError):
+        queue.pop()
+
+
+def test_drain_handles_everything():
+    queue = EventQueue()
+    seen = []
+    for time in range(5):
+        queue.schedule(time, "e", payload=time)
+    handled = queue.drain(lambda event: seen.append(event.payload))
+    assert handled == 5
+    assert seen == [0, 1, 2, 3, 4]
+    assert not queue

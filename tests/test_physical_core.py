@@ -1,0 +1,63 @@
+"""Tests for physical-core bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu.core import CoreRole, PhysicalCore
+from repro.errors import SchedulingError
+
+
+def test_fresh_core_is_idle():
+    core = PhysicalCore(core_id=0)
+    assert core.is_idle
+    assert not core.in_dmr_pair
+
+
+def test_independent_assignment_and_release():
+    core = PhysicalCore(core_id=1)
+    core.assign_independent(vcpu_id=7)
+    assert core.role is CoreRole.INDEPENDENT
+    assert core.vcpu_id == 7
+    assert core.partner_core_id is None
+    core.release()
+    assert core.is_idle
+    assert core.vcpu_id is None
+
+
+def test_dmr_pair_assignment():
+    vocal = PhysicalCore(core_id=0)
+    mute = PhysicalCore(core_id=1)
+    vocal.assign_vocal(vcpu_id=3, mute_core_id=1)
+    mute.assign_mute(vcpu_id=3, vocal_core_id=0)
+    assert vocal.in_dmr_pair and mute.in_dmr_pair
+    assert vocal.partner_core_id == 1
+    assert mute.partner_core_id == 0
+
+
+def test_double_assignment_rejected():
+    core = PhysicalCore(core_id=0)
+    core.assign_independent(1)
+    with pytest.raises(SchedulingError):
+        core.assign_independent(2)
+    with pytest.raises(SchedulingError):
+        core.assign_vocal(2, mute_core_id=1)
+
+
+def test_core_cannot_pair_with_itself():
+    core = PhysicalCore(core_id=2)
+    with pytest.raises(SchedulingError):
+        core.assign_vocal(1, mute_core_id=2)
+    with pytest.raises(SchedulingError):
+        core.assign_mute(1, vocal_core_id=2)
+
+
+def test_assignment_statistics_accumulate():
+    core = PhysicalCore(core_id=0)
+    core.assign_independent(1)
+    core.release()
+    core.assign_vocal(2, mute_core_id=1)
+    core.release()
+    assert core.stats.get("assignments.independent") == 1
+    assert core.stats.get("assignments.vocal") == 1
+    assert core.stats.get("releases") == 2

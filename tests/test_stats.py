@@ -1,0 +1,145 @@
+"""Tests for counters, running statistics and confidence intervals."""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.stats import (
+    ConfidenceInterval,
+    LatencyHistogram,
+    RunningStat,
+    StatSet,
+    confidence_interval_95,
+    geometric_mean,
+)
+
+
+class TestConfidenceInterval:
+    def test_empty_sequence(self):
+        ci = confidence_interval_95([])
+        assert ci.count == 0
+        assert ci.mean == 0.0
+
+    def test_single_sample_has_zero_width(self):
+        ci = confidence_interval_95([3.5])
+        assert ci.mean == 3.5
+        assert ci.half_width == 0.0
+
+    def test_constant_samples_have_zero_width(self):
+        ci = confidence_interval_95([2.0] * 10)
+        assert ci.mean == 2.0
+        assert ci.half_width == 0.0
+
+    def test_interval_contains_true_mean_for_symmetric_data(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        ci = confidence_interval_95(data)
+        assert ci.low < 3.0 < ci.high
+        assert math.isclose(ci.mean, 3.0)
+
+    def test_str_mentions_count(self):
+        assert "n=3" in str(confidence_interval_95([1, 2, 3]))
+
+    def test_bounds_are_symmetric(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, count=5)
+        assert ci.low == 8.0
+        assert ci.high == 12.0
+
+
+def test_geometric_mean():
+    assert geometric_mean([]) == 0.0
+    assert math.isclose(geometric_mean([2, 8]), 4.0)
+    assert math.isclose(geometric_mean([5, 5, 5]), 5.0)
+    # Non-positive values are ignored rather than poisoning the result.
+    assert math.isclose(geometric_mean([0, 2, 8]), 4.0)
+
+
+class TestRunningStat:
+    def test_mean_min_max(self):
+        stat = RunningStat()
+        for value in [4.0, 8.0, 6.0]:
+            stat.record(value)
+        assert math.isclose(stat.mean, 6.0)
+        assert stat.minimum == 4.0
+        assert stat.maximum == 8.0
+        assert stat.count == 3
+
+    def test_variance_matches_textbook_formula(self):
+        stat = RunningStat()
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for value in data:
+            stat.record(value)
+        mean = sum(data) / len(data)
+        expected = sum((x - mean) ** 2 for x in data) / (len(data) - 1)
+        assert math.isclose(stat.variance, expected)
+
+    def test_merge_equals_single_accumulator(self):
+        combined = RunningStat()
+        left = RunningStat()
+        right = RunningStat()
+        for index in range(20):
+            value = float(index * index % 17)
+            combined.record(value)
+            (left if index < 10 else right).record(value)
+        left.merge(right)
+        assert math.isclose(left.mean, combined.mean)
+        assert math.isclose(left.variance, combined.variance)
+        assert left.count == combined.count
+
+    def test_merge_into_empty(self):
+        empty = RunningStat()
+        other = RunningStat()
+        other.record(3.0)
+        empty.merge(other)
+        assert empty.count == 1
+        assert empty.mean == 3.0
+
+
+class TestStatSet:
+    def test_add_and_get(self):
+        stats = StatSet()
+        stats.add("hits")
+        stats.add("hits", 4)
+        assert stats.get("hits") == 5
+        assert stats.get("absent") == 0
+        assert stats.get("absent", 9) == 9
+
+    def test_merge_and_scaled(self):
+        a = StatSet({"x": 2})
+        b = StatSet({"x": 3, "y": 1})
+        a.merge(b)
+        assert a.get("x") == 5
+        assert a.get("y") == 1
+        scaled = a.scaled(2.0)
+        assert scaled.get("x") == 10
+        assert a.get("x") == 5  # original untouched
+
+    def test_ratio(self):
+        stats = StatSet({"misses": 25, "accesses": 100})
+        assert stats.ratio("misses", "accesses") == 0.25
+        assert stats.ratio("misses", "absent") == 0.0
+
+    def test_contains_len_and_items_sorted(self):
+        stats = StatSet({"b": 1, "a": 2})
+        assert "a" in stats
+        assert len(stats) == 2
+        assert [name for name, _ in stats.items()] == ["a", "b"]
+
+    def test_set_overwrites(self):
+        stats = StatSet({"x": 2})
+        stats.set("x", 7)
+        assert stats.get("x") == 7
+
+
+class TestLatencyHistogram:
+    def test_mean_and_percentile(self):
+        histogram = LatencyHistogram(bucket_width=10)
+        for latency in [5, 15, 25, 35, 95]:
+            histogram.record(latency)
+        assert math.isclose(histogram.mean, 35.0)
+        assert histogram.percentile(0.5) <= histogram.percentile(0.99)
+        assert histogram.percentile(0.99) >= 90
+
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.mean == 0.0
+        assert histogram.percentile(0.5) == 0

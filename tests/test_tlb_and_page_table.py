@@ -1,0 +1,133 @@
+"""Tests for the page table and the hardware-filled TLB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.addresses import Region
+from repro.config.system import TlbConfig
+from repro.errors import ProtectionError
+from repro.tlb.page_table import PageFlags, PageTable
+from repro.tlb.tlb import TranslationLookasideBuffer
+
+
+@pytest.fixture
+def page_table():
+    table = PageTable(page_size=8192)
+    table.map_region(
+        Region("user", 0, 32 * 8192), PageFlags.USER_READ | PageFlags.USER_WRITE, domain=0
+    )
+    table.map_region(
+        Region("kernel", 32 * 8192, 8 * 8192),
+        PageFlags.PRIVILEGED_ONLY | PageFlags.RELIABLE_ONLY,
+        domain=-1,
+    )
+    return table
+
+
+@pytest.fixture
+def tlb(page_table):
+    return TranslationLookasideBuffer(TlbConfig(entries=8, fill_latency=30), page_table)
+
+
+class TestPageTable:
+    def test_map_region_counts_pages(self, page_table):
+        assert len(page_table) == 40
+
+    def test_translate_identity_mapping(self, page_table):
+        physical, entry = page_table.translate(3 * 8192 + 17)
+        assert physical == 3 * 8192 + 17
+        assert entry.user_writable
+
+    def test_translate_unmapped_raises(self, page_table):
+        with pytest.raises(ProtectionError):
+            page_table.translate(1000 * 8192)
+
+    def test_reliable_pages_iterates_kernel_region(self, page_table):
+        reliable = list(page_table.reliable_pages())
+        assert len(reliable) == 8
+        assert min(reliable) == 32
+
+    def test_update_flags_and_unmap(self, page_table):
+        page_table.update_flags(0, PageFlags.USER_READ)
+        assert not page_table.lookup_page(0).user_writable
+        assert page_table.unmap_page(0) is not None
+        assert page_table.lookup_page(0) is None
+        with pytest.raises(ProtectionError):
+            page_table.update_flags(0, PageFlags.USER_READ)
+
+    def test_invalid_page_size_rejected(self):
+        with pytest.raises(ProtectionError):
+            PageTable(page_size=3000)
+
+
+class TestTlb:
+    def test_miss_then_hit(self, tlb):
+        first = tlb.translate(0x100, is_store=False, privileged=False)
+        assert not first.hit
+        assert first.latency == 30
+        second = tlb.translate(0x100, is_store=False, privileged=False)
+        assert second.hit
+        assert second.latency == 0
+        assert second.physical_address == 0x100
+
+    def test_permission_check_blocks_user_store_to_readonly_page(self, page_table):
+        page_table.update_flags(5, PageFlags.USER_READ)
+        tlb = TranslationLookasideBuffer(TlbConfig(entries=8), page_table)
+        result = tlb.translate(5 * 8192, is_store=True, privileged=False)
+        assert not result.permitted
+        load = tlb.translate(5 * 8192, is_store=False, privileged=False)
+        assert load.permitted
+
+    def test_privileged_only_page_blocks_user_access(self, tlb):
+        result = tlb.translate(33 * 8192, is_store=False, privileged=False)
+        assert not result.permitted
+        privileged = tlb.translate(33 * 8192, is_store=True, privileged=True)
+        assert privileged.permitted
+
+    def test_capacity_eviction(self, tlb):
+        for page in range(10):
+            tlb.translate(page * 8192, is_store=False, privileged=False)
+        assert tlb.occupancy == 8
+        assert tlb.stats.get("evictions") == 2
+
+    def test_fill_of_unmapped_page_raises(self, tlb):
+        with pytest.raises(ProtectionError):
+            tlb.translate(500 * 8192, is_store=False, privileged=False)
+
+    def test_demap_notifies_listener(self, page_table):
+        demapped = []
+        tlb = TranslationLookasideBuffer(
+            TlbConfig(entries=8), page_table, demap_listener=demapped.append
+        )
+        tlb.translate(2 * 8192, is_store=False, privileged=False)
+        assert tlb.demap(2) is True
+        assert demapped == [2]
+        assert tlb.demap(2) is False
+
+    def test_flush_notifies_listener_for_every_entry(self, page_table):
+        demapped = []
+        tlb = TranslationLookasideBuffer(
+            TlbConfig(entries=8), page_table, demap_listener=demapped.append
+        )
+        for page in range(4):
+            tlb.translate(page * 8192, is_store=False, privileged=False)
+        assert tlb.flush() == 4
+        assert sorted(demapped) == [0, 1, 2, 3]
+        assert tlb.occupancy == 0
+
+    def test_corrupt_entry_redirects_translation(self, tlb):
+        tlb.translate(1 * 8192, is_store=False, privileged=False)
+        tlb.corrupt_entry(1, new_physical_page=40)
+        corrupted = tlb.translate(1 * 8192 + 8, is_store=False, privileged=False)
+        assert corrupted.physical_address == 40 * 8192 + 8
+
+    def test_corrupt_entry_grants_user_write(self, tlb):
+        tlb.translate(33 * 8192, is_store=True, privileged=True)
+        tlb.corrupt_entry(33, grant_user_write=True)
+        result = tlb.translate(33 * 8192, is_store=True, privileged=False)
+        assert result.permitted  # the fault defeated the TLB check
+
+    def test_corrupt_nonresident_entry_raises(self, tlb):
+        with pytest.raises(ProtectionError):
+            tlb.corrupt_entry(7)

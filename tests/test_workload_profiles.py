@@ -1,0 +1,119 @@
+"""Tests for the calibrated workload profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.instructions import PrivilegeLevel
+from repro.workloads.profiles import (
+    PAPER_WORKLOAD_NAMES,
+    PAPER_WORKLOADS,
+    WorkloadProfile,
+    get_profile,
+)
+
+
+def test_all_six_paper_workloads_exist():
+    assert set(PAPER_WORKLOAD_NAMES) == {
+        "apache", "oltp", "pgoltp", "pmake", "pgbench", "zeus",
+    }
+    for name in PAPER_WORKLOAD_NAMES:
+        assert PAPER_WORKLOADS[name].name == name
+
+
+def test_get_profile_is_case_insensitive_and_rejects_unknown():
+    assert get_profile("Apache").name == "apache"
+    with pytest.raises(WorkloadError):
+        get_profile("speccpu")
+
+
+def test_every_profile_validates():
+    for profile in PAPER_WORKLOADS.values():
+        assert profile.validate() is profile
+
+
+def test_os_intensity_ordering_matches_paper_table2():
+    """Zeus and Apache are the OS-intensive workloads; pgbench/pmake the least."""
+    intensity = {name: profile.os_intensity for name, profile in PAPER_WORKLOADS.items()}
+    assert intensity["zeus"] > intensity["apache"] > intensity["oltp"]
+    assert intensity["apache"] > intensity["pgbench"]
+    assert intensity["apache"] > intensity["pmake"]
+
+
+def test_user_phase_length_ordering_matches_paper_table2():
+    """pgbench has by far the longest user phases; apache/zeus the shortest."""
+    lengths = {
+        name: profile.mean_user_phase_instructions
+        for name, profile in PAPER_WORKLOADS.items()
+    }
+    assert lengths["pgbench"] == max(lengths.values())
+    assert min(lengths, key=lengths.get) in ("apache", "zeus")
+
+
+def test_os_phase_length_ordering_matches_paper_table2():
+    lengths = {
+        name: profile.mean_os_phase_instructions
+        for name, profile in PAPER_WORKLOADS.items()
+    }
+    ordered = sorted(lengths, key=lengths.get, reverse=True)
+    assert ordered[0] == "zeus"
+    assert ordered[1] == "pgbench"
+    assert lengths["pgoltp"] == min(lengths.values())
+
+
+def test_pmake_has_least_sharing():
+    """The paper notes pmake has very few cache-to-cache transfers."""
+    sharing = {
+        name: profile.shared_access_fraction for name, profile in PAPER_WORKLOADS.items()
+    }
+    assert sharing["pmake"] == min(sharing.values())
+
+
+def test_os_code_has_more_serializing_instructions_than_user_code():
+    for profile in PAPER_WORKLOADS.values():
+        assert profile.os_si_per_kilo > profile.user_si_per_kilo
+
+
+def test_mix_for_and_si_for_distinguish_privilege():
+    profile = get_profile("oltp")
+    user_mix = profile.mix_for(PrivilegeLevel.USER)
+    os_mix = profile.mix_for(PrivilegeLevel.GUEST_OS)
+    assert user_mix != os_mix
+    assert profile.si_per_kilo_for(PrivilegeLevel.GUEST_OS) > profile.si_per_kilo_for(
+        PrivilegeLevel.USER
+    )
+    assert profile.icache_mpki_for(PrivilegeLevel.HYPERVISOR) >= profile.icache_mpki_for(
+        PrivilegeLevel.USER
+    )
+
+
+class TestScaling:
+    def test_phase_scaling(self):
+        profile = get_profile("pgbench")
+        scaled = profile.scaled(phase_scale=0.01)
+        assert scaled.mean_user_phase_instructions == int(
+            profile.mean_user_phase_instructions * 0.01
+        )
+        assert scaled.user_footprint_bytes == profile.user_footprint_bytes
+
+    def test_footprint_scaling_has_floor(self):
+        profile = get_profile("pmake")
+        scaled = profile.scaled(footprint_scale=1e-6)
+        assert scaled.user_hot_bytes >= 4096
+        assert scaled.user_footprint_bytes >= 8192
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_profile("apache").scaled(phase_scale=0)
+
+    def test_scaled_profile_still_validates(self):
+        for profile in PAPER_WORKLOADS.values():
+            profile.scaled(phase_scale=0.01, footprint_scale=0.125).validate()
+
+
+def test_invalid_profile_rejected():
+    profile = get_profile("apache")
+    bad = WorkloadProfile(**{**profile.__dict__, "user_load_fraction": 0.9})
+    with pytest.raises(WorkloadError):
+        bad.validate()

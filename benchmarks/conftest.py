@@ -13,6 +13,13 @@ time the analysis step.
 Set ``REPRO_BENCH_QUICK=1`` to run the whole harness on a heavily scaled
 configuration with two workloads (useful for smoke-testing the harness
 itself; the numbers are then not meaningful).
+
+The experiments run through the experiment engine of
+:mod:`repro.sim.runner`.  Set ``REPRO_BENCH_JOBS=N`` to fan the simulation
+cells out over N worker processes, and ``REPRO_BENCH_CACHE=<dir>`` to reuse
+the on-disk result cache across harness runs (off by default: a cached cell
+costs no simulation time, which would make the recorded timings
+meaningless).
 """
 
 from __future__ import annotations
@@ -22,10 +29,27 @@ import os
 import pytest
 
 from repro.sim.experiments import ExperimentSettings
+from repro.sim.runner import ExperimentRunner, set_default_runner
 
 #: Workloads in the paper's figure order.
 def _quick() -> bool:
     return os.environ.get("REPRO_BENCH_QUICK", "0") not in ("0", "", "false")
+
+
+def _engine_runner() -> ExperimentRunner:
+    """The runner described by the REPRO_BENCH_* environment variables."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
+    return ExperimentRunner(jobs=max(1, jobs), cache_dir=cache_dir)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_runner():
+    """Install the harness-wide experiment runner as the engine default."""
+    runner = _engine_runner()
+    set_default_runner(runner)
+    yield runner
+    set_default_runner(None)
 
 
 @pytest.fixture(scope="session")

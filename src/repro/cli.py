@@ -7,15 +7,21 @@ Two groups of subcommands:
   the MMM trade-off without writing any code;
 * one subcommand per paper artefact (``figure5``, ``figure6``, ``pab``,
   ``table1``, ``table2``, ``single-os``, ``ablation``, ``faults``, and
-  ``report`` for everything at once) regenerates that table or figure and
-  prints it in the paper's layout.
+  ``report`` / ``run-all`` for everything at once) regenerates that table or
+  figure and prints it in the paper's layout.
+
+The experiment subcommands share the experiment-engine flags: ``--jobs N``
+fans the simulation cells out over N worker processes, and results are cached
+on disk (``.repro-cache`` by default) so a re-run only executes changed
+cells; ``--no-cache`` forces fresh simulations and ``--cache-dir`` relocates
+the cache.
 
 Examples::
 
     python -m repro list-workloads
     python -m repro run --policy mmm-tp --reliable oltp --performance apache
-    python -m repro figure6 --workloads apache oltp
-    python -m repro report --quick
+    python -m repro figure6 --workloads apache oltp --jobs 4
+    python -m repro run-all --quick --jobs 4
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from repro.sim.experiments import (
     run_window_ablation,
 )
 from repro.sim.reporting import fault_coverage_report, full_report
+from repro.sim.runner import ExperimentRunner
 from repro.workloads.profiles import PAPER_WORKLOAD_NAMES, PAPER_WORKLOADS
 
 
@@ -47,6 +54,22 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
     if args.workloads:
         settings = settings.with_workloads(tuple(args.workloads))
     return settings
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return number
+
+
+def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the experiment runner the engine flags describe."""
+    return ExperimentRunner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
 
 
 def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
@@ -60,6 +83,24 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
         "--quick",
         action="store_true",
         help="use the heavily scaled quick settings (smoke test, not meaningful numbers)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="run simulation cells across N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache location (default: .repro-cache, or $REPRO_CACHE_DIR)",
     )
 
 
@@ -126,7 +167,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure5(args: argparse.Namespace) -> int:
-    result = run_dmr_overhead_experiment(_settings_from_args(args))
+    result = run_dmr_overhead_experiment(
+        _settings_from_args(args), runner=_runner_from_args(args)
+    )
     print(result.format_ipc_table())
     print()
     print(result.format_throughput_table())
@@ -134,7 +177,9 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure6(args: argparse.Namespace) -> int:
-    result = run_mixed_mode_experiment(_settings_from_args(args))
+    result = run_mixed_mode_experiment(
+        _settings_from_args(args), runner=_runner_from_args(args)
+    )
     print(result.format_ipc_table())
     print()
     print(result.format_throughput_table())
@@ -142,25 +187,37 @@ def _cmd_figure6(args: argparse.Namespace) -> int:
 
 
 def _cmd_pab(args: argparse.Namespace) -> int:
-    print(run_pab_latency_study(_settings_from_args(args)).format_table())
+    result = run_pab_latency_study(
+        _settings_from_args(args), runner=_runner_from_args(args)
+    )
+    print(result.format_table())
     return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     workloads = tuple(args.workloads) if args.workloads else PAPER_WORKLOAD_NAMES
-    print(run_switch_overhead_experiment(workloads=workloads).format_table())
+    result = run_switch_overhead_experiment(
+        workloads=workloads, runner=_runner_from_args(args)
+    )
+    print(result.format_table())
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     workloads = tuple(args.workloads) if args.workloads else PAPER_WORKLOAD_NAMES
-    print(run_switch_frequency_experiment(workloads=workloads).format_table())
+    result = run_switch_frequency_experiment(
+        workloads=workloads, runner=_runner_from_args(args)
+    )
+    print(result.format_table())
     return 0
 
 
 def _cmd_single_os(args: argparse.Namespace) -> int:
     workloads = tuple(args.workloads) if args.workloads else PAPER_WORKLOAD_NAMES
-    print(run_single_os_overhead_study(workloads=workloads).format_table())
+    result = run_single_os_overhead_study(
+        workloads=workloads, runner=_runner_from_args(args)
+    )
+    print(result.format_table())
     return 0
 
 
@@ -168,7 +225,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     settings = _settings_from_args(args)
     if not args.workloads:
         settings = settings.with_workloads(settings.workloads[:2])
-    print(run_window_ablation(settings).format_table())
+    print(run_window_ablation(settings, runner=_runner_from_args(args)).format_table())
     return 0
 
 
@@ -177,16 +234,29 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _print_full_report(args: argparse.Namespace, show_engine_stats: bool) -> int:
+    runner = _runner_from_args(args)
     print(
         full_report(
             _settings_from_args(args),
             include_switching=not args.skip_switching,
             include_ablation=not args.skip_ablation,
             include_faults=not args.skip_faults,
+            runner=runner,
         )
     )
+    if show_engine_stats:
+        print()
+        print(f"experiment engine: {runner.stats.summary()} (workers: {runner.jobs})")
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    return _print_full_report(args, show_engine_stats=False)
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    return _print_full_report(args, show_engine_stats=True)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -231,10 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
         ("single-os", _cmd_single_os, "Section 5.3: single-OS switching overhead"),
         ("ablation", _cmd_ablation, "window-size / consistency ablation"),
         ("report", _cmd_report, "run every experiment and print one report"),
+        ("run-all", _cmd_run_all, "run every experiment as one (parallel) job batch"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
         _add_experiment_arguments(sub)
-        if name == "report":
+        if name in ("report", "run-all"):
             sub.add_argument("--skip-switching", action="store_true")
             sub.add_argument("--skip-ablation", action="store_true")
             sub.add_argument("--skip-faults", action="store_true")

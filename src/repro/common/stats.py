@@ -85,6 +85,14 @@ def confidence_interval_95(values: Iterable[float]) -> ConfidenceInterval:
     return ConfidenceInterval(mean=mean, half_width=_t_quantile(n - 1) * sem, count=n)
 
 
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0 if the sequence is empty)."""
+    data = list(values)
+    if not data:
+        return 0.0
+    return sum(data) / len(data)
+
+
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean of positive values (0 if the sequence is empty)."""
     data = [v for v in values if v > 0]

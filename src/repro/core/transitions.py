@@ -274,6 +274,15 @@ class ModeTransitionEngine:
     # Reporting helpers
     # ------------------------------------------------------------------ #
 
+    def reset_stats(self) -> None:
+        """Zero the transition counters (start of a measurement window).
+
+        Only the statistics are cleared; the redundant privileged-register
+        snapshots are machine state and survive, so verification keeps
+        working across the measurement boundary.
+        """
+        self.stats = StatSet()
+
     def average_enter_cycles(self) -> float:
         """Average cost of the Enter-DMR transitions performed so far."""
         count = self.stats.get("enter_dmr_transitions")

@@ -1,12 +1,39 @@
-"""Simulation driver, results, experiments and reporting.
+"""Simulation driver, results, experiment engine and reporting.
 
 * :mod:`repro.sim.simulator` -- the quantum-based simulation loop,
 * :mod:`repro.sim.results` -- result containers and metrics,
+* :mod:`repro.sim.settings` -- the shared experiment settings value,
+* :mod:`repro.sim.jobs` -- the picklable per-cell job model,
+* :mod:`repro.sim.runner` -- serial/parallel job execution with caching,
 * :mod:`repro.sim.experiments` -- one entry point per paper table/figure,
 * :mod:`repro.sim.reporting` -- plain-text rendering of the results.
 """
 
+from repro.sim.jobs import ExperimentJob, execute_job
 from repro.sim.results import SimulationResult, VmResult
+from repro.sim.runner import (
+    ExperimentRunner,
+    ResultCache,
+    RunnerStats,
+    default_runner,
+    set_default_runner,
+    using_runner,
+)
+from repro.sim.settings import ExperimentSettings
 from repro.sim.simulator import SimulationOptions, Simulator
 
-__all__ = ["SimulationResult", "VmResult", "SimulationOptions", "Simulator"]
+__all__ = [
+    "SimulationResult",
+    "VmResult",
+    "SimulationOptions",
+    "Simulator",
+    "ExperimentSettings",
+    "ExperimentJob",
+    "execute_job",
+    "ExperimentRunner",
+    "ResultCache",
+    "RunnerStats",
+    "default_runner",
+    "set_default_runner",
+    "using_runner",
+]

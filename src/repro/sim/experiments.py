@@ -1,8 +1,9 @@
 """Per-figure / per-table experiment entry points.
 
 Every table and figure of the paper's evaluation (Section 5) has one function
-here that builds the relevant machines, runs them, and returns a structured
-result object with the same rows/series the paper reports:
+here that enumerates the relevant simulation cells, runs them through the
+experiment engine, and returns a structured result object with the same
+rows/series the paper reports:
 
 ======================  =====================================================
 Paper artefact          Entry point
@@ -14,111 +15,88 @@ Table 1                 :func:`run_switch_overhead_experiment`
 Table 2                 :func:`run_switch_frequency_experiment`
 Section 5.3 bottom line :func:`run_single_os_overhead_study`
 Window/TSO ablation     :func:`run_window_ablation`
+Everything at once      :func:`run_all_experiments`
 ======================  =====================================================
 
-All experiments share :class:`ExperimentSettings`, which holds the scaled-down
-run lengths and the capacity/footprint scale factor (see
-``evaluation_system_config``) so that the whole evaluation completes on a
+All experiments share :class:`ExperimentSettings` (see
+:mod:`repro.sim.settings`), which holds the scaled-down run lengths and the
+capacity/footprint scale factor so that the whole evaluation completes on a
 laptop while preserving the relative behaviour the paper reports.
+
+Each entry point is split into a job enumerator (``*_jobs``) and an assembly
+step: the enumerator lists the cells as picklable
+:class:`~repro.sim.jobs.ExperimentJob` values, a
+:class:`~repro.sim.runner.ExperimentRunner` executes them (serially, in
+parallel, or straight from its cache), and the assembly step folds the
+returned metrics into the result dataclasses below.
+:func:`run_all_experiments` enumerates *every* experiment's cells into one
+batch, which is what lets a multi-worker runner overlap all of them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.metrics import normalize_to, percent_change
 from repro.analysis.tables import TextTable
-from repro.common.stats import ConfidenceInterval, confidence_interval_95
+from repro.common.stats import ConfidenceInterval, confidence_interval_95, mean
 from repro.config.presets import evaluation_system_config, paper_system_config
-from repro.config.system import ConsistencyModel, PabLookupMode, SystemConfig
-from repro.core.machine import MixedModeMachine, VmSpec
-from repro.core.transitions import TransitionFlavor
-from repro.cpu.timing import CoreAssignment, ExecutionMode
+from repro.config.system import PabLookupMode, SystemConfig
 from repro.errors import ExperimentError
-from repro.sim.simulator import SimulationOptions, Simulator
-from repro.virt.vcpu import ReliabilityMode
+from repro.sim.jobs import (
+    ABLATION_VARIANTS,
+    FIGURE5_CONFIGS,
+    FIGURE6_CONFIGS,
+    ExperimentJob,
+)
+from repro.sim.runner import ExperimentRunner, Metrics, default_runner
+from repro.sim.settings import PAPER_TIMESLICE_CYCLES, ExperimentSettings
 from repro.workloads.profiles import PAPER_WORKLOAD_NAMES
 
-#: Timeslice assumed by the paper (1 ms at 3 GHz).
-PAPER_TIMESLICE_CYCLES = 3_000_000
+__all__ = [
+    "PAPER_TIMESLICE_CYCLES",
+    "ExperimentSettings",
+    "FIGURE5_CONFIGS",
+    "FIGURE6_CONFIGS",
+    "ABLATION_VARIANTS",
+    "DmrOverheadRow",
+    "DmrOverheadResult",
+    "MixedModeRow",
+    "MixedModeResult",
+    "PabLatencyRow",
+    "PabLatencyResult",
+    "SwitchOverheadRow",
+    "SwitchOverheadResult",
+    "SwitchFrequencyRow",
+    "SwitchFrequencyResult",
+    "SingleOsOverheadRow",
+    "SingleOsOverheadResult",
+    "WindowAblationRow",
+    "WindowAblationResult",
+    "AllExperimentsResult",
+    "figure5_jobs",
+    "figure6_jobs",
+    "pab_jobs",
+    "switch_overhead_jobs",
+    "switch_frequency_jobs",
+    "window_ablation_jobs",
+    "run_dmr_overhead_experiment",
+    "run_mixed_mode_experiment",
+    "run_pab_latency_study",
+    "run_switch_overhead_experiment",
+    "run_switch_frequency_experiment",
+    "run_single_os_overhead_study",
+    "run_window_ablation",
+    "run_all_experiments",
+]
 
-
-@dataclass(frozen=True)
-class ExperimentSettings:
-    """Shared knobs of the reproduction experiments."""
-
-    #: Factor by which cache capacities (and workload footprints) are scaled
-    #: down relative to the paper's machine; 1 = full size.
-    capacity_scale: int = 8
-    #: Measured cycles per run (after warmup).
-    total_cycles: int = 60_000
-    #: Warmup cycles per run.
-    warmup_cycles: int = 15_000
-    #: Gang-scheduling timeslice used by the consolidated-server runs.
-    timeslice_cycles: int = 25_000
-    #: Scale applied to the workloads' user/OS phase lengths.
-    phase_scale: float = 0.01
-    #: Seeds to average over (the paper reports 95% confidence intervals
-    #: over multiple runs).
-    seeds: Tuple[int, ...] = (0,)
-    #: Workloads to evaluate, in the paper's figure order.
-    workloads: Tuple[str, ...] = PAPER_WORKLOAD_NAMES
-    #: VCPUs exposed by the reliable guest (the paper uses 8 on 16 cores).
-    reliable_vcpus: int = 8
-
-    @property
-    def footprint_scale(self) -> float:
-        """Workload footprints shrink with the cache capacities."""
-        return 1.0 / self.capacity_scale
-
-    def config(self) -> SystemConfig:
-        """The (scaled) machine configuration used by the experiments."""
-        return evaluation_system_config(
-            capacity_scale=self.capacity_scale,
-            timeslice_cycles=self.timeslice_cycles,
-        )
-
-    def transition_cost_scale(self) -> float:
-        """Keep the paper's ratio of transition cost to timeslice length."""
-        return min(1.0, self.timeslice_cycles / PAPER_TIMESLICE_CYCLES)
-
-    def options(self) -> SimulationOptions:
-        """Simulation options shared by the timing experiments."""
-        return SimulationOptions(
-            total_cycles=self.total_cycles,
-            warmup_cycles=self.warmup_cycles,
-            transition_cost_scale=self.transition_cost_scale(),
-        )
-
-    @classmethod
-    def quick(cls) -> "ExperimentSettings":
-        """Very small settings for smoke tests of the experiment plumbing."""
-        return cls(
-            capacity_scale=16,
-            total_cycles=12_000,
-            warmup_cycles=4_000,
-            timeslice_cycles=4_000,
-            phase_scale=0.005,
-            workloads=("apache", "pmake"),
-            reliable_vcpus=4,
-        )
-
-    def with_workloads(self, workloads: Sequence[str]) -> "ExperimentSettings":
-        """A copy restricted to the given workloads."""
-        return replace(self, workloads=tuple(workloads))
-
-
-def _mean(values: Sequence[float]) -> float:
-    return sum(values) / len(values) if values else 0.0
+JobResults = Mapping[ExperimentJob, Metrics]
 
 
 # ===================================================================== #
 # Figure 5: overhead of dual redundancy
 # ===================================================================== #
-
-#: Configuration labels of Figure 5, in presentation order.
-FIGURE5_CONFIGS = ("no-dmr-2x", "no-dmr", "reunion")
 
 
 @dataclass
@@ -179,62 +157,63 @@ class DmrOverheadResult:
         return table.render()
 
 
-def _figure5_machine(
-    settings: ExperimentSettings, workload: str, configuration: str, seed: int
-) -> MixedModeMachine:
-    config = settings.config()
-    if configuration == "no-dmr-2x":
-        num_vcpus, policy = config.num_cores, "no-dmr"
-    elif configuration == "no-dmr":
-        num_vcpus, policy = config.num_cores // 2, "no-dmr"
-    elif configuration == "reunion":
-        num_vcpus, policy = config.num_cores // 2, "dmr-base"
-    else:
-        raise ExperimentError(f"unknown Figure 5 configuration {configuration!r}")
-    spec = VmSpec(
-        name="baseline",
-        workload=workload,
-        num_vcpus=num_vcpus,
-        reliability=ReliabilityMode.RELIABLE,
-        phase_scale=settings.phase_scale,
-        footprint_scale=settings.footprint_scale,
-    )
-    return MixedModeMachine(config=config, vm_specs=[spec], policy=policy, seed=seed)
+def figure5_jobs(settings: ExperimentSettings) -> List[ExperimentJob]:
+    """Every (workload, configuration, seed) cell of Figure 5."""
+    cell = settings.cell_settings()
+    return [
+        ExperimentJob(
+            kind="figure5", workload=workload, variant=configuration, seed=seed,
+            settings=cell,
+        )
+        for workload in settings.workloads
+        for configuration in FIGURE5_CONFIGS
+        for seed in settings.seeds
+    ]
 
 
-def run_dmr_overhead_experiment(
-    settings: Optional[ExperimentSettings] = None,
+def _assemble_figure5(
+    settings: ExperimentSettings, results: JobResults
 ) -> DmrOverheadResult:
-    """Reproduce Figure 5: per-thread IPC and throughput of DMR vs. no DMR."""
-    settings = settings or ExperimentSettings()
+    cell = settings.cell_settings()
     result = DmrOverheadResult(settings=settings)
     for workload in settings.workloads:
         ipc: Dict[str, ConfidenceInterval] = {}
         throughput: Dict[str, ConfidenceInterval] = {}
         for configuration in FIGURE5_CONFIGS:
-            ipc_samples: List[float] = []
-            tput_samples: List[float] = []
-            for seed in settings.seeds:
-                machine = _figure5_machine(settings, workload, configuration, seed)
-                sim = Simulator(machine, settings.options())
-                run = sim.run()
-                vm = run.vm("baseline")
-                ipc_samples.append(vm.average_user_ipc(run.total_cycles))
-                tput_samples.append(run.overall_throughput())
-            ipc[configuration] = confidence_interval_95(ipc_samples)
-            throughput[configuration] = confidence_interval_95(tput_samples)
+            samples = [
+                results[
+                    ExperimentJob(
+                        kind="figure5", workload=workload, variant=configuration,
+                        seed=seed, settings=cell,
+                    )
+                ]
+                for seed in settings.seeds
+            ]
+            ipc[configuration] = confidence_interval_95(
+                [sample["user_ipc"] for sample in samples]
+            )
+            throughput[configuration] = confidence_interval_95(
+                [sample["throughput"] for sample in samples]
+            )
         result.rows.append(
             DmrOverheadRow(workload=workload, per_thread_ipc=ipc, throughput=throughput)
         )
     return result
 
 
+def run_dmr_overhead_experiment(
+    settings: Optional[ExperimentSettings] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> DmrOverheadResult:
+    """Reproduce Figure 5: per-thread IPC and throughput of DMR vs. no DMR."""
+    settings = settings or ExperimentSettings()
+    runner = runner or default_runner()
+    return _assemble_figure5(settings, runner.run_jobs(figure5_jobs(settings)))
+
+
 # ===================================================================== #
 # Figure 6: mixed-mode performance
 # ===================================================================== #
-
-#: Configuration labels of Figure 6, in presentation order.
-FIGURE6_CONFIGS = ("dmr-base", "mmm-ipc", "mmm-tp")
 
 
 @dataclass
@@ -323,86 +302,71 @@ class MixedModeResult:
         return table.render()
 
 
-def _figure6_machine(
+def figure6_jobs(
     settings: ExperimentSettings,
-    workload: str,
-    configuration: str,
-    seed: int,
-    config: Optional[SystemConfig] = None,
-) -> MixedModeMachine:
-    config = config if config is not None else settings.config()
-    if configuration == "dmr-base":
-        policy, perf_vcpus, perf_mode = "dmr-base", config.num_cores // 2, ReliabilityMode.RELIABLE
-    elif configuration == "mmm-ipc":
-        policy, perf_vcpus, perf_mode = "mmm-ipc", config.num_cores // 2, ReliabilityMode.PERFORMANCE
-    elif configuration == "mmm-tp":
-        policy, perf_vcpus, perf_mode = "mmm-tp", config.num_cores, ReliabilityMode.PERFORMANCE
-    else:
-        raise ExperimentError(f"unknown Figure 6 configuration {configuration!r}")
-    specs = [
-        VmSpec(
-            name="reliable",
-            workload=workload,
-            num_vcpus=min(settings.reliable_vcpus, config.num_cores // 2),
-            reliability=ReliabilityMode.RELIABLE,
-            phase_scale=settings.phase_scale,
-            footprint_scale=settings.footprint_scale,
-        ),
-        VmSpec(
-            name="performance",
-            workload=workload,
-            num_vcpus=perf_vcpus,
-            reliability=perf_mode,
-            phase_scale=settings.phase_scale,
-            footprint_scale=settings.footprint_scale,
-        ),
+    configurations: Sequence[str] = FIGURE6_CONFIGS,
+) -> List[ExperimentJob]:
+    """Every (workload, configuration, seed) cell of Figure 6."""
+    cell = settings.cell_settings()
+    return [
+        ExperimentJob(
+            kind="figure6", workload=workload, variant=configuration, seed=seed,
+            settings=cell,
+        )
+        for workload in settings.workloads
+        for configuration in configurations
+        for seed in settings.seeds
     ]
-    return MixedModeMachine(config=config, vm_specs=specs, policy=policy, seed=seed)
+
+
+_FIGURE6_SERIES = (
+    ("reliable_ipc", "reliable_ipc"),
+    ("performance_ipc", "performance_ipc"),
+    ("reliable_throughput", "reliable_throughput"),
+    ("performance_throughput", "performance_throughput"),
+    ("overall_throughput", "overall_throughput"),
+)
+
+
+def _assemble_figure6(
+    settings: ExperimentSettings,
+    results: JobResults,
+    configurations: Sequence[str],
+) -> MixedModeResult:
+    cell = settings.cell_settings()
+    result = MixedModeResult(settings=settings)
+    for workload in settings.workloads:
+        series: Dict[str, Dict[str, ConfidenceInterval]] = {
+            name: {} for name, _ in _FIGURE6_SERIES
+        }
+        for configuration in configurations:
+            samples = [
+                results[
+                    ExperimentJob(
+                        kind="figure6", workload=workload, variant=configuration,
+                        seed=seed, settings=cell,
+                    )
+                ]
+                for seed in settings.seeds
+            ]
+            for name, metric in _FIGURE6_SERIES:
+                series[name][configuration] = confidence_interval_95(
+                    [sample[metric] for sample in samples]
+                )
+        result.rows.append(MixedModeRow(workload=workload, **series))
+    return result
 
 
 def run_mixed_mode_experiment(
     settings: Optional[ExperimentSettings] = None,
     configurations: Sequence[str] = FIGURE6_CONFIGS,
+    runner: Optional[ExperimentRunner] = None,
 ) -> MixedModeResult:
     """Reproduce Figure 6: mixed-mode consolidated-server performance."""
     settings = settings or ExperimentSettings()
-    result = MixedModeResult(settings=settings)
-    for workload in settings.workloads:
-        reliable_ipc: Dict[str, ConfidenceInterval] = {}
-        performance_ipc: Dict[str, ConfidenceInterval] = {}
-        reliable_tput: Dict[str, ConfidenceInterval] = {}
-        performance_tput: Dict[str, ConfidenceInterval] = {}
-        overall_tput: Dict[str, ConfidenceInterval] = {}
-        for configuration in configurations:
-            samples: Dict[str, List[float]] = {
-                "rel_ipc": [], "perf_ipc": [], "rel_tput": [], "perf_tput": [], "overall": []
-            }
-            for seed in settings.seeds:
-                machine = _figure6_machine(settings, workload, configuration, seed)
-                run = Simulator(machine, settings.options()).run()
-                reliable = run.vm("reliable")
-                performance = run.vm("performance")
-                samples["rel_ipc"].append(reliable.average_user_ipc(run.total_cycles))
-                samples["perf_ipc"].append(performance.average_user_ipc(run.total_cycles))
-                samples["rel_tput"].append(reliable.throughput(run.total_cycles))
-                samples["perf_tput"].append(performance.throughput(run.total_cycles))
-                samples["overall"].append(run.overall_throughput())
-            reliable_ipc[configuration] = confidence_interval_95(samples["rel_ipc"])
-            performance_ipc[configuration] = confidence_interval_95(samples["perf_ipc"])
-            reliable_tput[configuration] = confidence_interval_95(samples["rel_tput"])
-            performance_tput[configuration] = confidence_interval_95(samples["perf_tput"])
-            overall_tput[configuration] = confidence_interval_95(samples["overall"])
-        result.rows.append(
-            MixedModeRow(
-                workload=workload,
-                reliable_ipc=reliable_ipc,
-                performance_ipc=performance_ipc,
-                reliable_throughput=reliable_tput,
-                performance_throughput=performance_tput,
-                overall_throughput=overall_tput,
-            )
-        )
-    return result
+    runner = runner or default_runner()
+    results = runner.run_jobs(figure6_jobs(settings, configurations))
+    return _assemble_figure6(settings, results, configurations)
 
 
 # ===================================================================== #
@@ -457,31 +421,41 @@ class PabLatencyResult:
         return table.render()
 
 
-def run_pab_latency_study(
-    settings: Optional[ExperimentSettings] = None,
+def pab_jobs(settings: ExperimentSettings) -> List[ExperimentJob]:
+    """Every (workload, lookup-mode, seed) cell of the PAB latency study."""
+    cell = settings.cell_settings()
+    return [
+        ExperimentJob(
+            kind="pab", workload=workload, variant=mode.value, seed=seed, settings=cell,
+        )
+        for workload in settings.workloads
+        for mode in (PabLookupMode.PARALLEL, PabLookupMode.SERIAL)
+        for seed in settings.seeds
+    ]
+
+
+def _assemble_pab(
+    settings: ExperimentSettings, results: JobResults
 ) -> PabLatencyResult:
-    """Reproduce the serial-vs-parallel PAB lookup comparison of Section 5.2."""
-    settings = settings or ExperimentSettings()
+    cell = settings.cell_settings()
     result = PabLatencyResult(settings=settings)
     for workload in settings.workloads:
         ipc: Dict[str, float] = {}
         reliable_ipc: Dict[str, float] = {}
         for mode in (PabLookupMode.PARALLEL, PabLookupMode.SERIAL):
-            samples: List[float] = []
-            reliable_samples: List[float] = []
-            for seed in settings.seeds:
-                machine = _figure6_machine(
-                    settings,
-                    workload,
-                    "mmm-tp",
-                    seed,
-                    config=settings.config().with_pab_lookup(mode),
-                )
-                run = Simulator(machine, settings.options()).run()
-                samples.append(run.vm("performance").average_user_ipc(run.total_cycles))
-                reliable_samples.append(run.vm("reliable").average_user_ipc(run.total_cycles))
-            ipc[mode.value] = _mean(samples)
-            reliable_ipc[mode.value] = _mean(reliable_samples)
+            samples = [
+                results[
+                    ExperimentJob(
+                        kind="pab", workload=workload, variant=mode.value, seed=seed,
+                        settings=cell,
+                    )
+                ]
+                for seed in settings.seeds
+            ]
+            ipc[mode.value] = mean(sample["performance_ipc"] for sample in samples)
+            reliable_ipc[mode.value] = mean(
+                sample["reliable_ipc"] for sample in samples
+            )
         result.rows.append(
             PabLatencyRow(
                 workload=workload,
@@ -492,6 +466,16 @@ def run_pab_latency_study(
             )
         )
     return result
+
+
+def run_pab_latency_study(
+    settings: Optional[ExperimentSettings] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> PabLatencyResult:
+    """Reproduce the serial-vs-parallel PAB lookup comparison of Section 5.2."""
+    settings = settings or ExperimentSettings()
+    runner = runner or default_runner()
+    return _assemble_pab(settings, runner.run_jobs(pab_jobs(settings)))
 
 
 # ===================================================================== #
@@ -537,7 +521,44 @@ class SwitchOverheadResult:
         """Average cost of one Enter + Leave pair across workloads."""
         if not self.rows:
             return 0.0
-        return _mean([row.enter_dmr_cycles + row.leave_dmr_cycles for row in self.rows])
+        return mean(row.enter_dmr_cycles + row.leave_dmr_cycles for row in self.rows)
+
+
+def switch_overhead_jobs(
+    workloads: Sequence[str] = PAPER_WORKLOAD_NAMES,
+    transitions_to_measure: int = 8,
+    warmup_cycles: int = 8_000,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+) -> List[ExperimentJob]:
+    """One Table 1 cell per workload."""
+    resolved = (config or paper_system_config()).validate()
+    params = (
+        ("transitions_to_measure", int(transitions_to_measure)),
+        ("warmup_cycles", int(warmup_cycles)),
+    )
+    return [
+        ExperimentJob(
+            kind="table1", workload=workload, seed=seed, config=resolved, params=params,
+        )
+        for workload in workloads
+    ]
+
+
+def _assemble_table1(
+    jobs: Sequence[ExperimentJob], results: JobResults
+) -> SwitchOverheadResult:
+    result = SwitchOverheadResult()
+    for job in jobs:
+        metrics = results[job]
+        result.rows.append(
+            SwitchOverheadRow(
+                workload=job.workload,
+                enter_dmr_cycles=metrics["enter_dmr_cycles"],
+                leave_dmr_cycles=metrics["leave_dmr_cycles"],
+            )
+        )
+    return result
 
 
 def run_switch_overhead_experiment(
@@ -546,6 +567,7 @@ def run_switch_overhead_experiment(
     warmup_cycles: int = 8_000,
     config: Optional[SystemConfig] = None,
     seed: int = 0,
+    runner: Optional[ExperimentRunner] = None,
 ) -> SwitchOverheadResult:
     """Reproduce Table 1: the cycle cost of Enter-DMR and Leave-DMR.
 
@@ -553,116 +575,11 @@ def run_switch_overhead_experiment(
     configuration by default, because the Leave-DMR cost is dominated by the
     one-line-per-cycle flush of the 512 KB (8192-line) L2.
     """
-    config = (config or paper_system_config()).validate()
-    result = SwitchOverheadResult()
-    for workload in workloads:
-        specs = [
-            VmSpec(
-                name="reliable",
-                workload=workload,
-                num_vcpus=config.num_cores // 2,
-                reliability=ReliabilityMode.RELIABLE,
-                phase_scale=0.02,
-            ),
-            VmSpec(
-                name="performance",
-                workload=workload,
-                num_vcpus=config.num_cores,
-                reliability=ReliabilityMode.PERFORMANCE,
-                phase_scale=0.02,
-            ),
-        ]
-        machine = MixedModeMachine(config=config, vm_specs=specs, policy="mmm-tp", seed=seed)
-        reliable_vcpu = machine.vms[0].vcpus[0]
-        perf_vcpu_a = machine.vms[1].vcpus[0]
-        perf_vcpu_b = machine.vms[1].vcpus[1]
-
-        # Warm the caches with a little DMR and performance execution so that
-        # transition costs reflect realistic cache contents.
-        machine.hierarchy.begin_window(warmup_cycles)
-        # In steady state every VCPU's scratchpad save area has been written
-        # many times and lives in the (large) cache hierarchy; touch the slots
-        # once so the measured transitions do not pay compulsory DRAM misses.
-        for vcpu in (reliable_vcpu, perf_vcpu_a, perf_vcpu_b):
-            for copy in ("primary", "redundant"):
-                for address in machine.scratchpad.line_addresses(vcpu.vcpu_id, copy):
-                    machine.hierarchy.load(0, address)
-                    machine.hierarchy.load(1, address, coherent=False)
-        machine.timing_model.run_quantum(
-            workload=reliable_vcpu.workload,
-            assignment=CoreAssignment(
-                mode=ExecutionMode.DMR,
-                primary_core=0,
-                secondary_core=1,
-                reunion_pair=machine.pair_factory(0, 1),
-            ),
-            cycle_budget=warmup_cycles,
-            vcpu_id=reliable_vcpu.vcpu_id,
-        )
-        machine.timing_model.run_quantum(
-            workload=perf_vcpu_a.workload,
-            assignment=CoreAssignment(mode=ExecutionMode.PERFORMANCE, primary_core=2),
-            cycle_budget=warmup_cycles,
-            vcpu_id=perf_vcpu_a.vcpu_id,
-        )
-
-        enter_costs: List[float] = []
-        leave_costs: List[float] = []
-        for index in range(transitions_to_measure):
-            leave = machine.transition_engine.leave_dmr(
-                vocal_core=0,
-                mute_core=1,
-                vcpu=reliable_vcpu,
-                incoming_vocal_vcpu=perf_vcpu_a,
-                incoming_mute_vcpu=perf_vcpu_b,
-                flavor=TransitionFlavor.MMM_TP,
-                current_cycle=index,
-            )
-            leave_costs.append(leave.total_cycles)
-            # Run a little in performance mode so the next Enter has work to
-            # context switch out and the mute core has incoherent lines again.
-            machine.timing_model.run_quantum(
-                workload=perf_vcpu_a.workload,
-                assignment=CoreAssignment(mode=ExecutionMode.PERFORMANCE, primary_core=0),
-                cycle_budget=2_000,
-                vcpu_id=perf_vcpu_a.vcpu_id,
-            )
-            machine.timing_model.run_quantum(
-                workload=perf_vcpu_b.workload,
-                assignment=CoreAssignment(mode=ExecutionMode.PERFORMANCE, primary_core=1),
-                cycle_budget=2_000,
-                vcpu_id=perf_vcpu_b.vcpu_id,
-            )
-            enter = machine.transition_engine.enter_dmr(
-                vocal_core=0,
-                mute_core=1,
-                vcpu=reliable_vcpu,
-                outgoing_vocal_vcpu=perf_vcpu_a,
-                outgoing_mute_vcpu=perf_vcpu_b,
-                flavor=TransitionFlavor.MMM_TP,
-                current_cycle=index,
-            )
-            enter_costs.append(enter.total_cycles)
-            # Run a little in DMR mode so the mute cache is populated again.
-            machine.timing_model.run_quantum(
-                workload=reliable_vcpu.workload,
-                assignment=CoreAssignment(
-                    mode=ExecutionMode.DMR,
-                    primary_core=0,
-                    secondary_core=1,
-                    reunion_pair=machine.pair_factory(0, 1),
-                ),
-                cycle_budget=2_000,
-                vcpu_id=reliable_vcpu.vcpu_id,
-            )
-        result.rows.append(
-            SwitchOverheadRow(
-                workload=workload,
-                enter_dmr_cycles=_mean(enter_costs),
-                leave_dmr_cycles=_mean(leave_costs),
-            )
-        )
-    return result
+    runner = runner or default_runner()
+    jobs = switch_overhead_jobs(
+        workloads, transitions_to_measure, warmup_cycles, config, seed
+    )
+    return _assemble_table1(jobs, runner.run_jobs(jobs))
 
 
 # ===================================================================== #
@@ -710,12 +627,50 @@ class SwitchFrequencyResult:
         return table.render()
 
 
+def switch_frequency_jobs(
+    workloads: Sequence[str] = PAPER_WORKLOAD_NAMES,
+    phases_to_measure: int = 3,
+    measurement_phase_scale: float = 0.1,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+) -> List[ExperimentJob]:
+    """One Table 2 cell per workload."""
+    resolved = (config or evaluation_system_config()).validate()
+    params = (
+        ("phases_to_measure", int(phases_to_measure)),
+        ("measurement_phase_scale", float(measurement_phase_scale)),
+    )
+    return [
+        ExperimentJob(
+            kind="table2", workload=workload, seed=seed, config=resolved, params=params,
+        )
+        for workload in workloads
+    ]
+
+
+def _assemble_table2(
+    jobs: Sequence[ExperimentJob], results: JobResults
+) -> SwitchFrequencyResult:
+    result = SwitchFrequencyResult()
+    for job in jobs:
+        metrics = results[job]
+        result.rows.append(
+            SwitchFrequencyRow(
+                workload=job.workload,
+                user_cycles=metrics["user_cycles"],
+                os_cycles=metrics["os_cycles"],
+            )
+        )
+    return result
+
+
 def run_switch_frequency_experiment(
     workloads: Sequence[str] = PAPER_WORKLOAD_NAMES,
     phases_to_measure: int = 3,
     measurement_phase_scale: float = 0.1,
     config: Optional[SystemConfig] = None,
     seed: int = 0,
+    runner: Optional[ExperimentRunner] = None,
 ) -> SwitchFrequencyResult:
     """Reproduce Table 2: average user and OS cycles between mode switches.
 
@@ -725,58 +680,11 @@ def run_switch_frequency_experiment(
     of their full length and the measured cycles are scaled back up, which
     keeps the measurement cheap without changing the achieved IPC.
     """
-    config = (config or evaluation_system_config()).validate()
-    result = SwitchFrequencyResult()
-    for workload in workloads:
-        spec = VmSpec(
-            name="baseline",
-            workload=workload,
-            num_vcpus=1,
-            reliability=ReliabilityMode.RELIABLE,
-            phase_scale=measurement_phase_scale,
-            footprint_scale=1.0 / 8,
-        )
-        machine = MixedModeMachine(config=config, vm_specs=[spec], policy="no-dmr", seed=seed)
-        vcpu = machine.vms[0].vcpus[0]
-        assignment = CoreAssignment(mode=ExecutionMode.BASELINE, primary_core=0)
-        machine.hierarchy.begin_window(1_000_000)
-
-        user_cycles: List[float] = []
-        os_cycles: List[float] = []
-        # Discard the first partial phase, then time alternate phases.
-        machine.timing_model.run_quantum(
-            workload=vcpu.workload,
-            assignment=assignment,
-            cycle_budget=10_000_000,
-            vcpu_id=vcpu.vcpu_id,
-            stop_on_os_entry=True,
-        )
-        for _ in range(phases_to_measure):
-            os_run = machine.timing_model.run_quantum(
-                workload=vcpu.workload,
-                assignment=assignment,
-                cycle_budget=50_000_000,
-                vcpu_id=vcpu.vcpu_id,
-                stop_on_os_exit=True,
-            )
-            os_cycles.append(os_run.cycles)
-            user_run = machine.timing_model.run_quantum(
-                workload=vcpu.workload,
-                assignment=assignment,
-                cycle_budget=50_000_000,
-                vcpu_id=vcpu.vcpu_id,
-                stop_on_os_entry=True,
-            )
-            user_cycles.append(user_run.cycles)
-        scale = 1.0 / measurement_phase_scale
-        result.rows.append(
-            SwitchFrequencyRow(
-                workload=workload,
-                user_cycles=_mean(user_cycles) * scale,
-                os_cycles=_mean(os_cycles) * scale,
-            )
-        )
-    return result
+    runner = runner or default_runner()
+    jobs = switch_frequency_jobs(
+        workloads, phases_to_measure, measurement_phase_scale, config, seed
+    )
+    return _assemble_table2(jobs, runner.run_jobs(jobs))
 
 
 # ===================================================================== #
@@ -829,10 +737,15 @@ def run_single_os_overhead_study(
     switch_overheads: Optional[SwitchOverheadResult] = None,
     switch_frequency: Optional[SwitchFrequencyResult] = None,
     workloads: Sequence[str] = PAPER_WORKLOAD_NAMES,
+    runner: Optional[ExperimentRunner] = None,
 ) -> SingleOsOverheadResult:
     """Combine Table 1 and Table 2 into the paper's single-OS overhead estimate."""
-    switch_overheads = switch_overheads or run_switch_overhead_experiment(workloads)
-    switch_frequency = switch_frequency or run_switch_frequency_experiment(workloads)
+    switch_overheads = switch_overheads or run_switch_overhead_experiment(
+        workloads, runner=runner
+    )
+    switch_frequency = switch_frequency or run_switch_frequency_experiment(
+        workloads, runner=runner
+    )
     result = SingleOsOverheadResult()
     for workload in workloads:
         overhead_row = switch_overheads.row(workload)
@@ -884,36 +797,157 @@ class WindowAblationResult:
         return table.render()
 
 
+def window_ablation_jobs(settings: ExperimentSettings) -> List[ExperimentJob]:
+    """One ablation cell per (workload, variant)."""
+    cell = settings.cell_settings()
+    seed = settings.seeds[0]
+    return [
+        ExperimentJob(
+            kind="ablation", workload=workload, variant=variant, seed=seed,
+            settings=cell,
+        )
+        for workload in settings.workloads
+        for variant in ABLATION_VARIANTS
+    ]
+
+
+def _assemble_ablation(
+    settings: ExperimentSettings, results: JobResults
+) -> WindowAblationResult:
+    cell = settings.cell_settings()
+    seed = settings.seeds[0]
+    result = WindowAblationResult(settings=settings)
+    for workload in settings.workloads:
+        ipc_by_variant = {
+            variant: results[
+                ExperimentJob(
+                    kind="ablation", workload=workload, variant=variant, seed=seed,
+                    settings=cell,
+                )
+            ]["user_ipc"]
+            for variant in ABLATION_VARIANTS
+        }
+        result.rows.append(WindowAblationRow(workload=workload, ipc_by_variant=ipc_by_variant))
+    return result
+
+
 def run_window_ablation(
     settings: Optional[ExperimentSettings] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> WindowAblationResult:
     """Reproduce the prior-work comparison: a larger window and a TSO store
     buffer recover much of Reunion's IPC loss."""
     settings = settings or ExperimentSettings(workloads=("apache", "oltp"))
-    variants = {
-        "window128-sc": (128, ConsistencyModel.SEQUENTIAL),
-        "window256-sc": (256, ConsistencyModel.SEQUENTIAL),
-        "window256-tso": (256, ConsistencyModel.TSO),
-    }
-    result = WindowAblationResult(settings=settings)
-    for workload in settings.workloads:
-        ipc_by_variant: Dict[str, float] = {}
-        for label, (window, consistency) in variants.items():
-            config = (
-                settings.config().with_window_entries(window).with_consistency(consistency)
-            )
-            spec = VmSpec(
-                name="baseline",
-                workload=workload,
-                num_vcpus=config.num_cores // 2,
-                reliability=ReliabilityMode.RELIABLE,
-                phase_scale=settings.phase_scale,
-                footprint_scale=settings.footprint_scale,
-            )
-            machine = MixedModeMachine(
-                config=config, vm_specs=[spec], policy="dmr-base", seed=settings.seeds[0]
-            )
-            run = Simulator(machine, settings.options()).run()
-            ipc_by_variant[label] = run.vm("baseline").average_user_ipc(run.total_cycles)
-        result.rows.append(WindowAblationRow(workload=workload, ipc_by_variant=ipc_by_variant))
-    return result
+    runner = runner or default_runner()
+    return _assemble_ablation(settings, runner.run_jobs(window_ablation_jobs(settings)))
+
+
+# ===================================================================== #
+# Everything at once
+# ===================================================================== #
+
+
+@dataclass
+class AllExperimentsResult:
+    """Every experiment's result, produced from one job batch."""
+
+    settings: ExperimentSettings
+    figure5: DmrOverheadResult
+    figure6: MixedModeResult
+    pab: PabLatencyResult
+    table1: Optional[SwitchOverheadResult] = None
+    table2: Optional[SwitchFrequencyResult] = None
+    single_os: Optional[SingleOsOverheadResult] = None
+    ablation: Optional[WindowAblationResult] = None
+    #: Raw per-cell metrics keyed by cache key -- the canonical, fully
+    #: serializable record of the batch (used by the determinism tests to
+    #: compare serial and parallel runs byte for byte).
+    job_metrics: Dict[str, Metrics] = field(default_factory=dict)
+
+    def sections(self) -> List[str]:
+        """Every reproduced table, in the paper's presentation order."""
+        parts = [
+            self.figure5.format_ipc_table(),
+            self.figure5.format_throughput_table(),
+            self.figure6.format_ipc_table(),
+            self.figure6.format_throughput_table(),
+            self.pab.format_table(),
+        ]
+        if self.table1 is not None:
+            parts.append(self.table1.format_table())
+        if self.table2 is not None:
+            parts.append(self.table2.format_table())
+        if self.single_os is not None:
+            parts.append(self.single_os.format_table())
+        if self.ablation is not None:
+            parts.append(self.ablation.format_table())
+        return parts
+
+    def render(self) -> str:
+        """The full plain-text report."""
+        return "\n\n".join(self.sections())
+
+
+def run_all_experiments(
+    settings: Optional[ExperimentSettings] = None,
+    runner: Optional[ExperimentRunner] = None,
+    include_switching: bool = True,
+    include_ablation: bool = True,
+) -> AllExperimentsResult:
+    """Run the whole evaluation as one job batch.
+
+    Every cell of every experiment is enumerated up front and handed to the
+    runner in a single call, so a multi-worker runner overlaps cells *across*
+    experiments (not just within one) and a warm cache re-run executes
+    nothing at all.
+    """
+    settings = settings or ExperimentSettings()
+    runner = runner or default_runner()
+    seed = settings.seeds[0]
+
+    jobs: List[ExperimentJob] = []
+    jobs += figure5_jobs(settings)
+    jobs += figure6_jobs(settings)
+    jobs += pab_jobs(settings)
+    table1_jobs: List[ExperimentJob] = []
+    table2_jobs: List[ExperimentJob] = []
+    if include_switching:
+        table1_jobs = switch_overhead_jobs(
+            settings.workloads,
+            transitions_to_measure=settings.switch_transitions,
+            warmup_cycles=settings.switch_warmup_cycles,
+            seed=seed,
+        )
+        table2_jobs = switch_frequency_jobs(
+            settings.workloads,
+            phases_to_measure=settings.frequency_phases,
+            measurement_phase_scale=settings.frequency_phase_scale,
+            seed=seed,
+        )
+        jobs += table1_jobs + table2_jobs
+    ablation_settings = settings.with_workloads(settings.workloads[:2])
+    if include_ablation:
+        jobs += window_ablation_jobs(ablation_settings)
+
+    results = runner.run_jobs(jobs)
+
+    table1 = _assemble_table1(table1_jobs, results) if include_switching else None
+    table2 = _assemble_table2(table2_jobs, results) if include_switching else None
+    single_os = (
+        run_single_os_overhead_study(table1, table2, settings.workloads)
+        if include_switching
+        else None
+    )
+    return AllExperimentsResult(
+        settings=settings,
+        figure5=_assemble_figure5(settings, results),
+        figure6=_assemble_figure6(settings, results, FIGURE6_CONFIGS),
+        pab=_assemble_pab(settings, results),
+        table1=table1,
+        table2=table2,
+        single_os=single_os,
+        ablation=(
+            _assemble_ablation(ablation_settings, results) if include_ablation else None
+        ),
+        job_metrics={job.cache_key(): dict(results[job]) for job in jobs},
+    )

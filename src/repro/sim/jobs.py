@@ -1,0 +1,497 @@
+"""The unit of work of the experiment engine: one picklable simulation cell.
+
+Every cell of the paper's evaluation -- one (experiment, workload,
+configuration-variant, seed) combination -- is described by an
+:class:`ExperimentJob`.  A job is a frozen dataclass of plain values, so it
+
+* pickles cleanly across :class:`concurrent.futures.ProcessPoolExecutor`
+  workers (the machine itself is rebuilt inside the worker),
+* hashes and compares by value, letting the runner deduplicate identical
+  cells within a batch, and
+* derives a deterministic :meth:`~ExperimentJob.cache_key` from its settings
+  hash, which is what makes the on-disk result cache of
+  :mod:`repro.sim.runner` sound: two jobs share a key exactly when they
+  describe the same simulation.
+
+:func:`execute_job` maps a job to its flat ``{metric: value}`` dictionary.
+It is a module-level function on purpose: process-pool workers import it by
+reference.  The experiment entry points in :mod:`repro.sim.experiments`
+enumerate jobs, hand them to a runner, and assemble their result dataclasses
+from the returned metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import repro
+from repro.common.stats import mean
+from repro.config.presets import evaluation_system_config, paper_system_config
+from repro.config.system import ConsistencyModel, PabLookupMode, SystemConfig
+from repro.core.machine import MixedModeMachine, VmSpec
+from repro.core.transitions import TransitionFlavor
+from repro.cpu.timing import CoreAssignment, ExecutionMode
+from repro.errors import ExperimentError
+from repro.sim.results import SimulationResult
+from repro.sim.settings import ExperimentSettings
+from repro.sim.simulator import Simulator
+from repro.virt.vcpu import ReliabilityMode
+
+#: Bump whenever the meaning of a job's metrics changes incompatibly; old
+#: on-disk cache entries are then ignored.  Simulator *behaviour* changes do
+#: not need a bump: the cache key also digests the package's source code
+#: (see :func:`code_fingerprint`), so results simulated by different code
+#: are never served as current.
+CACHE_SCHEMA_VERSION = 1
+
+_CODE_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file, computed once per process.
+
+    Folding this into the job cache keys makes stale cache hits structurally
+    impossible: any edit to the package invalidates every cached cell, with
+    no human in the loop to forget a version bump.  (Falls back to the
+    package version when the sources are not on disk.)
+    """
+    global _CODE_FINGERPRINT
+    if _CODE_FINGERPRINT is None:
+        digest = hashlib.sha256()
+        package_root = Path(repro.__file__).parent
+        sources = sorted(package_root.rglob("*.py"))
+        if not sources:
+            digest.update(getattr(repro, "__version__", "unknown").encode("utf-8"))
+        for path in sources:
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _CODE_FINGERPRINT = digest.hexdigest()
+    return _CODE_FINGERPRINT
+
+#: Configuration labels of Figure 5, in presentation order.
+FIGURE5_CONFIGS = ("no-dmr-2x", "no-dmr", "reunion")
+
+#: Configuration labels of Figure 6, in presentation order.
+FIGURE6_CONFIGS = ("dmr-base", "mmm-ipc", "mmm-tp")
+
+#: Variants of the window/consistency ablation, in presentation order.
+ABLATION_VARIANTS: Dict[str, Tuple[int, ConsistencyModel]] = {
+    "window128-sc": (128, ConsistencyModel.SEQUENTIAL),
+    "window256-sc": (256, ConsistencyModel.SEQUENTIAL),
+    "window256-tso": (256, ConsistencyModel.TSO),
+}
+
+#: Values allowed in a job's ``params`` payload (JSON scalars).
+ParamValue = Union[int, float, str, bool, None]
+
+
+@dataclass(frozen=True)
+class ExperimentJob:
+    """One (experiment, workload, config-variant, seed) simulation cell."""
+
+    #: Which experiment the cell belongs to (``figure5``, ``figure6``,
+    #: ``pab``, ``table1``, ``table2``, ``ablation``).
+    kind: str
+    workload: str
+    #: Kind-specific configuration label (Figure 5/6 configuration, PAB
+    #: lookup mode, ablation variant); empty when the kind has none.
+    variant: str = ""
+    seed: int = 0
+    #: Sweep settings for the cells driven by :class:`ExperimentSettings`
+    #: (normalised via :meth:`ExperimentSettings.cell_settings`).
+    settings: Optional[ExperimentSettings] = None
+    #: Explicit machine configuration for the cells that do not derive it
+    #: from ``settings`` (Table 1 and Table 2).
+    config: Optional[SystemConfig] = None
+    #: Extra kind-specific knobs as a sorted tuple of (name, scalar) pairs.
+    params: Tuple[Tuple[str, ParamValue], ...] = ()
+
+    def param(self, name: str, default: ParamValue = None) -> ParamValue:
+        """Read one entry of the ``params`` payload."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell name for logs and error messages."""
+        parts = [self.kind, self.workload]
+        if self.variant:
+            parts.append(self.variant)
+        parts.append(f"seed{self.seed}")
+        return "/".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A canonical JSON-safe description of the cell."""
+        return {
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": self.kind,
+            "workload": self.workload,
+            "variant": self.variant,
+            "seed": self.seed,
+            "settings": asdict(self.settings) if self.settings is not None else None,
+            "config": asdict(self.config) if self.config is not None else None,
+            "params": dict(self.params),
+        }
+
+    def cache_key(self) -> str:
+        """Deterministic digest of everything that influences the result:
+        the full cell description plus the simulating code itself."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        payload = code_fingerprint() + "\0" + canonical
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ===================================================================== #
+# Machine builders
+# ===================================================================== #
+
+
+def figure5_machine(
+    settings: ExperimentSettings, workload: str, configuration: str, seed: int
+) -> MixedModeMachine:
+    """The single-VM machine of one Figure 5 configuration."""
+    config = settings.config()
+    if configuration == "no-dmr-2x":
+        num_vcpus, policy = config.num_cores, "no-dmr"
+    elif configuration == "no-dmr":
+        num_vcpus, policy = config.num_cores // 2, "no-dmr"
+    elif configuration == "reunion":
+        num_vcpus, policy = config.num_cores // 2, "dmr-base"
+    else:
+        raise ExperimentError(f"unknown Figure 5 configuration {configuration!r}")
+    spec = VmSpec(
+        name="baseline",
+        workload=workload,
+        num_vcpus=num_vcpus,
+        reliability=ReliabilityMode.RELIABLE,
+        phase_scale=settings.phase_scale,
+        footprint_scale=settings.footprint_scale,
+    )
+    return MixedModeMachine(config=config, vm_specs=[spec], policy=policy, seed=seed)
+
+
+def figure6_machine(
+    settings: ExperimentSettings,
+    workload: str,
+    configuration: str,
+    seed: int,
+    config: Optional[SystemConfig] = None,
+) -> MixedModeMachine:
+    """The two-VM consolidated server of one Figure 6 configuration."""
+    config = config if config is not None else settings.config()
+    if configuration == "dmr-base":
+        policy, perf_vcpus, perf_mode = "dmr-base", config.num_cores // 2, ReliabilityMode.RELIABLE
+    elif configuration == "mmm-ipc":
+        policy, perf_vcpus, perf_mode = "mmm-ipc", config.num_cores // 2, ReliabilityMode.PERFORMANCE
+    elif configuration == "mmm-tp":
+        policy, perf_vcpus, perf_mode = "mmm-tp", config.num_cores, ReliabilityMode.PERFORMANCE
+    else:
+        raise ExperimentError(f"unknown Figure 6 configuration {configuration!r}")
+    specs = [
+        VmSpec(
+            name="reliable",
+            workload=workload,
+            num_vcpus=min(settings.reliable_vcpus, config.num_cores // 2),
+            reliability=ReliabilityMode.RELIABLE,
+            phase_scale=settings.phase_scale,
+            footprint_scale=settings.footprint_scale,
+        ),
+        VmSpec(
+            name="performance",
+            workload=workload,
+            num_vcpus=perf_vcpus,
+            reliability=perf_mode,
+            phase_scale=settings.phase_scale,
+            footprint_scale=settings.footprint_scale,
+        ),
+    ]
+    return MixedModeMachine(config=config, vm_specs=specs, policy=policy, seed=seed)
+
+
+def _ablation_machine(
+    settings: ExperimentSettings, workload: str, variant: str, seed: int
+) -> MixedModeMachine:
+    try:
+        window, consistency = ABLATION_VARIANTS[variant]
+    except KeyError:
+        raise ExperimentError(f"unknown ablation variant {variant!r}") from None
+    config = settings.config().with_window_entries(window).with_consistency(consistency)
+    spec = VmSpec(
+        name="baseline",
+        workload=workload,
+        num_vcpus=config.num_cores // 2,
+        reliability=ReliabilityMode.RELIABLE,
+        phase_scale=settings.phase_scale,
+        footprint_scale=settings.footprint_scale,
+    )
+    return MixedModeMachine(config=config, vm_specs=[spec], policy="dmr-base", seed=seed)
+
+
+def _require_settings(job: ExperimentJob) -> ExperimentSettings:
+    if job.settings is None:
+        raise ExperimentError(f"job {job.label} needs ExperimentSettings")
+    return job.settings
+
+
+def simulate_cell(job: ExperimentJob) -> SimulationResult:
+    """Build and run the machine of one Simulator-driven cell.
+
+    Used by the cell executors below and directly by the determinism tests:
+    the returned :class:`SimulationResult` (not just the extracted metrics)
+    must be identical whether the cell runs in-process or in a pool worker.
+    """
+    settings = _require_settings(job)
+    if job.kind == "figure5":
+        machine = figure5_machine(settings, job.workload, job.variant, job.seed)
+    elif job.kind == "figure6":
+        machine = figure6_machine(settings, job.workload, job.variant, job.seed)
+    elif job.kind == "pab":
+        machine = figure6_machine(
+            settings,
+            job.workload,
+            "mmm-tp",
+            job.seed,
+            config=settings.config().with_pab_lookup(PabLookupMode(job.variant)),
+        )
+    elif job.kind == "ablation":
+        machine = _ablation_machine(settings, job.workload, job.variant, job.seed)
+    else:
+        raise ExperimentError(f"{job.kind!r} cells are not Simulator-driven")
+    return Simulator(machine, settings.options()).run()
+
+
+# ===================================================================== #
+# Cell executors (one per experiment kind)
+# ===================================================================== #
+
+
+def _execute_figure5(job: ExperimentJob) -> Dict[str, float]:
+    run = simulate_cell(job)
+    vm = run.vm("baseline")
+    return {
+        "user_ipc": vm.average_user_ipc(run.total_cycles),
+        "throughput": run.overall_throughput(),
+    }
+
+
+def _execute_figure6(job: ExperimentJob) -> Dict[str, float]:
+    run = simulate_cell(job)
+    reliable = run.vm("reliable")
+    performance = run.vm("performance")
+    return {
+        "reliable_ipc": reliable.average_user_ipc(run.total_cycles),
+        "performance_ipc": performance.average_user_ipc(run.total_cycles),
+        "reliable_throughput": reliable.throughput(run.total_cycles),
+        "performance_throughput": performance.throughput(run.total_cycles),
+        "overall_throughput": run.overall_throughput(),
+    }
+
+
+def _execute_pab(job: ExperimentJob) -> Dict[str, float]:
+    run = simulate_cell(job)
+    return {
+        "performance_ipc": run.vm("performance").average_user_ipc(run.total_cycles),
+        "reliable_ipc": run.vm("reliable").average_user_ipc(run.total_cycles),
+    }
+
+
+def _execute_ablation(job: ExperimentJob) -> Dict[str, float]:
+    run = simulate_cell(job)
+    return {"user_ipc": run.vm("baseline").average_user_ipc(run.total_cycles)}
+
+
+def _execute_table1(job: ExperimentJob) -> Dict[str, float]:
+    """Measure Enter/Leave-DMR costs for one workload (Table 1)."""
+    config = (job.config or paper_system_config()).validate()
+    transitions_to_measure = int(job.param("transitions_to_measure", 8))
+    warmup_cycles = int(job.param("warmup_cycles", 8_000))
+    specs = [
+        VmSpec(
+            name="reliable",
+            workload=job.workload,
+            num_vcpus=config.num_cores // 2,
+            reliability=ReliabilityMode.RELIABLE,
+            phase_scale=0.02,
+        ),
+        VmSpec(
+            name="performance",
+            workload=job.workload,
+            num_vcpus=config.num_cores,
+            reliability=ReliabilityMode.PERFORMANCE,
+            phase_scale=0.02,
+        ),
+    ]
+    machine = MixedModeMachine(
+        config=config, vm_specs=specs, policy="mmm-tp", seed=job.seed
+    )
+    reliable_vcpu = machine.vms[0].vcpus[0]
+    perf_vcpu_a = machine.vms[1].vcpus[0]
+    perf_vcpu_b = machine.vms[1].vcpus[1]
+
+    # Warm the caches with a little DMR and performance execution so that
+    # transition costs reflect realistic cache contents.
+    machine.hierarchy.begin_window(warmup_cycles)
+    # In steady state every VCPU's scratchpad save area has been written
+    # many times and lives in the (large) cache hierarchy; touch the slots
+    # once so the measured transitions do not pay compulsory DRAM misses.
+    for vcpu in (reliable_vcpu, perf_vcpu_a, perf_vcpu_b):
+        for copy in ("primary", "redundant"):
+            for address in machine.scratchpad.line_addresses(vcpu.vcpu_id, copy):
+                machine.hierarchy.load(0, address)
+                machine.hierarchy.load(1, address, coherent=False)
+    machine.timing_model.run_quantum(
+        workload=reliable_vcpu.workload,
+        assignment=CoreAssignment(
+            mode=ExecutionMode.DMR,
+            primary_core=0,
+            secondary_core=1,
+            reunion_pair=machine.pair_factory(0, 1),
+        ),
+        cycle_budget=warmup_cycles,
+        vcpu_id=reliable_vcpu.vcpu_id,
+    )
+    machine.timing_model.run_quantum(
+        workload=perf_vcpu_a.workload,
+        assignment=CoreAssignment(mode=ExecutionMode.PERFORMANCE, primary_core=2),
+        cycle_budget=warmup_cycles,
+        vcpu_id=perf_vcpu_a.vcpu_id,
+    )
+
+    enter_costs: List[float] = []
+    leave_costs: List[float] = []
+    for index in range(transitions_to_measure):
+        leave = machine.transition_engine.leave_dmr(
+            vocal_core=0,
+            mute_core=1,
+            vcpu=reliable_vcpu,
+            incoming_vocal_vcpu=perf_vcpu_a,
+            incoming_mute_vcpu=perf_vcpu_b,
+            flavor=TransitionFlavor.MMM_TP,
+            current_cycle=index,
+        )
+        leave_costs.append(leave.total_cycles)
+        # Run a little in performance mode so the next Enter has work to
+        # context switch out and the mute core has incoherent lines again.
+        machine.timing_model.run_quantum(
+            workload=perf_vcpu_a.workload,
+            assignment=CoreAssignment(mode=ExecutionMode.PERFORMANCE, primary_core=0),
+            cycle_budget=2_000,
+            vcpu_id=perf_vcpu_a.vcpu_id,
+        )
+        machine.timing_model.run_quantum(
+            workload=perf_vcpu_b.workload,
+            assignment=CoreAssignment(mode=ExecutionMode.PERFORMANCE, primary_core=1),
+            cycle_budget=2_000,
+            vcpu_id=perf_vcpu_b.vcpu_id,
+        )
+        enter = machine.transition_engine.enter_dmr(
+            vocal_core=0,
+            mute_core=1,
+            vcpu=reliable_vcpu,
+            outgoing_vocal_vcpu=perf_vcpu_a,
+            outgoing_mute_vcpu=perf_vcpu_b,
+            flavor=TransitionFlavor.MMM_TP,
+            current_cycle=index,
+        )
+        enter_costs.append(enter.total_cycles)
+        # Run a little in DMR mode so the mute cache is populated again.
+        machine.timing_model.run_quantum(
+            workload=reliable_vcpu.workload,
+            assignment=CoreAssignment(
+                mode=ExecutionMode.DMR,
+                primary_core=0,
+                secondary_core=1,
+                reunion_pair=machine.pair_factory(0, 1),
+            ),
+            cycle_budget=2_000,
+            vcpu_id=reliable_vcpu.vcpu_id,
+        )
+    return {
+        "enter_dmr_cycles": mean(enter_costs),
+        "leave_dmr_cycles": mean(leave_costs),
+    }
+
+
+def _execute_table2(job: ExperimentJob) -> Dict[str, float]:
+    """Time user and OS phases of one workload (Table 2)."""
+    config = (job.config or evaluation_system_config()).validate()
+    phases_to_measure = int(job.param("phases_to_measure", 3))
+    measurement_phase_scale = float(job.param("measurement_phase_scale", 0.1))
+    spec = VmSpec(
+        name="baseline",
+        workload=job.workload,
+        num_vcpus=1,
+        reliability=ReliabilityMode.RELIABLE,
+        phase_scale=measurement_phase_scale,
+        footprint_scale=1.0 / 8,
+    )
+    machine = MixedModeMachine(
+        config=config, vm_specs=[spec], policy="no-dmr", seed=job.seed
+    )
+    vcpu = machine.vms[0].vcpus[0]
+    assignment = CoreAssignment(mode=ExecutionMode.BASELINE, primary_core=0)
+    machine.hierarchy.begin_window(1_000_000)
+
+    user_cycles: List[float] = []
+    os_cycles: List[float] = []
+    # Discard the first partial phase, then time alternate phases.
+    machine.timing_model.run_quantum(
+        workload=vcpu.workload,
+        assignment=assignment,
+        cycle_budget=10_000_000,
+        vcpu_id=vcpu.vcpu_id,
+        stop_on_os_entry=True,
+    )
+    for _ in range(phases_to_measure):
+        os_run = machine.timing_model.run_quantum(
+            workload=vcpu.workload,
+            assignment=assignment,
+            cycle_budget=50_000_000,
+            vcpu_id=vcpu.vcpu_id,
+            stop_on_os_exit=True,
+        )
+        os_cycles.append(os_run.cycles)
+        user_run = machine.timing_model.run_quantum(
+            workload=vcpu.workload,
+            assignment=assignment,
+            cycle_budget=50_000_000,
+            vcpu_id=vcpu.vcpu_id,
+            stop_on_os_entry=True,
+        )
+        user_cycles.append(user_run.cycles)
+    scale = 1.0 / measurement_phase_scale
+    return {
+        "user_cycles": mean(user_cycles) * scale,
+        "os_cycles": mean(os_cycles) * scale,
+    }
+
+
+_EXECUTORS: Dict[str, Callable[[ExperimentJob], Dict[str, float]]] = {
+    "figure5": _execute_figure5,
+    "figure6": _execute_figure6,
+    "pab": _execute_pab,
+    "ablation": _execute_ablation,
+    "table1": _execute_table1,
+    "table2": _execute_table2,
+}
+
+
+def execute_job(job: ExperimentJob) -> Dict[str, float]:
+    """Run one cell and return its flat metric dictionary.
+
+    Module-level so that :class:`concurrent.futures.ProcessPoolExecutor`
+    workers can import it by reference; the machine is rebuilt inside the
+    worker from the job's plain-value description.
+    """
+    try:
+        executor = _EXECUTORS[job.kind]
+    except KeyError:
+        raise ExperimentError(f"unknown experiment job kind {job.kind!r}") from None
+    return executor(job)

@@ -14,16 +14,8 @@ from repro.analysis.tables import TextTable
 from repro.config.presets import paper_system_config
 from repro.faults.campaign import FaultInjectionCampaign
 from repro.faults.outcomes import CoverageReport
-from repro.sim.experiments import (
-    ExperimentSettings,
-    run_dmr_overhead_experiment,
-    run_mixed_mode_experiment,
-    run_pab_latency_study,
-    run_single_os_overhead_study,
-    run_switch_frequency_experiment,
-    run_switch_overhead_experiment,
-    run_window_ablation,
-)
+from repro.sim.experiments import ExperimentSettings, run_all_experiments
+from repro.sim.runner import ExperimentRunner
 
 
 def format_coverage_reports(reports: List[CoverageReport]) -> str:
@@ -50,35 +42,23 @@ def full_report(
     include_switching: bool = True,
     include_ablation: bool = True,
     include_faults: bool = True,
+    runner: Optional[ExperimentRunner] = None,
 ) -> str:
-    """Run every experiment and return one combined plain-text report."""
+    """Run every experiment and return one combined plain-text report.
+
+    The simulation experiments go through :func:`run_all_experiments` as one
+    job batch, so a parallel runner overlaps cells across experiments and a
+    warm cache serves the whole report without simulating anything.  The
+    fault-injection campaign is not cell-shaped and still runs inline.
+    """
     settings = settings or ExperimentSettings()
-    sections: List[str] = []
-
-    figure5 = run_dmr_overhead_experiment(settings)
-    sections.append(figure5.format_ipc_table())
-    sections.append(figure5.format_throughput_table())
-
-    figure6 = run_mixed_mode_experiment(settings)
-    sections.append(figure6.format_ipc_table())
-    sections.append(figure6.format_throughput_table())
-
-    pab = run_pab_latency_study(settings)
-    sections.append(pab.format_table())
-
-    if include_switching:
-        table1 = run_switch_overhead_experiment(settings.workloads)
-        sections.append(table1.format_table())
-        table2 = run_switch_frequency_experiment(settings.workloads)
-        sections.append(table2.format_table())
-        single_os = run_single_os_overhead_study(table1, table2, settings.workloads)
-        sections.append(single_os.format_table())
-
-    if include_ablation:
-        ablation = run_window_ablation(settings.with_workloads(settings.workloads[:2]))
-        sections.append(ablation.format_table())
-
+    everything = run_all_experiments(
+        settings,
+        runner=runner,
+        include_switching=include_switching,
+        include_ablation=include_ablation,
+    )
+    sections: List[str] = everything.sections()
     if include_faults:
         sections.append(fault_coverage_report())
-
     return "\n\n".join(sections)

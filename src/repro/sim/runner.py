@@ -1,0 +1,267 @@
+"""Parallel experiment execution with an on-disk result cache.
+
+:class:`ExperimentRunner` executes batches of
+:class:`~repro.sim.jobs.ExperimentJob` cells either serially (``jobs=1``) or
+fanned out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(``jobs=N``).  Because every job is a plain-value description of its cell and
+every cell is seeded deterministically, the two paths produce identical
+results; the determinism tests in ``tests/test_runner.py`` assert exactly
+that contract.
+
+Results are memoised twice:
+
+* **in memory** for the lifetime of the runner (a batch that enumerates the
+  same cell twice simulates it once), and
+* **on disk** (optional) as one JSON file per cell under
+  ``<cache_dir>/<kind>/<cache_key>.json``, written as each cell completes,
+  so a re-run after an interrupted or extended sweep only executes the
+  cells that are missing or whose description changed.  The cache key is a
+  SHA-256 digest over the *full* cell description (settings, configuration,
+  seed, kind-specific parameters, schema version) *and* a fingerprint of
+  the ``repro`` package's source code, so results simulated by different
+  code can never be served as current.
+
+``runner.stats`` records how many cells were executed versus served from the
+caches; the warm-cache tests assert ``executed == 0`` on a second run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ExperimentError
+from repro.sim.jobs import CACHE_SCHEMA_VERSION, ExperimentJob, execute_job
+
+Metrics = Dict[str, float]
+
+#: Environment variable overriding the default on-disk cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> Path:
+    """The on-disk cache location used when none is given explicitly."""
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+@dataclass
+class RunnerStats:
+    """How a batch (or a runner lifetime) was served."""
+
+    #: Cells actually simulated.
+    executed: int = 0
+    #: Cells served from the on-disk cache.
+    cached: int = 0
+    #: Cells served from the runner's in-memory memo (duplicates included).
+    memoized: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total cell requests."""
+        return self.executed + self.cached + self.memoized
+
+    def summary(self) -> str:
+        """One-line human-readable account of the batch."""
+        return (
+            f"{self.executed} executed, {self.cached} from cache, "
+            f"{self.memoized} memoized"
+        )
+
+
+class ResultCache:
+    """One-JSON-file-per-cell result store keyed by the job's cache key."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, job: ExperimentJob) -> Path:
+        """Where the given cell's result lives (whether or not it exists)."""
+        return self.directory / job.kind / f"{job.cache_key()}.json"
+
+    def load(self, job: ExperimentJob) -> Optional[Metrics]:
+        """Return the cached metrics for ``job``, or ``None`` on a miss.
+
+        Corrupt or incompatible entries (schema changes, truncated writes)
+        are treated as misses rather than errors.
+        """
+        path = self.path_for(job)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        if payload.get("key") != job.cache_key():
+            return None
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            return None
+        return metrics
+
+    def store(self, job: ExperimentJob, metrics: Metrics) -> None:
+        """Persist one cell's metrics (atomically, via rename)."""
+        path = self.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": job.cache_key(),
+            "job": job.to_dict(),
+            "metrics": metrics,
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8")
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every cached entry; return how many files were removed."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        for path in self.directory.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+class ExperimentRunner:
+    """Executes job batches serially or over a process pool, with caching."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        use_cache: Optional[bool] = None,
+        executor: Callable[[ExperimentJob], Metrics] = execute_job,
+    ) -> None:
+        if jobs < 1:
+            raise ExperimentError("an ExperimentRunner needs at least one worker")
+        self.jobs = jobs
+        #: Caching defaults to "on exactly when a cache directory was given";
+        #: pass ``use_cache=True`` to enable it at the default location.
+        if use_cache is None:
+            use_cache = cache_dir is not None
+        self.cache = (
+            ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
+            if use_cache
+            else None
+        )
+        self._executor = executor
+        self._memo: Dict[ExperimentJob, Metrics] = {}
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------ #
+    # Batch execution
+    # ------------------------------------------------------------------ #
+
+    def run_jobs(
+        self, jobs: Sequence[ExperimentJob]
+    ) -> Dict[ExperimentJob, Metrics]:
+        """Execute a batch and return ``{job: metrics}`` for every cell.
+
+        Duplicate jobs within the batch are simulated once.  Cells already
+        known to the in-memory memo or the on-disk cache are not re-run;
+        only the remaining cells are executed, in parallel when the runner
+        was built with ``jobs > 1``.
+        """
+        pending: List[ExperimentJob] = []
+        seen: set = set()
+        for job in jobs:
+            if job in self._memo:
+                self.stats.memoized += 1
+                continue
+            if job in seen:
+                self.stats.memoized += 1
+                continue
+            if self.cache is not None:
+                hit = self.cache.load(job)
+                if hit is not None:
+                    self._memo[job] = hit
+                    self.stats.cached += 1
+                    continue
+            seen.add(job)
+            pending.append(job)
+
+        # Results are recorded (and written to the cache) as each cell
+        # completes, not after the whole batch: an interrupted or partially
+        # failed sweep keeps everything that finished, so the re-run only
+        # executes the remaining cells.
+        for job, metrics in self._execute(pending):
+            self._memo[job] = metrics
+            if self.cache is not None:
+                self.cache.store(job, metrics)
+            self.stats.executed += 1
+
+        return {job: self._memo[job] for job in jobs}
+
+    def run_job(self, job: ExperimentJob) -> Metrics:
+        """Execute (or recall) a single cell."""
+        return self.run_jobs([job])[job]
+
+    def _execute(
+        self, pending: Sequence[ExperimentJob]
+    ) -> Iterable[Tuple[ExperimentJob, Metrics]]:
+        if not pending:
+            return
+        if self.jobs == 1 or len(pending) == 1:
+            for job in pending:
+                yield job, self._executor(job)
+            return
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(self._executor, job): job for job in pending}
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+
+
+# ---------------------------------------------------------------------- #
+# Default runner plumbing
+# ---------------------------------------------------------------------- #
+
+#: The runner used by experiment entry points when none is passed explicitly.
+#: Serial and uncached by default, so plain library calls keep their
+#: historical behaviour; the CLI and the benchmark harness install richer
+#: runners via :func:`set_default_runner` / :func:`using_runner`.
+_default_runner: Optional[ExperimentRunner] = None
+
+
+def default_runner() -> ExperimentRunner:
+    """The currently installed default runner (serial/uncached fallback)."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = ExperimentRunner(jobs=1, use_cache=False)
+    return _default_runner
+
+
+def set_default_runner(runner: Optional[ExperimentRunner]) -> None:
+    """Install (or, with ``None``, reset) the process-wide default runner."""
+    global _default_runner
+    _default_runner = runner
+
+
+@contextmanager
+def using_runner(runner: ExperimentRunner) -> Iterator[ExperimentRunner]:
+    """Temporarily install ``runner`` as the default within a ``with`` block."""
+    previous = _default_runner
+    set_default_runner(runner)
+    try:
+        yield runner
+    finally:
+        set_default_runner(previous)

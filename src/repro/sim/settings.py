@@ -1,0 +1,115 @@
+"""Shared experiment settings.
+
+:class:`ExperimentSettings` holds the scaled-down run lengths and the
+capacity/footprint scale factor (see ``evaluation_system_config``) shared by
+every reproduction experiment, so that the whole evaluation completes on a
+laptop while preserving the relative behaviour the paper reports.
+
+The settings value is a frozen dataclass of plain values: together with a
+workload name, a configuration label and a seed it *fully describes* one
+experiment cell, which is what makes the job model of
+:mod:`repro.sim.jobs` picklable and its cache keys deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+from repro.config.presets import evaluation_system_config
+from repro.config.system import SystemConfig
+from repro.sim.simulator import SimulationOptions
+from repro.workloads.profiles import PAPER_WORKLOAD_NAMES
+
+#: Timeslice assumed by the paper (1 ms at 3 GHz).
+PAPER_TIMESLICE_CYCLES = 3_000_000
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Shared knobs of the reproduction experiments."""
+
+    #: Factor by which cache capacities (and workload footprints) are scaled
+    #: down relative to the paper's machine; 1 = full size.
+    capacity_scale: int = 8
+    #: Measured cycles per run (after warmup).
+    total_cycles: int = 60_000
+    #: Warmup cycles per run.
+    warmup_cycles: int = 15_000
+    #: Gang-scheduling timeslice used by the consolidated-server runs.
+    timeslice_cycles: int = 25_000
+    #: Scale applied to the workloads' user/OS phase lengths.
+    phase_scale: float = 0.01
+    #: Seeds to average over (the paper reports 95% confidence intervals
+    #: over multiple runs).
+    seeds: Tuple[int, ...] = (0,)
+    #: Workloads to evaluate, in the paper's figure order.
+    workloads: Tuple[str, ...] = PAPER_WORKLOAD_NAMES
+    #: VCPUs exposed by the reliable guest (the paper uses 8 on 16 cores).
+    reliable_vcpus: int = 8
+    #: Enter/Leave pairs measured per workload by the Table 1 experiment.
+    switch_transitions: int = 8
+    #: Cache-warming cycles before the Table 1 measurement.
+    switch_warmup_cycles: int = 8_000
+    #: User/OS phase pairs timed per workload by the Table 2 experiment.
+    frequency_phases: int = 3
+    #: Phase scale at which the Table 2 phases are generated (the measured
+    #: cycles are scaled back up by its inverse).
+    frequency_phase_scale: float = 0.1
+
+    @property
+    def footprint_scale(self) -> float:
+        """Workload footprints shrink with the cache capacities."""
+        return 1.0 / self.capacity_scale
+
+    def config(self) -> SystemConfig:
+        """The (scaled) machine configuration used by the experiments."""
+        return evaluation_system_config(
+            capacity_scale=self.capacity_scale,
+            timeslice_cycles=self.timeslice_cycles,
+        )
+
+    def transition_cost_scale(self) -> float:
+        """Keep the paper's ratio of transition cost to timeslice length."""
+        return min(1.0, self.timeslice_cycles / PAPER_TIMESLICE_CYCLES)
+
+    def options(self) -> SimulationOptions:
+        """Simulation options shared by the timing experiments."""
+        return SimulationOptions(
+            total_cycles=self.total_cycles,
+            warmup_cycles=self.warmup_cycles,
+            transition_cost_scale=self.transition_cost_scale(),
+        )
+
+    @classmethod
+    def quick(cls) -> "ExperimentSettings":
+        """Very small settings for smoke tests of the experiment plumbing."""
+        return cls(
+            capacity_scale=16,
+            total_cycles=12_000,
+            warmup_cycles=4_000,
+            timeslice_cycles=4_000,
+            phase_scale=0.005,
+            workloads=("apache", "pmake"),
+            reliable_vcpus=4,
+            switch_transitions=2,
+            switch_warmup_cycles=2_000,
+            frequency_phases=1,
+            frequency_phase_scale=0.02,
+        )
+
+    def with_workloads(self, workloads: Sequence[str]) -> "ExperimentSettings":
+        """A copy restricted to the given workloads."""
+        return replace(self, workloads=tuple(workloads))
+
+    def cell_settings(self) -> "ExperimentSettings":
+        """The settings one experiment *cell* actually depends on.
+
+        A cell simulates exactly one (workload, configuration, seed)
+        combination, so the ``workloads`` and ``seeds`` selections of the
+        surrounding sweep must not leak into its identity: normalising them
+        away keeps job cache keys stable when the sweep is restricted or
+        extended (a cached ``apache`` cell is reused whether the sweep ran
+        two workloads or six).
+        """
+        return replace(self, workloads=(), seeds=())

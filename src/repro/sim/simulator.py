@@ -77,6 +77,10 @@ class SimulationOptions:
             raise SimulationError("quantum_cycles must be positive when given")
         if not 0.0 <= self.transition_cost_scale <= 10.0:
             raise SimulationError("transition_cost_scale outside [0, 10]")
+        if self.minimum_quantum_cycles <= 0:
+            # A non-positive floor would let fine-grained switching spin
+            # forever on a budget it can never exhaust.
+            raise SimulationError("minimum_quantum_cycles must be positive")
         return self
 
 
@@ -448,6 +452,11 @@ class Simulator:
         self._transition_cycles = 0
         self._paused_quanta = 0
         self.quantum_stats = StatSet()
+        # The engine's counters feed enter/leave_dmr_transitions and the
+        # average transition costs of the result; without this reset they
+        # would include warmup-period transitions that the simulator's own
+        # counters (reset above) exclude.
+        machine.transition_engine.reset_stats()
         machine.violation_log.events.clear()
 
     def _violation_counts(self) -> Dict[str, int]:

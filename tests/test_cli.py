@@ -7,12 +7,21 @@ import pytest
 from repro.cli import build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep every CLI invocation's result cache inside the test's tmp dir."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
 def test_help_lists_every_subcommand(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--help"])
     assert excinfo.value.code == 0
     out = capsys.readouterr().out
-    for command in ("run", "figure5", "figure6", "table1", "table2", "faults", "report"):
+    for command in (
+        "run", "figure5", "figure6", "table1", "table2", "faults", "report", "run-all"
+    ):
         assert command in out
 
 
@@ -68,12 +77,40 @@ def test_run_single_os_desktop(capsys):
     assert "mmm-ipc" in out
 
 
-def test_figure5_quick_subset(capsys):
+def test_figure5_quick_subset(capsys, isolated_cache):
     assert main(["figure5", "--quick", "--workloads", "apache"]) == 0
     out = capsys.readouterr().out
     assert "Figure 5(a)" in out
     assert "Figure 5(b)" in out
     assert "apache" in out
+    # The engine cached every cell on disk (one JSON file per cell).
+    assert len(list(isolated_cache.glob("figure5/*.json"))) == 3
+
+
+def test_figure5_no_cache_leaves_no_files(capsys, isolated_cache):
+    assert main(["figure5", "--quick", "--workloads", "apache", "--no-cache"]) == 0
+    assert "Figure 5(a)" in capsys.readouterr().out
+    assert not isolated_cache.exists()
+
+
+@pytest.mark.slow
+def test_run_all_quick(capsys, tmp_path):
+    argv = [
+        "run-all", "--quick", "--workloads", "apache", "--jobs", "2",
+        "--cache-dir", str(tmp_path / "explicit"),
+        "--skip-switching", "--skip-faults",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5(a)" in out
+    assert "Figure 6(b)" in out
+    assert "experiment engine:" in out
+    assert "0 from cache" in out
+
+    # A warm re-run against the same cache directory simulates nothing.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "0 executed" in out
 
 
 def test_faults_subcommand(capsys):
@@ -91,3 +128,8 @@ def test_rejects_unknown_workload():
 def test_rejects_unknown_policy():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--policy", "tmr"])
+
+
+def test_rejects_nonpositive_jobs():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure5", "--jobs", "0"])

@@ -1,0 +1,325 @@
+"""Tests for the experiment engine: jobs, cache, runner, determinism.
+
+The engine's contract has three legs, each asserted here:
+
+* **identity** -- a job's cache key is a deterministic digest of everything
+  that influences its result, and of nothing else (restricting a sweep's
+  workload selection must not invalidate cached cells);
+* **determinism** -- a cell produces byte-identical serialized results
+  whether it runs in-process, in a process-pool worker, serially or in a
+  multi-worker batch (this is what makes the cache sound);
+* **incrementality** -- a warm cache re-run executes zero simulation jobs.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+
+import pytest
+
+from repro.config.presets import paper_system_config
+from repro.errors import ExperimentError
+from repro.sim.experiments import (
+    ExperimentSettings,
+    figure5_jobs,
+    figure6_jobs,
+    pab_jobs,
+    run_all_experiments,
+    run_dmr_overhead_experiment,
+    run_mixed_mode_experiment,
+    run_pab_latency_study,
+    run_single_os_overhead_study,
+    run_switch_frequency_experiment,
+    run_switch_overhead_experiment,
+    run_window_ablation,
+    switch_overhead_jobs,
+    window_ablation_jobs,
+)
+from repro.sim.jobs import ExperimentJob, execute_job, simulate_cell
+from repro.sim.runner import (
+    ExperimentRunner,
+    ResultCache,
+    default_runner,
+    set_default_runner,
+    using_runner,
+)
+
+QUICK = ExperimentSettings.quick().with_workloads(("apache",))
+
+
+def quick_job(variant: str = "no-dmr", seed: int = 0) -> ExperimentJob:
+    return ExperimentJob(
+        kind="figure5", workload="apache", variant=variant, seed=seed,
+        settings=QUICK.cell_settings(),
+    )
+
+
+class TestJobModel:
+    def test_cache_key_is_stable(self):
+        assert quick_job().cache_key() == quick_job().cache_key()
+
+    def test_cache_key_distinguishes_every_identity_field(self):
+        baseline = quick_job()
+        different = [
+            quick_job(variant="reunion"),
+            quick_job(seed=1),
+            replace(baseline, kind="figure6"),
+            replace(baseline, workload="pmake"),
+            replace(baseline, settings=replace(QUICK.cell_settings(), total_cycles=999)),
+            replace(baseline, params=(("x", 1),)),
+        ]
+        keys = {job.cache_key() for job in different}
+        assert baseline.cache_key() not in keys
+        assert len(keys) == len(different)
+
+    def test_workload_selection_does_not_leak_into_cell_identity(self):
+        # A sweep restricted to one workload reuses the cells of the full
+        # sweep: the enumerators normalise the selection away.
+        wide = ExperimentSettings.quick()  # apache + pmake
+        narrow = wide.with_workloads(("apache",))
+        assert set(figure5_jobs(narrow)) <= set(figure5_jobs(wide))
+        assert set(figure6_jobs(narrow)) <= set(figure6_jobs(wide))
+        assert set(pab_jobs(narrow)) <= set(pab_jobs(wide))
+        assert set(window_ablation_jobs(narrow)) <= set(window_ablation_jobs(wide))
+
+    def test_cache_key_digests_the_simulating_code(self, monkeypatch):
+        # Any edit to the package must invalidate cached cells, so results
+        # simulated by different code are never served as current.
+        import repro.sim.jobs as jobs_module
+
+        before = quick_job().cache_key()
+        monkeypatch.setattr(jobs_module, "_CODE_FINGERPRINT", "different-code")
+        assert quick_job().cache_key() != before
+
+    def test_jobs_are_hashable_and_picklable(self):
+        import pickle
+
+        job = quick_job()
+        assert pickle.loads(pickle.dumps(job)) == job
+        assert len({job, quick_job()}) == 1
+
+    def test_table1_jobs_carry_config_and_params(self):
+        (job,) = switch_overhead_jobs(("apache",), transitions_to_measure=2,
+                                      warmup_cycles=500, seed=3)
+        assert job.kind == "table1"
+        assert job.config == paper_system_config()
+        assert job.param("transitions_to_measure") == 2
+        assert job.param("warmup_cycles") == 500
+        assert job.param("missing", 42) == 42
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ExperimentError):
+            execute_job(replace(quick_job(), kind="figure7"))
+
+    def test_settings_driven_kinds_require_settings(self):
+        with pytest.raises(ExperimentError):
+            simulate_cell(replace(quick_job(), settings=None))
+
+
+class TestResultCache:
+    def test_store_and_load_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = quick_job()
+        assert cache.load(job) is None
+        cache.store(job, {"user_ipc": 0.5, "throughput": 1.25})
+        assert cache.load(job) == {"user_ipc": 0.5, "throughput": 1.25}
+        assert cache.path_for(job).exists()
+
+    def test_corrupt_entries_are_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = quick_job()
+        cache.store(job, {"user_ipc": 0.5})
+        cache.path_for(job).write_text("{not json", encoding="utf-8")
+        assert cache.load(job) is None
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job, other = quick_job(), quick_job(variant="reunion")
+        cache.store(job, {"user_ipc": 0.5})
+        # Simulate a renamed/moved entry: contents describe a different cell.
+        cache.path_for(job).replace(cache.path_for(other))
+        assert cache.load(other) is None
+
+    def test_clear_removes_every_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(quick_job(), {"a": 1.0})
+        cache.store(quick_job(variant="reunion"), {"a": 2.0})
+        assert cache.clear() == 2
+        assert cache.load(quick_job()) is None
+
+
+class TestRunner:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ExperimentError):
+            ExperimentRunner(jobs=0)
+
+    def test_batches_deduplicate_and_memoize(self):
+        calls = []
+
+        def fake(job):
+            calls.append(job)
+            return {"value": float(len(calls))}
+
+        runner = ExperimentRunner(jobs=1, use_cache=False, executor=fake)
+        a, b = quick_job(), quick_job(variant="reunion")
+        results = runner.run_jobs([a, a, b])
+        assert len(calls) == 2
+        assert results[a] == {"value": 1.0}
+        assert results[b] == {"value": 2.0}
+        assert runner.stats.executed == 2
+        assert runner.stats.memoized == 1
+        # A later batch reuses the runner's memo without re-executing.
+        assert runner.run_job(a) == {"value": 1.0}
+        assert runner.stats.executed == 2
+
+    def test_on_disk_cache_survives_runner_restarts(self, tmp_path):
+        calls = []
+
+        def fake(job):
+            calls.append(job)
+            return {"value": 7.0}
+
+        first = ExperimentRunner(jobs=1, cache_dir=tmp_path, executor=fake)
+        first.run_job(quick_job())
+        assert first.stats.executed == 1
+
+        second = ExperimentRunner(jobs=1, cache_dir=tmp_path, executor=fake)
+        assert second.run_job(quick_job()) == {"value": 7.0}
+        assert second.stats.executed == 0
+        assert second.stats.cached == 1
+        assert len(calls) == 1
+
+    def test_results_are_cached_as_cells_complete(self, tmp_path):
+        # An interrupted batch keeps every finished cell: the re-run only
+        # executes what is missing.
+        def flaky(job):
+            if job.variant == "reunion":
+                raise RuntimeError("boom")
+            return {"value": 1.0}
+
+        broken = ExperimentRunner(jobs=1, cache_dir=tmp_path, executor=flaky)
+        with pytest.raises(RuntimeError):
+            broken.run_jobs([quick_job(), quick_job(variant="reunion")])
+        assert broken.stats.executed == 1
+
+        resumed = ExperimentRunner(jobs=1, cache_dir=tmp_path, executor=flaky)
+        assert resumed.run_job(quick_job()) == {"value": 1.0}
+        assert resumed.stats.cached == 1
+        assert resumed.stats.executed == 0
+
+    def test_default_runner_installation(self):
+        fallback = default_runner()
+        assert fallback.jobs == 1 and fallback.cache is None
+        custom = ExperimentRunner(jobs=1, use_cache=False)
+        with using_runner(custom) as installed:
+            assert installed is custom
+            assert default_runner() is custom
+        assert default_runner() is not custom
+        set_default_runner(None)
+
+
+def serialized(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+class TestDeterminism:
+    """Same seed, same cell => byte-identical results, however it runs."""
+
+    def test_pool_worker_matches_in_process_run(self):
+        job = quick_job(variant="reunion")
+        local = simulate_cell(job)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(simulate_cell, job).result()
+        assert serialized(local) == serialized(remote)
+
+    def test_repeated_simulations_are_reproducible(self):
+        job = quick_job()
+        assert serialized(simulate_cell(job)) == serialized(simulate_cell(job))
+
+
+@pytest.mark.slow
+class TestEntryPointReproducibility:
+    """Repeated runs of each run_* entry point return equal results -- the
+    contract the cache key relies on."""
+
+    def fresh(self) -> ExperimentRunner:
+        return ExperimentRunner(jobs=1, use_cache=False)
+
+    def test_figure5(self):
+        first = run_dmr_overhead_experiment(QUICK, runner=self.fresh())
+        second = run_dmr_overhead_experiment(QUICK, runner=self.fresh())
+        assert first.rows == second.rows
+
+    def test_figure6(self):
+        configurations = ("dmr-base", "mmm-tp")
+        first = run_mixed_mode_experiment(QUICK, configurations, runner=self.fresh())
+        second = run_mixed_mode_experiment(QUICK, configurations, runner=self.fresh())
+        assert first.rows == second.rows
+
+    def test_pab(self):
+        first = run_pab_latency_study(QUICK, runner=self.fresh())
+        second = run_pab_latency_study(QUICK, runner=self.fresh())
+        assert first.rows == second.rows
+
+    def test_ablation(self):
+        first = run_window_ablation(QUICK, runner=self.fresh())
+        second = run_window_ablation(QUICK, runner=self.fresh())
+        assert first.rows == second.rows
+
+    def test_tables_and_single_os(self):
+        def tables(runner):
+            table1 = run_switch_overhead_experiment(
+                ("apache",), transitions_to_measure=2, warmup_cycles=2_000,
+                runner=runner,
+            )
+            table2 = run_switch_frequency_experiment(
+                ("apache",), phases_to_measure=1, measurement_phase_scale=0.02,
+                runner=runner,
+            )
+            return table1, table2
+
+        first1, first2 = tables(self.fresh())
+        second1, second2 = tables(self.fresh())
+        assert first1.rows == second1.rows
+        assert first2.rows == second2.rows
+        study_a = run_single_os_overhead_study(first1, first2, ("apache",))
+        study_b = run_single_os_overhead_study(second1, second2, ("apache",))
+        assert study_a.rows == study_b.rows
+
+
+@pytest.mark.slow
+class TestRunAllParity:
+    """The acceptance contract: ``run-all --jobs 4`` equals the serial path,
+    and a warm cache re-run executes zero simulation jobs."""
+
+    def test_parallel_matches_serial_and_warm_cache_runs_nothing(self, tmp_path):
+        settings = QUICK
+        serial = ExperimentRunner(jobs=1, cache_dir=tmp_path / "serial")
+        parallel = ExperimentRunner(jobs=4, cache_dir=tmp_path / "parallel")
+
+        one = run_all_experiments(settings, runner=serial)
+        four = run_all_experiments(settings, runner=parallel)
+        assert serial.stats.executed == parallel.stats.executed > 0
+        assert json.dumps(one.job_metrics, sort_keys=True) == json.dumps(
+            four.job_metrics, sort_keys=True
+        )
+        assert one.render() == four.render()
+
+        # Re-running against the serial runner's cache simulates nothing.
+        warm = ExperimentRunner(jobs=4, cache_dir=tmp_path / "serial")
+        again = run_all_experiments(settings, runner=warm)
+        assert warm.stats.executed == 0
+        assert warm.stats.cached == serial.stats.executed
+        assert again.job_metrics == one.job_metrics
+        assert again.render() == one.render()
+
+    def test_sections_cover_every_experiment(self, tmp_path):
+        runner = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        result = run_all_experiments(QUICK, runner=runner)
+        report = result.render()
+        for marker in ("Figure 5(a)", "Figure 5(b)", "Figure 6(a)", "Figure 6(b)",
+                       "PAB", "Table 1", "Table 2", "Single-OS", "window size"):
+            assert marker in report
+        assert result.single_os is not None and result.ablation is not None

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import pytest
 
+from repro.cpu.timing import CoreAssignment, ExecutionMode
 from repro.errors import SimulationError
 from repro.faults.injector import FaultRates
 from repro.sim.simulator import SimulationOptions, Simulator
+from repro.virt.scheduler import VcpuPlacement
 from repro.virt.vcpu import ReliabilityMode
 from tests.conftest import make_small_machine
 
@@ -28,6 +30,14 @@ class TestOptions:
         with pytest.raises(SimulationError):
             SimulationOptions(transition_cost_scale=100.0).validate()
         assert SimulationOptions().validate() is not None
+
+    def test_minimum_quantum_cycles_must_be_positive(self):
+        # A non-positive floor would make fine-grained switching spin.
+        with pytest.raises(SimulationError):
+            SimulationOptions(minimum_quantum_cycles=0).validate()
+        with pytest.raises(SimulationError):
+            SimulationOptions(minimum_quantum_cycles=-64).validate()
+        assert SimulationOptions(minimum_quantum_cycles=1).validate() is not None
 
 
 class TestBasicRuns:
@@ -141,6 +151,93 @@ class TestFineGrainedSwitching:
         # Without fine-grained switching the only transitions are at VM
         # boundaries, charged per placement rather than per syscall.
         assert sum(v.mode_switches for v in performance.vcpus) <= result.transitions
+
+
+class TestMeasurementBoundary:
+    def test_transition_counters_exclude_warmup(self, small_config):
+        # The warmup period (two timeslices here) performs its own boundary
+        # transitions; the engine's counters must be reset alongside the
+        # simulator's at the measurement boundary, or the per-run transition
+        # counts of the result would disagree with each other.
+        machine = make_small_machine(small_config, policy="mmm-tp", seed=7)
+        result = run_machine(machine, total_cycles=16_000, warmup_cycles=8_000)
+        assert result.transitions > 0
+        assert (
+            result.enter_dmr_transitions + result.leave_dmr_transitions
+            == result.transitions
+        )
+
+    def test_engine_averages_reflect_measured_transitions_only(self, small_config):
+        machine = make_small_machine(small_config, policy="mmm-tp", seed=7)
+        result = run_machine(machine, total_cycles=16_000, warmup_cycles=8_000)
+        assert result.average_enter_dmr_cycles > 0
+        assert result.average_leave_dmr_cycles > 0
+        # The engine was reset at the boundary, so its live counters agree
+        # with the result snapshot instead of including warmup transitions.
+        engine = machine.transition_engine
+        assert engine.stats.get("enter_dmr_transitions") == result.enter_dmr_transitions
+        assert engine.stats.get("leave_dmr_transitions") == result.leave_dmr_transitions
+
+
+def make_fine_grained_simulator(small_config, **options):
+    machine = make_small_machine(
+        small_config,
+        policy="mmm-ipc",
+        performance_mode=ReliabilityMode.PERFORMANCE_USER_ONLY,
+        performance_vcpus=1,
+        seed=13,
+    )
+    defaults = dict(total_cycles=8_000, warmup_cycles=0)
+    defaults.update(options)
+    return machine, Simulator(machine, SimulationOptions(**defaults))
+
+
+class TestFineGrainedEdgeCases:
+    def fine_grained_placement(self, machine):
+        machine.allocator.reset()
+        plan = machine.policy.plan_quantum(
+            machine.vms[1].vcpus, machine.allocator, machine.pair_factory
+        )
+        (placement,) = plan.placements
+        return machine.vcpus[placement.vcpu_id], placement
+
+    def test_budget_exhausted_exactly_at_minimum_quantum(self, small_config):
+        # remaining == minimum_quantum_cycles means no useful work fits:
+        # the loop must not run (and certainly must not spin).
+        machine, sim = make_fine_grained_simulator(small_config)
+        vcpu, placement = self.fine_grained_placement(machine)
+        sim._run_fine_grained(
+            vcpu, placement, sim.options.minimum_quantum_cycles, cycle=0, active_cores=2
+        )
+        assert vcpu.committed_instructions == 0
+        assert vcpu.mode_switches == 0
+        assert sim._transitions == 0
+
+    def test_zero_transition_cost_scale_switches_for_free(self, small_config):
+        machine, sim = make_fine_grained_simulator(
+            small_config, total_cycles=20_000, transition_cost_scale=0.0
+        )
+        result = sim.run()
+        performance = result.vm("performance")
+        assert sum(v.mode_switches for v in performance.vcpus) > 0
+        assert sum(v.mode_switch_cycles for v in performance.vcpus) == 0
+        assert result.transitions > 0
+        assert result.transition_cycles == 0
+
+    def test_missing_reserved_partner_core_is_an_error(self, small_config):
+        machine, sim = make_fine_grained_simulator(small_config)
+        vcpu, placement = self.fine_grained_placement(machine)
+        # A performance placement without a reserved partner core cannot
+        # re-form its DMR pair at the next OS entry.
+        bare = VcpuPlacement(
+            vcpu_id=placement.vcpu_id,
+            assignment=CoreAssignment(
+                mode=ExecutionMode.PERFORMANCE,
+                primary_core=placement.assignment.primary_core,
+            ),
+        )
+        with pytest.raises(SimulationError):
+            sim._run_fine_grained(vcpu, bare, 4_000, cycle=0, active_cores=1)
 
 
 class TestFaultInjection:

@@ -6,24 +6,30 @@ PAB (for stores whose address/permission path is corrupted) and the
 Enter-DMR privileged-register verification, after which reliable state is
 protected as well as under full DMR; a naive design that simply switches DMR
 off loses that protection and silently corrupts reliable state.
+
+The campaign runs through the experiment engine like every other benchmark:
+``REPRO_BENCH_JOBS=N`` fans the (configuration, fault-site, seed, chunk)
+cells out over N workers, and ``REPRO_BENCH_CACHE=<dir>`` reuses cached
+cells across harness runs.
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.config.presets import paper_system_config
-from repro.faults.campaign import FaultInjectionCampaign
 from repro.faults.outcomes import FaultOutcome
+from repro.sim.experiments import run_fault_coverage_experiment
 from repro.sim.reporting import format_coverage_reports
 
 
 def test_fault_coverage_by_configuration(benchmark):
-    campaign = FaultInjectionCampaign(config=paper_system_config(), seed=0)
-    reports = run_once(benchmark, lambda: campaign.run(trials_per_site=50))
+    result = run_once(
+        benchmark,
+        lambda: run_fault_coverage_experiment(trials_per_site=50, seeds=(0, 1, 2)),
+    )
     print()
-    print(format_coverage_reports(reports))
+    print(format_coverage_reports(result.reports()))
 
-    by_name = {report.configuration: report for report in reports}
+    by_name = {row.configuration: row.report for row in result.rows}
     for name, report in by_name.items():
         benchmark.extra_info[f"{name}.coverage"] = round(report.coverage, 3)
 

@@ -1,17 +1,23 @@
 #!/usr/bin/env python3
 """Fault-injection study: what protects reliable state in each design?
 
-Two complementary views of the paper's protection argument (Sections 2.1 and
-3.4):
+Three complementary views of the paper's protection argument (Sections 2.1
+and 3.4):
 
 1. A *functional coverage campaign* injects individual faults (corrupted
    execution results, stores redirected by TLB/datapath faults, corrupted
-   privileged registers) into three designs -- a traditional always-DMR
+   privileged registers) into four designs -- a traditional always-DMR
    machine, a Mixed-Mode Multicore with its PAB and transition verification,
-   and a naive design that simply turns DMR off -- and classifies the outcome
-   of every fault.
+   a naive design that simply turns DMR off, and a belt-and-braces DMR+PAB
+   machine -- and classifies the outcome of every fault.  The campaign is
+   cell-shaped: its (configuration, fault-site, seed, chunk) cells run
+   through the experiment engine, fanned out over worker processes.
 
-2. A *timing simulation with live fault injection* runs the MMM-TP
+2. A *fault-space sweep* scales the fault rate and shows how the naive
+   design's silent-corruption rate grows with it while the protected
+   designs stay clean.
+
+3. A *timing simulation with live fault injection* runs the MMM-TP
    consolidated server while store-address and privileged-register faults
    strike the performance-mode cores, and shows that the PAB blocks every
    escape attempt before reliable memory is touched.
@@ -23,21 +29,39 @@ Run with::
 
 from __future__ import annotations
 
-from repro import FaultInjectionCampaign, FaultRates, MixedModeMulticore
-from repro.config.presets import evaluation_system_config, paper_system_config
-from repro.sim.reporting import format_coverage_reports
+from repro import FaultRates, MixedModeMulticore
+from repro.config.presets import evaluation_system_config
+from repro.sim.experiments import (
+    run_fault_coverage_experiment,
+    run_fault_rate_sweep,
+)
+from repro.sim.runner import ExperimentRunner
 
 
 def coverage_campaign() -> None:
     print("=== Functional fault-injection campaign (100 faults per class) ===")
-    campaign = FaultInjectionCampaign(config=paper_system_config(), seed=7)
-    reports = campaign.run(trials_per_site=100)
-    print(format_coverage_reports(reports))
+    runner = ExperimentRunner(jobs=4, use_cache=False)
+    result = run_fault_coverage_experiment(
+        trials_per_site=100, seeds=(0, 1, 2, 3, 4), runner=runner
+    )
+    print(result.format_table())
     print()
-    for report in reports:
+    for report in result.reports():
         print(f"--- outcome breakdown: {report.configuration}")
         for outcome, count, fraction in report.summary_rows():
             print(f"    {outcome:34s}{count:6d}  ({fraction:5.1%})")
+    print(f"engine: {runner.stats.summary()} across {runner.jobs} workers")
+    print()
+
+
+def fault_space_sweep() -> None:
+    print("=== Fault-space sweep: silent corruption vs fault-rate scale ===")
+    runner = ExperimentRunner(jobs=4, use_cache=False)
+    sweep = run_fault_rate_sweep(
+        fault_rates=(0.1, 0.5, 1.0), trials_per_site=100, runner=runner
+    )
+    print(sweep.format_table())
+    print(f"engine: {runner.stats.summary()} across {runner.jobs} workers")
     print()
 
 
@@ -76,6 +100,7 @@ def live_injection() -> None:
 
 def main() -> None:
     coverage_campaign()
+    fault_space_sweep()
     live_injection()
 
 

@@ -29,6 +29,12 @@ from repro.sim import SimulationOptions, SimulationResult, Simulator
 from repro.virt.vcpu import ReliabilityMode
 from repro.workloads import PAPER_WORKLOAD_NAMES, PAPER_WORKLOADS, get_profile
 
+# Imported for its side effect: registers the "faults" job kind with the
+# experiment engine.  Must come after repro.sim (it imports repro.sim.jobs),
+# and must live here so process-pool workers -- which import this package to
+# unpickle engine jobs -- always see the registration.
+import repro.faults.cells  # noqa: E402  isort:skip
+
 __version__ = "1.0.0"
 
 __all__ = [

@@ -10,17 +10,20 @@ Two groups of subcommands:
   ``report`` / ``run-all`` for everything at once) regenerates that table or
   figure and prints it in the paper's layout.
 
-The experiment subcommands share the experiment-engine flags: ``--jobs N``
-fans the simulation cells out over N worker processes, and results are cached
+The experiment subcommands (including ``faults``) share the
+experiment-engine flags: ``--jobs N`` fans the experiment cells out over N
+worker processes, ``--seeds`` widens the seed sweep, and results are cached
 on disk (``.repro-cache`` by default) so a re-run only executes changed
-cells; ``--no-cache`` forces fresh simulations and ``--cache-dir`` relocates
-the cache.
+cells; ``--no-cache`` forces fresh runs and ``--cache-dir`` relocates the
+cache.  Every engine-backed invocation ends with a one-line cache
+effectiveness summary (``N executed, M from cache, K memoized``).
 
 Examples::
 
     python -m repro list-workloads
     python -m repro run --policy mmm-tp --reliable oltp --performance apache
     python -m repro figure6 --workloads apache oltp --jobs 4
+    python -m repro faults --trials 200 --seeds 8 --jobs 4
     python -m repro run-all --quick --jobs 4
 """
 
@@ -34,9 +37,13 @@ from repro.analysis.tables import TextTable
 from repro.config.presets import evaluation_system_config
 from repro.core.mmm import MixedModeMulticore
 from repro.core.policies import available_policies
+from repro.faults.campaign import DEFAULT_CONFIGURATIONS, SWEEP_CONFIGURATIONS
 from repro.sim.experiments import (
+    FAULT_DEFAULT_SEEDS,
     ExperimentSettings,
     run_dmr_overhead_experiment,
+    run_fault_coverage_experiment,
+    run_fault_rate_sweep,
     run_mixed_mode_experiment,
     run_pab_latency_study,
     run_single_os_overhead_study,
@@ -44,7 +51,7 @@ from repro.sim.experiments import (
     run_switch_overhead_experiment,
     run_window_ablation,
 )
-from repro.sim.reporting import fault_coverage_report, full_report
+from repro.sim.reporting import full_report
 from repro.sim.runner import ExperimentRunner
 from repro.workloads.profiles import PAPER_WORKLOAD_NAMES, PAPER_WORKLOADS
 
@@ -53,6 +60,8 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
     settings = ExperimentSettings.quick() if args.quick else ExperimentSettings()
     if args.workloads:
         settings = settings.with_workloads(tuple(args.workloads))
+    if getattr(args, "seeds", None):
+        settings = settings.with_seeds(args.seeds)
     return settings
 
 
@@ -63,12 +72,75 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _parse_seeds(value: str) -> tuple:
+    """``--seeds`` accepts a comma list ('0,1,2') or a count N (seeds 0..N-1)."""
+    try:
+        if "," in value:
+            # dict.fromkeys: drop duplicate seeds while keeping their order
+            # (a duplicated seed would double-count its cells in a sweep).
+            seeds = tuple(
+                dict.fromkeys(int(part) for part in value.split(",") if part.strip())
+            )
+        else:
+            seeds = tuple(range(int(value)))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a comma-separated seed list like '0,1,2' or a count like '5'"
+        ) from None
+    if not seeds:
+        raise argparse.ArgumentTypeError("needs at least one seed")
+    return seeds
+
+
+def _parse_rates(value: str) -> tuple:
+    """``--sweep-rates`` accepts a comma list of fault-rate scales in (0, 1]."""
+    try:
+        rates = tuple(float(part) for part in value.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a comma-separated list of rates like '0.25,0.5,1.0'"
+        ) from None
+    # `not (0 < rate <= 1)` rather than `rate <= 0 or rate > 1`: the former
+    # also rejects NaN, for which every comparison is False.
+    if not rates or any(not (0.0 < rate <= 1.0) for rate in rates):
+        raise argparse.ArgumentTypeError("rates must lie in (0, 1]")
+    return rates
+
+
 def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
     """Build the experiment runner the engine flags describe."""
     return ExperimentRunner(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+    )
+
+
+def _print_engine_stats(runner: ExperimentRunner) -> None:
+    """One-line account of how the batch was served (cache effectiveness)."""
+    print()
+    print(f"experiment engine: {runner.stats.summary()} (workers: {runner.jobs})")
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """The experiment-engine flags shared by every cell-shaped subcommand."""
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="run experiment cells across N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache location (default: .repro-cache, or $REPRO_CACHE_DIR)",
     )
 
 
@@ -85,23 +157,17 @@ def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
         help="use the heavily scaled quick settings (smoke test, not meaningful numbers)",
     )
     parser.add_argument(
-        "--jobs",
-        type=_positive_int,
-        default=1,
-        metavar="N",
-        help="run simulation cells across N worker processes (default: 1, serial)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="do not read or write the on-disk result cache",
-    )
-    parser.add_argument(
-        "--cache-dir",
+        "--seeds",
+        type=_parse_seeds,
         default=None,
-        metavar="DIR",
-        help="result cache location (default: .repro-cache, or $REPRO_CACHE_DIR)",
+        metavar="LIST|N",
+        help=(
+            "seeds to sweep: a comma list ('0,1,2') or a count N meaning seeds "
+            "0..N-1 (default: the settings' single seed; cells are cached, so "
+            "larger sweeps only pay for the new seeds)"
+        ),
     )
+    _add_engine_arguments(parser)
 
 
 def _cmd_list_workloads(_: argparse.Namespace) -> int:
@@ -167,57 +233,79 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure5(args: argparse.Namespace) -> int:
-    result = run_dmr_overhead_experiment(
-        _settings_from_args(args), runner=_runner_from_args(args)
-    )
+    runner = _runner_from_args(args)
+    result = run_dmr_overhead_experiment(_settings_from_args(args), runner=runner)
     print(result.format_ipc_table())
     print()
     print(result.format_throughput_table())
+    _print_engine_stats(runner)
     return 0
 
 
 def _cmd_figure6(args: argparse.Namespace) -> int:
-    result = run_mixed_mode_experiment(
-        _settings_from_args(args), runner=_runner_from_args(args)
-    )
+    runner = _runner_from_args(args)
+    result = run_mixed_mode_experiment(_settings_from_args(args), runner=runner)
     print(result.format_ipc_table())
     print()
     print(result.format_throughput_table())
+    _print_engine_stats(runner)
     return 0
 
 
 def _cmd_pab(args: argparse.Namespace) -> int:
-    result = run_pab_latency_study(
-        _settings_from_args(args), runner=_runner_from_args(args)
-    )
+    runner = _runner_from_args(args)
+    result = run_pab_latency_study(_settings_from_args(args), runner=runner)
     print(result.format_table())
+    _print_engine_stats(runner)
     return 0
+
+
+def _table_seed(args: argparse.Namespace) -> int:
+    """Tables 1/2 and single-os measure one seed; ``--seeds`` uses its first.
+
+    Says so out loud when a sweep was requested, rather than silently
+    dropping seeds.
+    """
+    if not args.seeds:
+        return 0
+    if len(args.seeds) > 1:
+        print(
+            f"note: this measurement uses a single seed; taking seed "
+            f"{args.seeds[0]} from --seeds"
+        )
+    return args.seeds[0]
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     workloads = tuple(args.workloads) if args.workloads else PAPER_WORKLOAD_NAMES
+    runner = _runner_from_args(args)
     result = run_switch_overhead_experiment(
-        workloads=workloads, runner=_runner_from_args(args)
+        workloads=workloads, seed=_table_seed(args), runner=runner
     )
     print(result.format_table())
+    _print_engine_stats(runner)
     return 0
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     workloads = tuple(args.workloads) if args.workloads else PAPER_WORKLOAD_NAMES
+    runner = _runner_from_args(args)
     result = run_switch_frequency_experiment(
-        workloads=workloads, runner=_runner_from_args(args)
+        workloads=workloads, seed=_table_seed(args), runner=runner
     )
     print(result.format_table())
+    _print_engine_stats(runner)
     return 0
 
 
 def _cmd_single_os(args: argparse.Namespace) -> int:
     workloads = tuple(args.workloads) if args.workloads else PAPER_WORKLOAD_NAMES
+    runner = _runner_from_args(args)
     result = run_single_os_overhead_study(
-        workloads=workloads, runner=_runner_from_args(args)
+        workloads=workloads, seed=_table_seed(args), runner=runner
     )
     print(result.format_table())
+    _print_engine_stats(runner)
     return 0
 
 
@@ -225,16 +313,39 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     settings = _settings_from_args(args)
     if not args.workloads:
         settings = settings.with_workloads(settings.workloads[:2])
-    print(run_window_ablation(settings, runner=_runner_from_args(args)).format_table())
+    runner = _runner_from_args(args)
+    print(run_window_ablation(settings, runner=runner).format_table())
+    _print_engine_stats(runner)
     return 0
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    print(fault_coverage_report(trials_per_site=args.trials, seed=args.seed))
+    runner = _runner_from_args(args)
+    seeds = args.seeds or FAULT_DEFAULT_SEEDS
+    configurations = (
+        SWEEP_CONFIGURATIONS if args.all_configurations else DEFAULT_CONFIGURATIONS
+    )
+    if args.sweep_rates:
+        result = run_fault_rate_sweep(
+            fault_rates=args.sweep_rates,
+            trials_per_site=args.trials,
+            configurations=configurations,
+            seeds=seeds,
+            runner=runner,
+        )
+    else:
+        result = run_fault_coverage_experiment(
+            trials_per_site=args.trials,
+            configurations=configurations,
+            seeds=seeds,
+            runner=runner,
+        )
+    print(result.format_table())
+    _print_engine_stats(runner)
     return 0
 
 
-def _print_full_report(args: argparse.Namespace, show_engine_stats: bool) -> int:
+def _print_full_report(args: argparse.Namespace) -> int:
     runner = _runner_from_args(args)
     print(
         full_report(
@@ -245,18 +356,16 @@ def _print_full_report(args: argparse.Namespace, show_engine_stats: bool) -> int
             runner=runner,
         )
     )
-    if show_engine_stats:
-        print()
-        print(f"experiment engine: {runner.stats.summary()} (workers: {runner.jobs})")
+    _print_engine_stats(runner)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    return _print_full_report(args, show_engine_stats=False)
+    return _print_full_report(args)
 
 
 def _cmd_run_all(args: argparse.Namespace) -> int:
-    return _print_full_report(args, show_engine_stats=True)
+    return _print_full_report(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -312,10 +421,39 @@ def build_parser() -> argparse.ArgumentParser:
         sub.set_defaults(handler=handler)
 
     faults_parser = subparsers.add_parser(
-        "faults", help="fault-injection coverage campaign"
+        "faults",
+        help="fault-injection coverage campaign (cell-shaped: parallel and cached)",
     )
-    faults_parser.add_argument("--trials", type=int, default=50)
-    faults_parser.add_argument("--seed", type=int, default=0)
+    faults_parser.add_argument(
+        "--trials",
+        type=_positive_int,
+        default=50,
+        metavar="N",
+        help="trials per (configuration, fault site, seed) (default: 50)",
+    )
+    faults_parser.add_argument(
+        "--seeds",
+        type=_parse_seeds,
+        default=None,
+        metavar="LIST|N",
+        help=(
+            "seeds to sweep, as a comma list or a count "
+            f"(default: {len(FAULT_DEFAULT_SEEDS)} seeds for confidence intervals)"
+        ),
+    )
+    faults_parser.add_argument(
+        "--sweep-rates",
+        type=_parse_rates,
+        default=None,
+        metavar="R1,R2,...",
+        help="sweep these fault-rate scales and print coverage vs rate",
+    )
+    faults_parser.add_argument(
+        "--all-configurations",
+        action="store_true",
+        help="include the extended configurations (e.g. dmr-plus-pab)",
+    )
+    _add_engine_arguments(faults_parser)
     faults_parser.set_defaults(handler=_cmd_faults)
 
     return parser

@@ -14,8 +14,12 @@ handle:
 
 :class:`FaultInjector` plugs into the core timing model as its fault hook;
 :class:`FaultInjectionCampaign` runs functional coverage trials over the real
-protection components and produces the coverage report used by the
-``bench_fault_coverage`` benchmark and the fault-injection example.
+protection components.  The campaign is cell-shaped: :mod:`repro.faults.cells`
+registers a ``faults`` job kind with the experiment engine, so campaigns run
+through :class:`repro.sim.runner.ExperimentRunner` -- parallel and cached --
+exactly like the timing experiments (that module is imported by the top-level
+``repro`` package rather than here, keeping this package free of engine
+imports).
 """
 
 from repro.faults.campaign import CampaignConfiguration, FaultInjectionCampaign

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum, auto
+from typing import Dict, Mapping
 
 from repro.errors import FaultInjectionError
 
@@ -65,3 +66,26 @@ class FaultSpec:
         if self.site is FaultSite.PRIVILEGED_REGISTER and self.register_name is None:
             raise FaultInjectionError("a register fault needs a register name")
         return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe description (enums by name, scalars as-is)."""
+        return {
+            "site": self.site.name,
+            "fault_type": self.fault_type.name,
+            "core_id": self.core_id,
+            "target_address": self.target_address,
+            "register_name": self.register_name,
+            "duration_operations": self.duration_operations,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_dict` output (e.g. a cached cell)."""
+        return cls(
+            site=FaultSite[str(payload["site"])],
+            fault_type=FaultType[str(payload.get("fault_type", FaultType.TRANSIENT.name))],
+            core_id=payload.get("core_id"),
+            target_address=payload.get("target_address"),
+            register_name=payload.get("register_name"),
+            duration_operations=int(payload.get("duration_operations", 1)),
+        )

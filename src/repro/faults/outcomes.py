@@ -1,10 +1,17 @@
-"""Classification of fault-injection outcomes and coverage reporting."""
+"""Classification of fault-injection outcomes and coverage reporting.
+
+:class:`TrialRecord` and :class:`CoverageReport` round-trip through plain
+JSON dictionaries (:meth:`~TrialRecord.to_dict` / ``from_dict``), which is
+what lets the experiment engine cache fault-campaign cells on disk and
+reassemble byte-identical coverage reports from any mix of fresh and cached
+cells.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.faults.models import FaultSite, FaultSpec
 
@@ -51,6 +58,25 @@ class TrialRecord:
     configuration: str
     detail: str = ""
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe description of the trial (the cell-result format)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "outcome": self.outcome.name,
+            "configuration": self.configuration,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "TrialRecord":
+        """Rebuild a trial from :meth:`to_dict` output."""
+        return cls(
+            spec=FaultSpec.from_dict(payload["spec"]),
+            outcome=FaultOutcome[str(payload["outcome"])],
+            configuration=str(payload["configuration"]),
+            detail=str(payload.get("detail", "")),
+        )
+
 
 @dataclass
 class CoverageReport:
@@ -62,6 +88,25 @@ class CoverageReport:
     def record(self, trial: TrialRecord) -> None:
         """Append one trial."""
         self.trials.append(trial)
+
+    def extend(self, trials: Iterable[TrialRecord]) -> None:
+        """Append a batch of trials (e.g. one campaign cell's records)."""
+        self.trials.extend(trials)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe description of the whole report."""
+        return {
+            "configuration": self.configuration,
+            "trials": [trial.to_dict() for trial in self.trials],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CoverageReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            configuration=str(payload["configuration"]),
+            trials=[TrialRecord.from_dict(t) for t in payload.get("trials", ())],
+        )
 
     @property
     def total(self) -> int:

@@ -15,6 +15,8 @@ Table 1                 :func:`run_switch_overhead_experiment`
 Table 2                 :func:`run_switch_frequency_experiment`
 Section 5.3 bottom line :func:`run_single_os_overhead_study`
 Window/TSO ablation     :func:`run_window_ablation`
+Sections 2.1/3.4 faults :func:`run_fault_coverage_experiment`
+Fault-space sweep       :func:`run_fault_rate_sweep`
 Everything at once      :func:`run_all_experiments`
 ======================  =====================================================
 
@@ -44,6 +46,13 @@ from repro.common.stats import ConfidenceInterval, confidence_interval_95, mean
 from repro.config.presets import evaluation_system_config, paper_system_config
 from repro.config.system import PabLookupMode, SystemConfig
 from repro.errors import ExperimentError
+from repro.faults.campaign import (
+    DEFAULT_CONFIGURATIONS,
+    SWEEP_CONFIGURATIONS,
+    CampaignConfiguration,
+)
+from repro.faults.cells import assemble_campaign_reports, fault_campaign_jobs
+from repro.faults.outcomes import CoverageReport
 from repro.sim.jobs import (
     ABLATION_VARIANTS,
     FIGURE5_CONFIGS,
@@ -74,6 +83,11 @@ __all__ = [
     "SingleOsOverheadResult",
     "WindowAblationRow",
     "WindowAblationResult",
+    "FaultCoverageRow",
+    "FaultCoverageResult",
+    "FaultRateSweepResult",
+    "FAULT_DEFAULT_SEEDS",
+    "FAULT_COVERAGE_TITLE",
     "AllExperimentsResult",
     "figure5_jobs",
     "figure6_jobs",
@@ -81,6 +95,7 @@ __all__ = [
     "switch_overhead_jobs",
     "switch_frequency_jobs",
     "window_ablation_jobs",
+    "fault_campaign_jobs",
     "run_dmr_overhead_experiment",
     "run_mixed_mode_experiment",
     "run_pab_latency_study",
@@ -88,6 +103,8 @@ __all__ = [
     "run_switch_frequency_experiment",
     "run_single_os_overhead_study",
     "run_window_ablation",
+    "run_fault_coverage_experiment",
+    "run_fault_rate_sweep",
     "run_all_experiments",
 ]
 
@@ -738,13 +755,14 @@ def run_single_os_overhead_study(
     switch_frequency: Optional[SwitchFrequencyResult] = None,
     workloads: Sequence[str] = PAPER_WORKLOAD_NAMES,
     runner: Optional[ExperimentRunner] = None,
+    seed: int = 0,
 ) -> SingleOsOverheadResult:
     """Combine Table 1 and Table 2 into the paper's single-OS overhead estimate."""
     switch_overheads = switch_overheads or run_switch_overhead_experiment(
-        workloads, runner=runner
+        workloads, seed=seed, runner=runner
     )
     switch_frequency = switch_frequency or run_switch_frequency_experiment(
-        workloads, runner=runner
+        workloads, seed=seed, runner=runner
     )
     result = SingleOsOverheadResult()
     for workload in workloads:
@@ -843,6 +861,213 @@ def run_window_ablation(
 
 
 # ===================================================================== #
+# Sections 2.1 / 3.4: fault-injection coverage (cell-shaped campaign)
+# ===================================================================== #
+
+#: Seeds the fault-campaign entry points sweep by default.  Campaign trials
+#: are cheap and cached, so a five-seed sweep (for real confidence
+#: intervals) is the default rather than the exception.
+FAULT_DEFAULT_SEEDS = (0, 1, 2, 3, 4)
+
+#: Title shared by every rendering of the coverage comparison (here and in
+#: :func:`repro.sim.reporting.format_coverage_reports`).
+FAULT_COVERAGE_TITLE = (
+    "Fault-injection coverage "
+    "(fraction of faults from which reliable state was protected)"
+)
+
+
+@dataclass
+class FaultCoverageRow:
+    """One campaign configuration's coverage, aggregated over the seed sweep."""
+
+    configuration: str
+    #: Every trial of every seed, merged in enumeration order.
+    report: CoverageReport
+    #: Coverage fraction achieved by each seed's share of the campaign.
+    coverage_by_seed: Dict[int, float]
+
+    @property
+    def coverage_interval(self) -> ConfidenceInterval:
+        """95% confidence interval of the coverage across seeds."""
+        return confidence_interval_95(self.coverage_by_seed.values())
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of faults from which reliable state was protected."""
+        return self.report.coverage
+
+    @property
+    def silent_corruption_rate(self) -> float:
+        """Fraction of faults that silently corrupted reliable state."""
+        return self.report.silent_corruption_rate
+
+
+@dataclass
+class FaultCoverageResult:
+    """The paper's protection comparison (Sections 2.1 and 3.4)."""
+
+    trials_per_site: int
+    seeds: Sequence[int]
+    fault_rate: float = 1.0
+    rows: List[FaultCoverageRow] = field(default_factory=list)
+
+    def row(self, configuration: str) -> FaultCoverageRow:
+        """Row for one campaign configuration."""
+        for row in self.rows:
+            if row.configuration == configuration:
+                return row
+        raise ExperimentError(f"no fault-coverage row for configuration {configuration!r}")
+
+    def reports(self) -> List[CoverageReport]:
+        """The merged per-configuration coverage reports."""
+        return [row.report for row in self.rows]
+
+    def format_table(self) -> str:
+        """Render the coverage comparison."""
+        table = TextTable(
+            ["configuration", "trials", "coverage", "95% ci", "silent corruption rate"],
+            title=FAULT_COVERAGE_TITLE,
+        )
+        for row in self.rows:
+            interval = row.coverage_interval
+            table.add_row(
+                [
+                    row.configuration,
+                    row.report.total,
+                    row.coverage,
+                    f"±{interval.half_width:.3f}",
+                    row.silent_corruption_rate,
+                ]
+            )
+        return table.render()
+
+
+def _assemble_fault_coverage(
+    jobs: Sequence[ExperimentJob],
+    results: JobResults,
+    trials_per_site: int,
+    seeds: Sequence[int],
+    fault_rate: float,
+) -> FaultCoverageResult:
+    merged, per_seed = assemble_campaign_reports(jobs, results)
+    result = FaultCoverageResult(
+        trials_per_site=trials_per_site, seeds=tuple(seeds), fault_rate=fault_rate
+    )
+    for configuration, report in merged.items():
+        result.rows.append(
+            FaultCoverageRow(
+                configuration=configuration,
+                report=report,
+                coverage_by_seed={
+                    seed: per_seed[(configuration, seed)].coverage for seed in seeds
+                },
+            )
+        )
+    return result
+
+
+def run_fault_coverage_experiment(
+    trials_per_site: int = 50,
+    configurations: Sequence[CampaignConfiguration] = DEFAULT_CONFIGURATIONS,
+    seeds: Sequence[int] = FAULT_DEFAULT_SEEDS,
+    fault_rate: float = 1.0,
+    config: Optional[SystemConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> FaultCoverageResult:
+    """Reproduce the protection comparison of Sections 2.1 and 3.4.
+
+    The campaign runs through the experiment engine: every (configuration,
+    fault-site, seed, trials-chunk) cell is an independent job, so a
+    multi-worker runner fans the trials out and a warm cache re-renders the
+    comparison without injecting a single fault.
+    """
+    runner = runner or default_runner()
+    jobs = fault_campaign_jobs(
+        trials_per_site=trials_per_site,
+        configurations=configurations,
+        seeds=seeds,
+        fault_rate=fault_rate,
+        config=config,
+    )
+    return _assemble_fault_coverage(
+        jobs, runner.run_jobs(jobs), trials_per_site, seeds, fault_rate
+    )
+
+
+@dataclass
+class FaultRateSweepResult:
+    """Coverage as a function of the fault-rate scale (the fault-space sweep)."""
+
+    trials_per_site: int
+    seeds: Sequence[int]
+    fault_rates: Sequence[float]
+    #: One full coverage result per swept fault rate.
+    by_rate: Dict[float, FaultCoverageResult] = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        """Render silent-corruption rates across the swept fault space."""
+        table = TextTable(
+            ["configuration", *[f"rate {rate:g}" for rate in self.fault_rates]],
+            title=(
+                "Fault-space sweep: silent corruption rate vs fault-rate scale "
+                f"({self.trials_per_site} trials/site, {len(tuple(self.seeds))} seeds)"
+            ),
+        )
+        configurations = [row.configuration for row in self.by_rate[self.fault_rates[0]].rows]
+        for configuration in configurations:
+            table.add_row(
+                [
+                    configuration,
+                    *[
+                        self.by_rate[rate].row(configuration).silent_corruption_rate
+                        for rate in self.fault_rates
+                    ],
+                ]
+            )
+        return table.render()
+
+
+def run_fault_rate_sweep(
+    fault_rates: Sequence[float] = (0.25, 0.5, 1.0),
+    trials_per_site: int = 50,
+    configurations: Sequence[CampaignConfiguration] = SWEEP_CONFIGURATIONS,
+    seeds: Sequence[int] = FAULT_DEFAULT_SEEDS,
+    config: Optional[SystemConfig] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> FaultRateSweepResult:
+    """Sweep the fault space: coverage per configuration across fault rates.
+
+    All (rate, configuration, site, seed, chunk) cells are enumerated into
+    *one* batch, so a parallel runner overlaps the whole sweep and cached
+    cells are shared with any other campaign run at the same rate.
+    """
+    if not fault_rates:
+        raise ExperimentError("a fault-rate sweep needs at least one rate")
+    runner = runner or default_runner()
+    jobs_by_rate = {
+        rate: fault_campaign_jobs(
+            trials_per_site=trials_per_site,
+            configurations=configurations,
+            seeds=seeds,
+            fault_rate=rate,
+            config=config,
+        )
+        for rate in fault_rates
+    }
+    results = runner.run_jobs([job for jobs in jobs_by_rate.values() for job in jobs])
+    return FaultRateSweepResult(
+        trials_per_site=trials_per_site,
+        seeds=tuple(seeds),
+        fault_rates=tuple(fault_rates),
+        by_rate={
+            rate: _assemble_fault_coverage(jobs, results, trials_per_site, seeds, rate)
+            for rate, jobs in jobs_by_rate.items()
+        },
+    )
+
+
+# ===================================================================== #
 # Everything at once
 # ===================================================================== #
 
@@ -859,6 +1084,7 @@ class AllExperimentsResult:
     table2: Optional[SwitchFrequencyResult] = None
     single_os: Optional[SingleOsOverheadResult] = None
     ablation: Optional[WindowAblationResult] = None
+    faults: Optional[FaultCoverageResult] = None
     #: Raw per-cell metrics keyed by cache key -- the canonical, fully
     #: serializable record of the batch (used by the determinism tests to
     #: compare serial and parallel runs byte for byte).
@@ -881,6 +1107,8 @@ class AllExperimentsResult:
             parts.append(self.single_os.format_table())
         if self.ablation is not None:
             parts.append(self.ablation.format_table())
+        if self.faults is not None:
+            parts.append(self.faults.format_table())
         return parts
 
     def render(self) -> str:
@@ -893,11 +1121,13 @@ def run_all_experiments(
     runner: Optional[ExperimentRunner] = None,
     include_switching: bool = True,
     include_ablation: bool = True,
+    include_faults: bool = True,
 ) -> AllExperimentsResult:
     """Run the whole evaluation as one job batch.
 
-    Every cell of every experiment is enumerated up front and handed to the
-    runner in a single call, so a multi-worker runner overlaps cells *across*
+    Every cell of every experiment -- simulation cells and fault-campaign
+    cells alike -- is enumerated up front and handed to the runner in a
+    single call, so a multi-worker runner overlaps cells *across*
     experiments (not just within one) and a warm cache re-run executes
     nothing at all.
     """
@@ -928,6 +1158,13 @@ def run_all_experiments(
     ablation_settings = settings.with_workloads(settings.workloads[:2])
     if include_ablation:
         jobs += window_ablation_jobs(ablation_settings)
+    fault_jobs: List[ExperimentJob] = []
+    if include_faults:
+        fault_jobs = fault_campaign_jobs(
+            trials_per_site=settings.fault_trials_per_site,
+            seeds=settings.seeds,
+        )
+        jobs += fault_jobs
 
     results = runner.run_jobs(jobs)
 
@@ -948,6 +1185,14 @@ def run_all_experiments(
         single_os=single_os,
         ablation=(
             _assemble_ablation(ablation_settings, results) if include_ablation else None
+        ),
+        faults=(
+            _assemble_fault_coverage(
+                fault_jobs, results, settings.fault_trials_per_site,
+                settings.seeds, 1.0,
+            )
+            if include_faults
+            else None
         ),
         job_metrics={job.cache_key(): dict(results[job]) for job in jobs},
     )

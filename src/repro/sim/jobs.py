@@ -13,11 +13,19 @@ configuration-variant, seed) combination -- is described by an
   :mod:`repro.sim.runner` sound: two jobs share a key exactly when they
   describe the same simulation.
 
-:func:`execute_job` maps a job to its flat ``{metric: value}`` dictionary.
-It is a module-level function on purpose: process-pool workers import it by
-reference.  The experiment entry points in :mod:`repro.sim.experiments`
-enumerate jobs, hand them to a runner, and assemble their result dataclasses
-from the returned metrics.
+:func:`execute_job` maps a job to its JSON-serializable ``{metric: value}``
+dictionary.  It is a module-level function on purpose: process-pool workers
+import it by reference.  The experiment entry points in
+:mod:`repro.sim.experiments` enumerate jobs, hand them to a runner, and
+assemble their result dataclasses from the returned metrics.
+
+Job *kinds* are pluggable: :func:`register_job_kind` maps a kind name to its
+cell executor, so new cell families join the engine without touching
+:mod:`repro.sim.runner` or this module.  The simulation-shaped kinds below
+register themselves here; the fault-injection campaign registers a
+``faults`` kind from :mod:`repro.faults.cells` (imported by the ``repro``
+package, so pool workers see the registration too); future back-ends
+(distributed runners, external simulators) follow the same pattern.
 """
 
 from __future__ import annotations
@@ -92,14 +100,19 @@ ParamValue = Union[int, float, str, bool, None]
 
 @dataclass(frozen=True)
 class ExperimentJob:
-    """One (experiment, workload, config-variant, seed) simulation cell."""
+    """One (experiment, workload, config-variant, seed) experiment cell."""
 
-    #: Which experiment the cell belongs to (``figure5``, ``figure6``,
-    #: ``pab``, ``table1``, ``table2``, ``ablation``).
+    #: Which cell family the job belongs to -- any name registered via
+    #: :func:`register_job_kind` (``figure5``, ``figure6``, ``pab``,
+    #: ``table1``, ``table2``, ``ablation``, ``faults``, ...).
     kind: str
+    #: Workload name for simulation cells; kinds without a workload axis
+    #: repurpose the field for their primary axis (fault cells store the
+    #: fault-site name here).
     workload: str
     #: Kind-specific configuration label (Figure 5/6 configuration, PAB
-    #: lookup mode, ablation variant); empty when the kind has none.
+    #: lookup mode, ablation variant, campaign configuration); empty when
+    #: the kind has none.
     variant: str = ""
     seed: int = 0
     #: Sweep settings for the cells driven by :class:`ExperimentSettings`
@@ -146,6 +159,76 @@ class ExperimentJob:
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         payload = code_fingerprint() + "\0" + canonical
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ===================================================================== #
+# Job-kind registry
+# ===================================================================== #
+
+#: A cell executor: one job in, a flat JSON-serializable metrics dict out.
+JobExecutor = Callable[[ExperimentJob], Dict[str, object]]
+
+_EXECUTORS: Dict[str, JobExecutor] = {}
+
+
+def register_job_kind(
+    kind: str,
+    executor: Optional[JobExecutor] = None,
+    *,
+    replace: bool = False,
+) -> Callable[[JobExecutor], JobExecutor]:
+    """Register the executor of one job kind (usable as a decorator).
+
+    The executor must be a picklable module-level function: process-pool
+    workers re-import the module that registers it, so the registration must
+    be an import-time side effect of that module.  Registering an existing
+    kind raises unless ``replace=True``; re-registering the *same* function
+    -- by identity, or by module and qualified name after a module reload --
+    is a harmless no-op.
+    """
+
+    def _register(function: JobExecutor) -> JobExecutor:
+        current = _EXECUTORS.get(kind)
+        same = current is not None and (
+            current is function
+            or (
+                getattr(current, "__module__", None) == getattr(function, "__module__", None)
+                and getattr(current, "__qualname__", None) == getattr(function, "__qualname__", None)
+            )
+        )
+        if current is not None and not same and not replace:
+            raise ExperimentError(f"job kind {kind!r} is already registered")
+        _EXECUTORS[kind] = function
+        return function
+
+    if executor is None:
+        return _register
+    return _register(executor)
+
+
+def registered_job_kinds() -> Tuple[str, ...]:
+    """The job kinds the engine currently knows how to execute, sorted."""
+    return tuple(sorted(_EXECUTORS))
+
+
+def execute_job(job: ExperimentJob) -> Dict[str, object]:
+    """Run one cell and return its flat metric dictionary.
+
+    Module-level so that :class:`concurrent.futures.ProcessPoolExecutor`
+    workers can import it by reference; the cell's machinery is rebuilt
+    inside the worker from the job's plain-value description.  Dispatches on
+    the job-kind registry, so every registered cell family -- simulation
+    cells below, fault-campaign cells from :mod:`repro.faults.cells` --
+    runs through the same runner.
+    """
+    try:
+        executor = _EXECUTORS[job.kind]
+    except KeyError:
+        known = ", ".join(registered_job_kinds()) or "none"
+        raise ExperimentError(
+            f"unknown experiment job kind {job.kind!r} (registered kinds: {known})"
+        ) from None
+    return executor(job)
 
 
 # ===================================================================== #
@@ -272,6 +355,7 @@ def simulate_cell(job: ExperimentJob) -> SimulationResult:
 # ===================================================================== #
 
 
+@register_job_kind("figure5")
 def _execute_figure5(job: ExperimentJob) -> Dict[str, float]:
     run = simulate_cell(job)
     vm = run.vm("baseline")
@@ -281,6 +365,7 @@ def _execute_figure5(job: ExperimentJob) -> Dict[str, float]:
     }
 
 
+@register_job_kind("figure6")
 def _execute_figure6(job: ExperimentJob) -> Dict[str, float]:
     run = simulate_cell(job)
     reliable = run.vm("reliable")
@@ -294,6 +379,7 @@ def _execute_figure6(job: ExperimentJob) -> Dict[str, float]:
     }
 
 
+@register_job_kind("pab")
 def _execute_pab(job: ExperimentJob) -> Dict[str, float]:
     run = simulate_cell(job)
     return {
@@ -302,11 +388,13 @@ def _execute_pab(job: ExperimentJob) -> Dict[str, float]:
     }
 
 
+@register_job_kind("ablation")
 def _execute_ablation(job: ExperimentJob) -> Dict[str, float]:
     run = simulate_cell(job)
     return {"user_ipc": run.vm("baseline").average_user_ipc(run.total_cycles)}
 
 
+@register_job_kind("table1")
 def _execute_table1(job: ExperimentJob) -> Dict[str, float]:
     """Measure Enter/Leave-DMR costs for one workload (Table 1)."""
     config = (job.config or paper_system_config()).validate()
@@ -419,6 +507,7 @@ def _execute_table1(job: ExperimentJob) -> Dict[str, float]:
     }
 
 
+@register_job_kind("table2")
 def _execute_table2(job: ExperimentJob) -> Dict[str, float]:
     """Time user and OS phases of one workload (Table 2)."""
     config = (job.config or evaluation_system_config()).validate()
@@ -471,27 +560,3 @@ def _execute_table2(job: ExperimentJob) -> Dict[str, float]:
         "user_cycles": mean(user_cycles) * scale,
         "os_cycles": mean(os_cycles) * scale,
     }
-
-
-_EXECUTORS: Dict[str, Callable[[ExperimentJob], Dict[str, float]]] = {
-    "figure5": _execute_figure5,
-    "figure6": _execute_figure6,
-    "pab": _execute_pab,
-    "ablation": _execute_ablation,
-    "table1": _execute_table1,
-    "table2": _execute_table2,
-}
-
-
-def execute_job(job: ExperimentJob) -> Dict[str, float]:
-    """Run one cell and return its flat metric dictionary.
-
-    Module-level so that :class:`concurrent.futures.ProcessPoolExecutor`
-    workers can import it by reference; the machine is rebuilt inside the
-    worker from the job's plain-value description.
-    """
-    try:
-        executor = _EXECUTORS[job.kind]
-    except KeyError:
-        raise ExperimentError(f"unknown experiment job kind {job.kind!r}") from None
-    return executor(job)

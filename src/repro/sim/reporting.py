@@ -11,18 +11,21 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.analysis.tables import TextTable
-from repro.config.presets import paper_system_config
-from repro.faults.campaign import FaultInjectionCampaign
 from repro.faults.outcomes import CoverageReport
-from repro.sim.experiments import ExperimentSettings, run_all_experiments
+from repro.sim.experiments import (
+    FAULT_COVERAGE_TITLE,
+    ExperimentSettings,
+    run_all_experiments,
+    run_fault_coverage_experiment,
+)
 from repro.sim.runner import ExperimentRunner
 
 
 def format_coverage_reports(reports: List[CoverageReport]) -> str:
-    """Render the fault-injection coverage comparison."""
+    """Render a fault-injection coverage comparison from raw reports."""
     table = TextTable(
         ["configuration", "trials", "coverage", "silent corruption rate"],
-        title="Fault-injection coverage (fraction of faults from which reliable state was protected)",
+        title=FAULT_COVERAGE_TITLE,
     )
     for report in reports:
         table.add_row(
@@ -31,10 +34,22 @@ def format_coverage_reports(reports: List[CoverageReport]) -> str:
     return table.render()
 
 
-def fault_coverage_report(trials_per_site: int = 25, seed: int = 0) -> str:
-    """Run the default fault-injection campaign and render its summary."""
-    campaign = FaultInjectionCampaign(config=paper_system_config(), seed=seed)
-    return format_coverage_reports(campaign.run(trials_per_site=trials_per_site))
+def fault_coverage_report(
+    trials_per_site: int = 25,
+    seed: int = 0,
+    runner: Optional[ExperimentRunner] = None,
+) -> str:
+    """Run the default fault-injection campaign and render its summary.
+
+    A thin convenience wrapper over
+    :func:`~repro.sim.experiments.run_fault_coverage_experiment` (single
+    seed, default configurations): the campaign cells run through the
+    experiment engine like every other experiment.
+    """
+    result = run_fault_coverage_experiment(
+        trials_per_site=trials_per_site, seeds=(seed,), runner=runner
+    )
+    return format_coverage_reports(result.reports())
 
 
 def full_report(
@@ -46,10 +61,10 @@ def full_report(
 ) -> str:
     """Run every experiment and return one combined plain-text report.
 
-    The simulation experiments go through :func:`run_all_experiments` as one
-    job batch, so a parallel runner overlaps cells across experiments and a
-    warm cache serves the whole report without simulating anything.  The
-    fault-injection campaign is not cell-shaped and still runs inline.
+    Everything -- the simulation experiments *and* the fault-injection
+    campaign -- goes through :func:`run_all_experiments` as one job batch,
+    so a parallel runner overlaps cells across experiments and a warm cache
+    serves the whole report without simulating or injecting anything.
     """
     settings = settings or ExperimentSettings()
     everything = run_all_experiments(
@@ -57,8 +72,6 @@ def full_report(
         runner=runner,
         include_switching=include_switching,
         include_ablation=include_ablation,
+        include_faults=include_faults,
     )
-    sections: List[str] = everything.sections()
-    if include_faults:
-        sections.append(fault_coverage_report())
-    return "\n\n".join(sections)
+    return everything.render()

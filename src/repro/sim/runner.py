@@ -48,7 +48,12 @@ from typing import (
 from repro.errors import ExperimentError
 from repro.sim.jobs import CACHE_SCHEMA_VERSION, ExperimentJob, execute_job
 
-Metrics = Dict[str, float]
+#: A cell result: metric name to JSON-serializable value.  Simulation cells
+#: return plain floats; other registered kinds may return nested structures
+#: (fault-campaign cells return their serialized trial records), as long as
+#: a ``json`` round trip reproduces the value exactly.
+JsonValue = Union[None, bool, int, float, str, List["JsonValue"], Dict[str, "JsonValue"]]
+Metrics = Dict[str, JsonValue]
 
 #: Environment variable overriding the default on-disk cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -99,13 +104,18 @@ class ResultCache:
     def load(self, job: ExperimentJob) -> Optional[Metrics]:
         """Return the cached metrics for ``job``, or ``None`` on a miss.
 
-        Corrupt or incompatible entries (schema changes, truncated writes)
-        are treated as misses rather than errors.
+        Corrupt or incompatible entries are treated as misses rather than
+        errors -- a load never raises, and the subsequent :meth:`store`
+        simply overwrites the bad file.  This covers truncated writes from a
+        run killed mid-flight, non-JSON garbage, undecodable bytes, schema
+        changes, and well-formed JSON that is not a result object at all.
         """
         path = self.path_for(job)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
             return None
         if payload.get("schema") != CACHE_SCHEMA_VERSION:
             return None

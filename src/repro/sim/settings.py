@@ -56,6 +56,9 @@ class ExperimentSettings:
     #: Phase scale at which the Table 2 phases are generated (the measured
     #: cycles are scaled back up by its inverse).
     frequency_phase_scale: float = 0.1
+    #: Fault-injection trials per (configuration, fault site, seed) run by
+    #: the campaign section of ``run_all_experiments``.
+    fault_trials_per_site: int = 25
 
     @property
     def footprint_scale(self) -> float:
@@ -96,11 +99,16 @@ class ExperimentSettings:
             switch_warmup_cycles=2_000,
             frequency_phases=1,
             frequency_phase_scale=0.02,
+            fault_trials_per_site=5,
         )
 
     def with_workloads(self, workloads: Sequence[str]) -> "ExperimentSettings":
         """A copy restricted to the given workloads."""
         return replace(self, workloads=tuple(workloads))
+
+    def with_seeds(self, seeds: Sequence[int]) -> "ExperimentSettings":
+        """A copy sweeping the given seeds."""
+        return replace(self, seeds=tuple(seeds))
 
     def cell_settings(self) -> "ExperimentSettings":
         """The settings one experiment *cell* actually depends on.
@@ -110,6 +118,7 @@ class ExperimentSettings:
         surrounding sweep must not leak into its identity: normalising them
         away keeps job cache keys stable when the sweep is restricted or
         extended (a cached ``apache`` cell is reused whether the sweep ran
-        two workloads or six).
+        two workloads or six).  ``fault_trials_per_site`` sizes the fault
+        sweep, not any simulation cell, so it is normalised away too.
         """
-        return replace(self, workloads=(), seeds=())
+        return replace(self, workloads=(), seeds=(), fault_trials_per_site=0)

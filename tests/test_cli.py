@@ -83,8 +83,17 @@ def test_figure5_quick_subset(capsys, isolated_cache):
     assert "Figure 5(a)" in out
     assert "Figure 5(b)" in out
     assert "apache" in out
+    # Every engine-backed command reports its cache effectiveness.
+    assert "experiment engine: 3 executed, 0 from cache, 0 memoized" in out
     # The engine cached every cell on disk (one JSON file per cell).
     assert len(list(isolated_cache.glob("figure5/*.json"))) == 3
+
+
+def test_figure5_seed_sweep_multiplies_cells(capsys, isolated_cache):
+    assert main(["figure5", "--quick", "--workloads", "apache", "--seeds", "0,1"]) == 0
+    out = capsys.readouterr().out
+    assert "experiment engine: 6 executed" in out
+    assert len(list(isolated_cache.glob("figure5/*.json"))) == 6
 
 
 def test_figure5_no_cache_leaves_no_files(capsys, isolated_cache):
@@ -118,6 +127,33 @@ def test_faults_subcommand(capsys):
     out = capsys.readouterr().out
     assert "always-dmr" in out
     assert "naive-mode-switch" in out
+    assert "experiment engine:" in out
+
+
+def test_faults_parallel_matches_serial_and_warm_cache(capsys, isolated_cache):
+    argv = ["faults", "--trials", "4", "--seeds", "2", "--jobs", "2"]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "0 from cache" in cold
+
+    # A second run serves every campaign cell from the cache, with an
+    # identical coverage table.
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "0 executed" in warm
+    assert cold.split("experiment engine:")[0] == warm.split("experiment engine:")[0]
+
+
+def test_faults_rate_sweep_and_extra_configurations(capsys):
+    argv = [
+        "faults", "--trials", "4", "--seeds", "1", "--no-cache",
+        "--sweep-rates", "0.5,1.0", "--all-configurations",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "Fault-space sweep" in out
+    assert "dmr-plus-pab" in out
+    assert "rate 0.5" in out and "rate 1" in out
 
 
 def test_rejects_unknown_workload():
@@ -133,3 +169,30 @@ def test_rejects_unknown_policy():
 def test_rejects_nonpositive_jobs():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["figure5", "--jobs", "0"])
+
+
+@pytest.mark.parametrize("bad", ["", "0", "x", "1,x", ","])
+def test_rejects_malformed_seed_lists(bad):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure5", "--seeds", bad])
+
+
+@pytest.mark.parametrize("bad", ["0", "-1,1", "1.5", "x", "nan", "0.5,nan"])
+def test_rejects_malformed_rate_sweeps(bad):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["faults", "--sweep-rates", bad])
+
+
+def test_seed_list_and_count_forms():
+    parser = build_parser()
+    assert parser.parse_args(["figure5", "--seeds", "3"]).seeds == (0, 1, 2)
+    assert parser.parse_args(["figure5", "--seeds", "4,7"]).seeds == (4, 7)
+    # Duplicate seeds would double-count cells in a sweep; they are dropped.
+    assert parser.parse_args(["figure5", "--seeds", "4,4,7"]).seeds == (4, 7)
+
+
+def test_single_seed_measurements_announce_dropped_seeds(capsys):
+    assert main(["table2", "--workloads", "apache", "--seeds", "5,6"]) == 0
+    out = capsys.readouterr().out
+    assert "note: this measurement uses a single seed; taking seed 5" in out
+    assert "Table 2" in out

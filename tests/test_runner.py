@@ -19,6 +19,8 @@ from dataclasses import replace
 
 import pytest
 
+import repro.sim.jobs as jobs_module
+
 from repro.config.presets import paper_system_config
 from repro.errors import ExperimentError
 from repro.sim.experiments import (
@@ -37,7 +39,13 @@ from repro.sim.experiments import (
     switch_overhead_jobs,
     window_ablation_jobs,
 )
-from repro.sim.jobs import ExperimentJob, execute_job, simulate_cell
+from repro.sim.jobs import (
+    ExperimentJob,
+    execute_job,
+    register_job_kind,
+    registered_job_kinds,
+    simulate_cell,
+)
 from repro.sim.runner import (
     ExperimentRunner,
     ResultCache,
@@ -110,12 +118,61 @@ class TestJobModel:
         assert job.param("missing", 42) == 42
 
     def test_unknown_kind_is_rejected(self):
-        with pytest.raises(ExperimentError):
+        with pytest.raises(ExperimentError, match="registered kinds"):
             execute_job(replace(quick_job(), kind="figure7"))
 
     def test_settings_driven_kinds_require_settings(self):
         with pytest.raises(ExperimentError):
             simulate_cell(replace(quick_job(), settings=None))
+
+
+class TestJobKindRegistry:
+    def test_every_builtin_kind_is_registered(self):
+        # Importing the package registers the simulation kinds *and* the
+        # fault-campaign kind (repro.faults.cells) -- the same chain a
+        # process-pool worker follows when it unpickles execute_job.
+        assert set(registered_job_kinds()) >= {
+            "figure5", "figure6", "pab", "ablation", "table1", "table2", "faults",
+        }
+
+    def test_registered_kind_dispatches(self):
+        def fake(job):
+            return {"answer": 42.0}
+
+        register_job_kind("registry-test", fake)
+        try:
+            assert execute_job(replace(quick_job(), kind="registry-test")) == {
+                "answer": 42.0
+            }
+        finally:
+            del jobs_module._EXECUTORS["registry-test"]
+
+    def test_decorator_form_and_duplicate_rejection(self):
+        @register_job_kind("registry-dup")
+        def first(job):
+            return {}
+
+        try:
+            # Re-registering the same function is a harmless no-op...
+            register_job_kind("registry-dup", first)
+            # ...but a different executor must be explicit about replacing.
+            with pytest.raises(ExperimentError):
+                register_job_kind("registry-dup", lambda job: {})
+            register_job_kind("registry-dup", lambda job: {"v": 1.0}, replace=True)
+        finally:
+            del jobs_module._EXECUTORS["registry-dup"]
+
+    def test_module_reload_reregistration_is_harmless(self):
+        # Reloading a registering module creates new function objects with
+        # the same module/qualname; that must not raise.
+        import importlib
+
+        import repro.faults.cells as cells_module
+
+        before = jobs_module._EXECUTORS["faults"]
+        importlib.reload(cells_module)
+        assert jobs_module._EXECUTORS["faults"] is not before
+        assert "faults" in registered_job_kinds()
 
 
 class TestResultCache:
@@ -132,6 +189,43 @@ class TestResultCache:
         job = quick_job()
         cache.store(job, {"user_ipc": 0.5})
         cache.path_for(job).write_text("{not json", encoding="utf-8")
+        assert cache.load(job) is None
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"",                        # zero-length file (killed before any write)
+            b'{"schema": 1, "key": ',   # truncated mid-write
+            b"null",                    # valid JSON, wrong shape
+            b"[1, 2, 3]",               # valid JSON, wrong shape
+            b"\xff\xfe garbage bytes",  # undecodable
+        ],
+    )
+    def test_truncated_or_malformed_entries_never_raise(self, tmp_path, garbage):
+        # A run killed mid-write must leave a cache the next run can use:
+        # the bad entry reads as a miss and the re-run simply overwrites it.
+        cache = ResultCache(tmp_path)
+        job = quick_job()
+        cache.path_for(job).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(job).write_bytes(garbage)
+        assert cache.load(job) is None
+        cache.store(job, {"user_ipc": 0.5})
+        assert cache.load(job) == {"user_ipc": 0.5}
+
+    def test_non_dict_metrics_is_a_miss(self, tmp_path):
+        # Schema and key check out, but the metrics payload is garbage.
+        from repro.sim.jobs import CACHE_SCHEMA_VERSION
+
+        cache = ResultCache(tmp_path)
+        job = quick_job()
+        path = cache.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {"schema": CACHE_SCHEMA_VERSION, "key": job.cache_key(), "metrics": 7}
+            ),
+            encoding="utf-8",
+        )
         assert cache.load(job) is None
 
     def test_key_mismatch_is_a_miss(self, tmp_path):
@@ -307,7 +401,9 @@ class TestRunAllParity:
         )
         assert one.render() == four.render()
 
-        # Re-running against the serial runner's cache simulates nothing.
+        # Re-running against the serial runner's cache simulates nothing --
+        # including the fault-campaign cells, which ride the same batch.
+        assert one.faults is not None and one.faults.rows
         warm = ExperimentRunner(jobs=4, cache_dir=tmp_path / "serial")
         again = run_all_experiments(settings, runner=warm)
         assert warm.stats.executed == 0
@@ -320,6 +416,9 @@ class TestRunAllParity:
         result = run_all_experiments(QUICK, runner=runner)
         report = result.render()
         for marker in ("Figure 5(a)", "Figure 5(b)", "Figure 6(a)", "Figure 6(b)",
-                       "PAB", "Table 1", "Table 2", "Single-OS", "window size"):
+                       "PAB", "Table 1", "Table 2", "Single-OS", "window size",
+                       "Fault-injection coverage"):
             assert marker in report
         assert result.single_os is not None and result.ablation is not None
+        assert result.faults is not None
+        assert result.faults.row("always-dmr").coverage == 1.0

@@ -16,10 +16,12 @@ itself; the numbers are then not meaningful).
 
 The experiments run through the experiment engine of
 :mod:`repro.sim.runner`.  Set ``REPRO_BENCH_JOBS=N`` to fan the simulation
-cells out over N worker processes, and ``REPRO_BENCH_CACHE=<dir>`` to reuse
-the on-disk result cache across harness runs (off by default: a cached cell
-costs no simulation time, which would make the recorded timings
-meaningless).
+cells out over N workers, ``REPRO_BENCH_BACKEND=<name>`` to pick the runner
+backend (``serial``, ``process``, ``thread``), ``REPRO_BENCH_SEEDS=N`` to
+widen the seed sweep (default: one seed, so timings stay comparable across
+runs), and ``REPRO_BENCH_CACHE=<dir>`` to reuse the on-disk result cache
+across harness runs (off by default: a cached cell costs no simulation
+time, which would make the recorded timings meaningless).
 """
 
 from __future__ import annotations
@@ -40,7 +42,8 @@ def _engine_runner() -> ExperimentRunner:
     """The runner described by the REPRO_BENCH_* environment variables."""
     jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
     cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
-    return ExperimentRunner(jobs=max(1, jobs), cache_dir=cache_dir)
+    backend = os.environ.get("REPRO_BENCH_BACKEND") or None
+    return ExperimentRunner(jobs=max(1, jobs), cache_dir=cache_dir, backend=backend)
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -54,10 +57,16 @@ def bench_runner():
 
 @pytest.fixture(scope="session")
 def bench_settings() -> ExperimentSettings:
-    """Experiment settings used by every benchmark."""
-    if _quick():
-        return ExperimentSettings.quick()
-    return ExperimentSettings()
+    """Experiment settings used by every benchmark.
+
+    The seed sweep is pinned to one seed (override with
+    ``REPRO_BENCH_SEEDS=N``) rather than inheriting the library's ten-seed
+    default: benchmark timings are compared across runs, and silently
+    multiplying the simulated cells would invalidate every recorded number.
+    """
+    seeds = tuple(range(max(1, int(os.environ.get("REPRO_BENCH_SEEDS", "1") or "1"))))
+    base = ExperimentSettings.quick() if _quick() else ExperimentSettings()
+    return base.with_seeds(seeds)
 
 
 class _ExperimentCache:

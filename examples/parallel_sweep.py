@@ -41,6 +41,9 @@ SETTINGS = replace(
 
 CACHE_DIR = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
 WORKERS = min(4, os.cpu_count() or 1)
+#: Runner backend for the cold sweep: "process" (default), "thread" or
+#: "serial" -- the same names `repro --backend` accepts.
+BACKEND = os.environ.get("REPRO_SWEEP_BACKEND", "process")
 
 
 def sweep(runner: ExperimentRunner) -> None:
@@ -52,8 +55,11 @@ def sweep(runner: ExperimentRunner) -> None:
 
 
 def main() -> None:
-    print(f"Cold sweep across {WORKERS} worker processes (cache: {CACHE_DIR})...")
-    cold = ExperimentRunner(jobs=WORKERS, cache_dir=CACHE_DIR)
+    print(
+        f"Cold sweep across {WORKERS} workers of the {BACKEND!r} backend "
+        f"(cache: {CACHE_DIR})..."
+    )
+    cold = ExperimentRunner(jobs=WORKERS, cache_dir=CACHE_DIR, backend=BACKEND)
     started = time.perf_counter()
     sweep(cold)
     print(f"\ncold: {cold.stats.summary()} in {time.perf_counter() - started:.1f}s")

@@ -1,35 +1,45 @@
 """Command-line interface for the reproduction.
 
-Two groups of subcommands:
+Three groups of subcommands:
 
 * ``run`` simulates one mixed-mode system (a consolidated server or a
   single-OS desktop) and prints a per-VM summary -- the quickest way to see
   the MMM trade-off without writing any code;
-* one subcommand per paper artefact (``figure5``, ``figure6``, ``pab``,
-  ``table1``, ``table2``, ``single-os``, ``ablation``, ``faults``, and
-  ``report`` / ``run-all`` for everything at once) regenerates that table or
-  figure and prints it in the paper's layout.
+* one subcommand per *registered experiment spec*: the parsers are generated
+  from the central ``EXPERIMENTS`` registry of :mod:`repro.sim.specs`
+  (``figure5``, ``figure6``, ``pab``, ``table1``, ``table2``, ``single-os``,
+  ``ablation``, ``faults``, ... -- run ``repro list`` to see them all), plus
+  ``report`` / ``run-all`` which run every registered spec as one batch.
+  Registering a new spec adds its subcommand, flags and help text with no
+  CLI change;
+* housekeeping: ``list`` prints the spec registry, ``list-workloads`` the
+  calibrated workload profiles, and ``cache stats`` / ``cache clear`` inspect
+  and prune the on-disk result cache.
 
-The experiment subcommands (including ``faults``) share the
-experiment-engine flags: ``--jobs N`` fans the experiment cells out over N
-worker processes, ``--seeds`` widens the seed sweep, and results are cached
-on disk (``.repro-cache`` by default) so a re-run only executes changed
-cells; ``--no-cache`` forces fresh runs and ``--cache-dir`` relocates the
-cache.  Every engine-backed invocation ends with a one-line cache
-effectiveness summary (``N executed, M from cache, K memoized``).
+The experiment subcommands share the experiment-engine flags: ``--jobs N``
+fans the experiment cells out over N workers, ``--backend`` picks the
+execution backend (``serial``, ``process``, ``thread``), ``--seeds`` widens
+or narrows the seed sweep, and results are cached on disk (``.repro-cache``
+by default) so a re-run only executes changed cells; ``--no-cache`` forces
+fresh runs and ``--cache-dir`` relocates the cache.  ``--json`` renders the
+result as the spec's uniform JSON document instead of tables.  Every
+engine-backed invocation ends with a one-line cache effectiveness summary
+(``N executed, M from cache, K memoized``).
 
 Examples::
 
-    python -m repro list-workloads
+    python -m repro list
     python -m repro run --policy mmm-tp --reliable oltp --performance apache
     python -m repro figure6 --workloads apache oltp --jobs 4
     python -m repro faults --trials 200 --seeds 8 --jobs 4
-    python -m repro run-all --quick --jobs 4
+    python -m repro run-all --quick --jobs 4 --backend thread
+    python -m repro cache stats
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -37,74 +47,22 @@ from repro.analysis.tables import TextTable
 from repro.config.presets import evaluation_system_config
 from repro.core.mmm import MixedModeMulticore
 from repro.core.policies import available_policies
-from repro.faults.campaign import DEFAULT_CONFIGURATIONS, SWEEP_CONFIGURATIONS
-from repro.sim.experiments import (
-    FAULT_DEFAULT_SEEDS,
-    ExperimentSettings,
-    run_dmr_overhead_experiment,
-    run_fault_coverage_experiment,
-    run_fault_rate_sweep,
-    run_mixed_mode_experiment,
-    run_pab_latency_study,
-    run_single_os_overhead_study,
-    run_switch_frequency_experiment,
-    run_switch_overhead_experiment,
-    run_window_ablation,
-)
+from repro.sim.experiments import ExperimentSettings
 from repro.sim.reporting import full_report
-from repro.sim.runner import ExperimentRunner
+from repro.sim.runner import (
+    ExperimentRunner,
+    ResultCache,
+    default_cache_dir,
+    registered_backends,
+)
+from repro.sim.specs import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    jsonify,
+    parse_positive_int,
+    parse_seed_list,
+)
 from repro.workloads.profiles import PAPER_WORKLOAD_NAMES, PAPER_WORKLOADS
-
-
-def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
-    settings = ExperimentSettings.quick() if args.quick else ExperimentSettings()
-    if args.workloads:
-        settings = settings.with_workloads(tuple(args.workloads))
-    if getattr(args, "seeds", None):
-        settings = settings.with_seeds(args.seeds)
-    return settings
-
-
-def _positive_int(value: str) -> int:
-    number = int(value)
-    if number < 1:
-        raise argparse.ArgumentTypeError("must be at least 1")
-    return number
-
-
-def _parse_seeds(value: str) -> tuple:
-    """``--seeds`` accepts a comma list ('0,1,2') or a count N (seeds 0..N-1)."""
-    try:
-        if "," in value:
-            # dict.fromkeys: drop duplicate seeds while keeping their order
-            # (a duplicated seed would double-count its cells in a sweep).
-            seeds = tuple(
-                dict.fromkeys(int(part) for part in value.split(",") if part.strip())
-            )
-        else:
-            seeds = tuple(range(int(value)))
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            "expected a comma-separated seed list like '0,1,2' or a count like '5'"
-        ) from None
-    if not seeds:
-        raise argparse.ArgumentTypeError("needs at least one seed")
-    return seeds
-
-
-def _parse_rates(value: str) -> tuple:
-    """``--sweep-rates`` accepts a comma list of fault-rate scales in (0, 1]."""
-    try:
-        rates = tuple(float(part) for part in value.split(",") if part.strip())
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            "expected a comma-separated list of rates like '0.25,0.5,1.0'"
-        ) from None
-    # `not (0 < rate <= 1)` rather than `rate <= 0 or rate > 1`: the former
-    # also rejects NaN, for which every comparison is False.
-    if not rates or any(not (0.0 < rate <= 1.0) for rate in rates):
-        raise argparse.ArgumentTypeError("rates must lie in (0, 1]")
-    return rates
 
 
 def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
@@ -113,23 +71,36 @@ def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        backend=args.backend,
     )
 
 
 def _print_engine_stats(runner: ExperimentRunner) -> None:
     """One-line account of how the batch was served (cache effectiveness)."""
     print()
-    print(f"experiment engine: {runner.stats.summary()} (workers: {runner.jobs})")
+    print(
+        f"experiment engine: {runner.stats.summary()} "
+        f"(backend: {runner.backend.name}, workers: {runner.jobs})"
+    )
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     """The experiment-engine flags shared by every cell-shaped subcommand."""
     parser.add_argument(
         "--jobs",
-        type=_positive_int,
+        type=parse_positive_int,
         default=1,
         metavar="N",
-        help="run experiment cells across N worker processes (default: 1, serial)",
+        help="run experiment cells across N workers (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=registered_backends(),
+        default=None,
+        help=(
+            "execution backend for pending cells (default: serial for "
+            "--jobs 1, otherwise process)"
+        ),
     )
     parser.add_argument(
         "--no-cache",
@@ -144,30 +115,123 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _add_experiment_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--workloads",
-        nargs="+",
-        choices=PAPER_WORKLOAD_NAMES,
-        help="restrict the experiment to these workloads (default: all six)",
-    )
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="use the heavily scaled quick settings (smoke test, not meaningful numbers)",
-    )
+def _add_sweep_arguments(
+    parser: argparse.ArgumentParser, spec: Optional[ExperimentSpec] = None
+) -> None:
+    """The settings-sweep flags (from spec metadata when one is given)."""
+    if spec is None or spec.takes_workloads:
+        parser.add_argument(
+            "--workloads",
+            nargs="+",
+            choices=PAPER_WORKLOAD_NAMES,
+            help="restrict the experiment to these workloads (default: all six)",
+        )
+        parser.add_argument(
+            "--quick",
+            action="store_true",
+            help="use the heavily scaled quick settings (smoke test, not meaningful numbers)",
+        )
     parser.add_argument(
         "--seeds",
-        type=_parse_seeds,
+        type=parse_seed_list,
         default=None,
         metavar="LIST|N",
         help=(
             "seeds to sweep: a comma list ('0,1,2') or a count N meaning seeds "
-            "0..N-1 (default: the settings' single seed; cells are cached, so "
-            "larger sweeps only pay for the new seeds)"
+            "0..N-1 (default: the settings' ten-seed sweep; cells are cached, "
+            "so larger sweeps only pay for the new seeds)"
         ),
     )
     _add_engine_arguments(parser)
+    # --json is the per-spec uniform document; the aggregate report/run-all
+    # commands render text only, so they do not offer the flag.
+    if spec is not None:
+        parser.add_argument(
+            "--json",
+            action="store_true",
+            help="print the spec's uniform JSON document instead of tables",
+        )
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    settings = (
+        ExperimentSettings.quick()
+        if getattr(args, "quick", False)
+        else ExperimentSettings()
+    )
+    if getattr(args, "workloads", None):
+        settings = settings.with_workloads(tuple(args.workloads))
+    if getattr(args, "seeds", None):
+        settings = settings.with_seeds(args.seeds)
+    return settings
+
+
+def _announce_dropped_seeds(spec: ExperimentSpec, args: argparse.Namespace) -> None:
+    """Single-seed measurements say so out loud when a sweep was requested,
+    rather than silently dropping seeds."""
+    seeds = getattr(args, "seeds", None)
+    if not spec.multi_seed and seeds and len(seeds) > 1:
+        print(
+            f"note: this measurement uses a single seed; taking seed "
+            f"{seeds[0]} from --seeds"
+        )
+
+
+def _run_spec(spec: ExperimentSpec, args: argparse.Namespace) -> int:
+    """Generic handler behind every registry-generated subcommand."""
+    runner = _runner_from_args(args)
+    _announce_dropped_seeds(spec, args)
+    options = {option.name: getattr(args, option.name) for option in spec.options}
+    request = spec.request(
+        _settings_from_args(args),
+        explicit_workloads=bool(getattr(args, "workloads", None)),
+        **options,
+    )
+    result = spec.run(runner=runner, request=request)
+    if args.json:
+        document = spec.to_json(result)
+        document["grid"] = jsonify(
+            {name: list(values) for name, values in spec.grid(request).axes}
+        )
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(spec.to_table(result))
+    _print_engine_stats(runner)
+    return 0
+
+
+def _add_spec_subcommands(subparsers) -> None:
+    """One subcommand per registered spec, generated from its metadata."""
+    for spec in EXPERIMENTS.values():
+        sub = subparsers.add_parser(spec.name, help=spec.title)
+        _add_sweep_arguments(sub, spec)
+        for option in spec.options:
+            if option.is_flag:
+                sub.add_argument(option.flag, action="store_true", help=option.help)
+            else:
+                sub.add_argument(
+                    option.flag,
+                    type=option.parse,
+                    default=option.default,
+                    metavar=option.metavar,
+                    help=option.help,
+                )
+        sub.set_defaults(handler=lambda args, spec=spec: _run_spec(spec, args))
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    """Print the experiment-spec registry (names, families, grids)."""
+    table = TextTable(
+        ["experiment", "family", "grid", "cells", "description"],
+        title="Registered experiment specs (run with `repro <experiment>`)",
+    )
+    for name, spec in EXPERIMENTS.items():
+        grid = spec.grid(spec.request())
+        table.add_row(
+            [name, spec.family, grid.describe(), grid.size(), spec.title]
+        )
+    print(table.render())
+    return 0
 
 
 def _cmd_list_workloads(_: argparse.Namespace) -> int:
@@ -185,6 +249,44 @@ def _cmd_list_workloads(_: argparse.Namespace) -> int:
             ]
         )
     print(table.render())
+    return 0
+
+
+def _human_bytes(size: int) -> str:
+    value = float(size)
+    for unit in ("B", "KiB", "MiB"):
+        if value < 1024:
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} GiB"
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    stats = cache.stats()
+    if not stats:
+        print(f"result cache at {cache.directory}: no entries")
+        return 0
+    table = TextTable(
+        ["kind", "entries", "size"], title=f"Result cache at {cache.directory}"
+    )
+    total_entries = total_bytes = 0
+    for kind_stats in stats.values():
+        table.add_row(
+            [kind_stats.kind, kind_stats.entries, _human_bytes(kind_stats.bytes)]
+        )
+        total_entries += kind_stats.entries
+        total_bytes += kind_stats.bytes
+    table.add_row(["total", total_entries, _human_bytes(total_bytes)])
+    print(table.render())
+    return 0
+
+
+def _cmd_cache_clear(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    removed = cache.clear(kind=args.kind)
+    what = f"{args.kind!r} entries" if args.kind else "entries"
+    print(f"removed {removed} cached {what} from {cache.directory}")
     return 0
 
 
@@ -232,120 +334,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_figure5(args: argparse.Namespace) -> int:
-    runner = _runner_from_args(args)
-    result = run_dmr_overhead_experiment(_settings_from_args(args), runner=runner)
-    print(result.format_ipc_table())
-    print()
-    print(result.format_throughput_table())
-    _print_engine_stats(runner)
-    return 0
-
-
-def _cmd_figure6(args: argparse.Namespace) -> int:
-    runner = _runner_from_args(args)
-    result = run_mixed_mode_experiment(_settings_from_args(args), runner=runner)
-    print(result.format_ipc_table())
-    print()
-    print(result.format_throughput_table())
-    _print_engine_stats(runner)
-    return 0
-
-
-def _cmd_pab(args: argparse.Namespace) -> int:
-    runner = _runner_from_args(args)
-    result = run_pab_latency_study(_settings_from_args(args), runner=runner)
-    print(result.format_table())
-    _print_engine_stats(runner)
-    return 0
-
-
-def _table_seed(args: argparse.Namespace) -> int:
-    """Tables 1/2 and single-os measure one seed; ``--seeds`` uses its first.
-
-    Says so out loud when a sweep was requested, rather than silently
-    dropping seeds.
-    """
-    if not args.seeds:
-        return 0
-    if len(args.seeds) > 1:
-        print(
-            f"note: this measurement uses a single seed; taking seed "
-            f"{args.seeds[0]} from --seeds"
-        )
-    return args.seeds[0]
-
-
-def _cmd_table1(args: argparse.Namespace) -> int:
-    workloads = tuple(args.workloads) if args.workloads else PAPER_WORKLOAD_NAMES
-    runner = _runner_from_args(args)
-    result = run_switch_overhead_experiment(
-        workloads=workloads, seed=_table_seed(args), runner=runner
-    )
-    print(result.format_table())
-    _print_engine_stats(runner)
-    return 0
-
-
-def _cmd_table2(args: argparse.Namespace) -> int:
-    workloads = tuple(args.workloads) if args.workloads else PAPER_WORKLOAD_NAMES
-    runner = _runner_from_args(args)
-    result = run_switch_frequency_experiment(
-        workloads=workloads, seed=_table_seed(args), runner=runner
-    )
-    print(result.format_table())
-    _print_engine_stats(runner)
-    return 0
-
-
-def _cmd_single_os(args: argparse.Namespace) -> int:
-    workloads = tuple(args.workloads) if args.workloads else PAPER_WORKLOAD_NAMES
-    runner = _runner_from_args(args)
-    result = run_single_os_overhead_study(
-        workloads=workloads, seed=_table_seed(args), runner=runner
-    )
-    print(result.format_table())
-    _print_engine_stats(runner)
-    return 0
-
-
-def _cmd_ablation(args: argparse.Namespace) -> int:
-    settings = _settings_from_args(args)
-    if not args.workloads:
-        settings = settings.with_workloads(settings.workloads[:2])
-    runner = _runner_from_args(args)
-    print(run_window_ablation(settings, runner=runner).format_table())
-    _print_engine_stats(runner)
-    return 0
-
-
-def _cmd_faults(args: argparse.Namespace) -> int:
-    runner = _runner_from_args(args)
-    seeds = args.seeds or FAULT_DEFAULT_SEEDS
-    configurations = (
-        SWEEP_CONFIGURATIONS if args.all_configurations else DEFAULT_CONFIGURATIONS
-    )
-    if args.sweep_rates:
-        result = run_fault_rate_sweep(
-            fault_rates=args.sweep_rates,
-            trials_per_site=args.trials,
-            configurations=configurations,
-            seeds=seeds,
-            runner=runner,
-        )
-    else:
-        result = run_fault_coverage_experiment(
-            trials_per_site=args.trials,
-            configurations=configurations,
-            seeds=seeds,
-            runner=runner,
-        )
-    print(result.format_table())
-    _print_engine_stats(runner)
-    return 0
-
-
-def _print_full_report(args: argparse.Namespace) -> int:
+def _cmd_report(args: argparse.Namespace) -> int:
     runner = _runner_from_args(args)
     print(
         full_report(
@@ -360,16 +349,13 @@ def _print_full_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    return _print_full_report(args)
-
-
-def _cmd_run_all(args: argparse.Namespace) -> int:
-    return _print_full_report(args)
-
-
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the top-level argument parser."""
+    """Construct the top-level argument parser.
+
+    The experiment subcommands are *generated* from the ``EXPERIMENTS``
+    registry -- adding a spec adds its subcommand; nothing here names an
+    individual experiment.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Mixed-Mode Multicore Reliability' (ASPLOS 2009).",
@@ -377,9 +363,14 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser(
+        "list", help="list the registered experiment specs"
+    )
+    list_parser.set_defaults(handler=_cmd_list)
+
+    list_workloads_parser = subparsers.add_parser(
         "list-workloads", help="list the calibrated workload profiles"
     )
-    list_parser.set_defaults(handler=_cmd_list_workloads)
+    list_workloads_parser.set_defaults(handler=_cmd_list_workloads)
 
     run_parser = subparsers.add_parser(
         "run", help="simulate one mixed-mode system and print a per-VM summary"
@@ -401,60 +392,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.set_defaults(handler=_cmd_run)
 
-    for name, handler, help_text in (
-        ("figure5", _cmd_figure5, "Figure 5: DMR overhead (IPC and throughput)"),
-        ("figure6", _cmd_figure6, "Figure 6: mixed-mode performance"),
-        ("pab", _cmd_pab, "Section 5.2: serial vs parallel PAB lookup"),
-        ("table1", _cmd_table1, "Table 1: mode-switch overheads"),
-        ("table2", _cmd_table2, "Table 2: cycles between mode switches"),
-        ("single-os", _cmd_single_os, "Section 5.3: single-OS switching overhead"),
-        ("ablation", _cmd_ablation, "window-size / consistency ablation"),
-        ("report", _cmd_report, "run every experiment and print one report"),
-        ("run-all", _cmd_run_all, "run every experiment as one (parallel) job batch"),
+    _add_spec_subcommands(subparsers)
+
+    for name, help_text in (
+        ("report", "run every registered experiment and print one report"),
+        ("run-all", "run every registered experiment as one (parallel) job batch"),
     ):
         sub = subparsers.add_parser(name, help=help_text)
-        _add_experiment_arguments(sub)
-        if name in ("report", "run-all"):
-            sub.add_argument("--skip-switching", action="store_true")
-            sub.add_argument("--skip-ablation", action="store_true")
-            sub.add_argument("--skip-faults", action="store_true")
-        sub.set_defaults(handler=handler)
+        _add_sweep_arguments(sub)
+        sub.add_argument("--skip-switching", action="store_true")
+        sub.add_argument("--skip-ablation", action="store_true")
+        sub.add_argument("--skip-faults", action="store_true")
+        sub.set_defaults(handler=_cmd_report)
 
-    faults_parser = subparsers.add_parser(
-        "faults",
-        help="fault-injection coverage campaign (cell-shaped: parallel and cached)",
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or prune the on-disk result cache"
     )
-    faults_parser.add_argument(
-        "--trials",
-        type=_positive_int,
-        default=50,
-        metavar="N",
-        help="trials per (configuration, fault site, seed) (default: 50)",
+    cache_subparsers = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_subparsers.add_parser(
+        "stats", help="per-kind entry counts and sizes"
     )
-    faults_parser.add_argument(
-        "--seeds",
-        type=_parse_seeds,
-        default=None,
-        metavar="LIST|N",
+    cache_stats.set_defaults(handler=_cmd_cache_stats)
+    cache_clear = cache_subparsers.add_parser(
+        "clear",
         help=(
-            "seeds to sweep, as a comma list or a count "
-            f"(default: {len(FAULT_DEFAULT_SEEDS)} seeds for confidence intervals)"
+            "delete cached results (e.g. entries left stale by a code change); "
+            "--kind prunes one job kind only"
         ),
     )
-    faults_parser.add_argument(
-        "--sweep-rates",
-        type=_parse_rates,
+    cache_clear.add_argument(
+        "--kind",
         default=None,
-        metavar="R1,R2,...",
-        help="sweep these fault-rate scales and print coverage vs rate",
+        metavar="KIND",
+        help="only clear this job kind's entries (default: everything)",
     )
-    faults_parser.add_argument(
-        "--all-configurations",
-        action="store_true",
-        help="include the extended configurations (e.g. dmr-plus-pab)",
-    )
-    _add_engine_arguments(faults_parser)
-    faults_parser.set_defaults(handler=_cmd_faults)
+    cache_clear.set_defaults(handler=_cmd_cache_clear)
+    for sub in (cache_stats, cache_clear):
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="result cache location (default: .repro-cache, or $REPRO_CACHE_DIR)",
+        )
 
     return parser
 

@@ -20,6 +20,12 @@ It lives apart from :mod:`repro.faults.campaign` (and is imported by the
 ``repro`` package *after* the simulator) so the campaign itself stays free
 of engine imports; the import also doubles as the registration side effect
 process-pool workers rely on.
+
+At the experiment layer, the campaign is declared as the ``faults``
+:class:`~repro.sim.specs.ExperimentSpec` (see :mod:`repro.sim.specs`),
+whose ``--sweep-rates`` option turns the coverage comparison into the
+fault-space sweep; both legacy entry points in
+:mod:`repro.sim.experiments` are thin wrappers over that spec.
 """
 
 from __future__ import annotations

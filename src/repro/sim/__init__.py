@@ -4,8 +4,10 @@
 * :mod:`repro.sim.results` -- result containers and metrics,
 * :mod:`repro.sim.settings` -- the shared experiment settings value,
 * :mod:`repro.sim.jobs` -- the picklable per-cell job model,
-* :mod:`repro.sim.runner` -- serial/parallel job execution with caching,
+* :mod:`repro.sim.runner` -- pluggable-backend job execution with caching,
 * :mod:`repro.sim.experiments` -- one entry point per paper table/figure,
+* :mod:`repro.sim.specs` -- declarative experiment specs and the central
+  ``EXPERIMENTS`` registry,
 * :mod:`repro.sim.reporting` -- plain-text rendering of the results.
 """
 
@@ -14,12 +16,29 @@ from repro.sim.results import SimulationResult, VmResult
 from repro.sim.runner import (
     ExperimentRunner,
     ResultCache,
+    RunnerBackend,
     RunnerStats,
+    backend_by_name,
     default_runner,
+    register_runner_backend,
+    registered_backends,
     set_default_runner,
     using_runner,
 )
 from repro.sim.settings import ExperimentSettings
+
+# Imported after the engine modules above: registers every built-in
+# experiment spec in the EXPERIMENTS registry as an import-time side effect.
+from repro.sim.specs import (
+    EXPERIMENTS,
+    ExperimentSpec,
+    ParameterGrid,
+    SpecOption,
+    SpecRequest,
+    experiment,
+    experiment_names,
+    register_experiment,
+)
 from repro.sim.simulator import SimulationOptions, Simulator
 
 __all__ = [
@@ -32,8 +51,20 @@ __all__ = [
     "execute_job",
     "ExperimentRunner",
     "ResultCache",
+    "RunnerBackend",
     "RunnerStats",
+    "backend_by_name",
+    "register_runner_backend",
+    "registered_backends",
     "default_runner",
     "set_default_runner",
     "using_runner",
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "ParameterGrid",
+    "SpecOption",
+    "SpecRequest",
+    "experiment",
+    "experiment_names",
+    "register_experiment",
 ]

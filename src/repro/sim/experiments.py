@@ -25,14 +25,15 @@ All experiments share :class:`ExperimentSettings` (see
 capacity/footprint scale factor so that the whole evaluation completes on a
 laptop while preserving the relative behaviour the paper reports.
 
-Each entry point is split into a job enumerator (``*_jobs``) and an assembly
-step: the enumerator lists the cells as picklable
-:class:`~repro.sim.jobs.ExperimentJob` values, a
-:class:`~repro.sim.runner.ExperimentRunner` executes them (serially, in
-parallel, or straight from its cache), and the assembly step folds the
-returned metrics into the result dataclasses below.
-:func:`run_all_experiments` enumerates *every* experiment's cells into one
-batch, which is what lets a multi-worker runner overlap all of them.
+Every experiment here is *declared* as an :class:`~repro.sim.specs.ExperimentSpec`
+in the central registry of :mod:`repro.sim.specs`; the ``run_*`` functions
+are thin, signature-compatible wrappers over :meth:`ExperimentSpec.run`.
+This module keeps the domain pieces the specs are built from: the job
+enumerators (``*_jobs``), the assembly steps (``assemble_*``) that fold the
+runner's metrics into the result dataclasses below, and the dataclasses
+themselves.  :func:`run_all_experiments` iterates the registry and
+enumerates *every* spec's cells into one batch, which is what lets a
+multi-worker runner overlap all of them.
 """
 
 from __future__ import annotations
@@ -96,6 +97,14 @@ __all__ = [
     "switch_frequency_jobs",
     "window_ablation_jobs",
     "fault_campaign_jobs",
+    "assemble_figure5",
+    "assemble_figure6",
+    "assemble_pab",
+    "assemble_table1",
+    "assemble_table2",
+    "assemble_ablation",
+    "assemble_fault_coverage",
+    "combine_single_os",
     "run_dmr_overhead_experiment",
     "run_mixed_mode_experiment",
     "run_pab_latency_study",
@@ -188,7 +197,7 @@ def figure5_jobs(settings: ExperimentSettings) -> List[ExperimentJob]:
     ]
 
 
-def _assemble_figure5(
+def assemble_figure5(
     settings: ExperimentSettings, results: JobResults
 ) -> DmrOverheadResult:
     cell = settings.cell_settings()
@@ -222,10 +231,13 @@ def run_dmr_overhead_experiment(
     settings: Optional[ExperimentSettings] = None,
     runner: Optional[ExperimentRunner] = None,
 ) -> DmrOverheadResult:
-    """Reproduce Figure 5: per-thread IPC and throughput of DMR vs. no DMR."""
-    settings = settings or ExperimentSettings()
-    runner = runner or default_runner()
-    return _assemble_figure5(settings, runner.run_jobs(figure5_jobs(settings)))
+    """Reproduce Figure 5: per-thread IPC and throughput of DMR vs. no DMR.
+
+    Thin wrapper over the registered ``figure5`` spec.
+    """
+    from repro.sim.specs import experiment
+
+    return experiment("figure5").run(settings, runner=runner)
 
 
 # ===================================================================== #
@@ -345,7 +357,7 @@ _FIGURE6_SERIES = (
 )
 
 
-def _assemble_figure6(
+def assemble_figure6(
     settings: ExperimentSettings,
     results: JobResults,
     configurations: Sequence[str],
@@ -379,11 +391,15 @@ def run_mixed_mode_experiment(
     configurations: Sequence[str] = FIGURE6_CONFIGS,
     runner: Optional[ExperimentRunner] = None,
 ) -> MixedModeResult:
-    """Reproduce Figure 6: mixed-mode consolidated-server performance."""
-    settings = settings or ExperimentSettings()
-    runner = runner or default_runner()
-    results = runner.run_jobs(figure6_jobs(settings, configurations))
-    return _assemble_figure6(settings, results, configurations)
+    """Reproduce Figure 6: mixed-mode consolidated-server performance.
+
+    Thin wrapper over the registered ``figure6`` spec.
+    """
+    from repro.sim.specs import experiment
+
+    return experiment("figure6").run(
+        settings, runner=runner, configurations=tuple(configurations)
+    )
 
 
 # ===================================================================== #
@@ -451,7 +467,7 @@ def pab_jobs(settings: ExperimentSettings) -> List[ExperimentJob]:
     ]
 
 
-def _assemble_pab(
+def assemble_pab(
     settings: ExperimentSettings, results: JobResults
 ) -> PabLatencyResult:
     cell = settings.cell_settings()
@@ -489,10 +505,13 @@ def run_pab_latency_study(
     settings: Optional[ExperimentSettings] = None,
     runner: Optional[ExperimentRunner] = None,
 ) -> PabLatencyResult:
-    """Reproduce the serial-vs-parallel PAB lookup comparison of Section 5.2."""
-    settings = settings or ExperimentSettings()
-    runner = runner or default_runner()
-    return _assemble_pab(settings, runner.run_jobs(pab_jobs(settings)))
+    """Reproduce the serial-vs-parallel PAB lookup comparison of Section 5.2.
+
+    Thin wrapper over the registered ``pab`` spec.
+    """
+    from repro.sim.specs import experiment
+
+    return experiment("pab").run(settings, runner=runner)
 
 
 # ===================================================================== #
@@ -562,7 +581,7 @@ def switch_overhead_jobs(
     ]
 
 
-def _assemble_table1(
+def assemble_table1(
     jobs: Sequence[ExperimentJob], results: JobResults
 ) -> SwitchOverheadResult:
     result = SwitchOverheadResult()
@@ -591,12 +610,22 @@ def run_switch_overhead_experiment(
     Unlike the timing experiments this uses the *full-size* paper
     configuration by default, because the Leave-DMR cost is dominated by the
     one-line-per-cycle flush of the 512 KB (8192-line) L2.
+
+    Thin wrapper over the registered ``table1`` spec.
     """
-    runner = runner or default_runner()
-    jobs = switch_overhead_jobs(
-        workloads, transitions_to_measure, warmup_cycles, config, seed
+    from repro.sim.specs import experiment
+
+    settings = (
+        ExperimentSettings().with_workloads(tuple(workloads)).with_seeds((seed,))
     )
-    return _assemble_table1(jobs, runner.run_jobs(jobs))
+    return experiment("table1").run(
+        settings,
+        runner=runner,
+        explicit_workloads=True,
+        transitions_to_measure=transitions_to_measure,
+        warmup_cycles=warmup_cycles,
+        config=config,
+    )
 
 
 # ===================================================================== #
@@ -665,7 +694,7 @@ def switch_frequency_jobs(
     ]
 
 
-def _assemble_table2(
+def assemble_table2(
     jobs: Sequence[ExperimentJob], results: JobResults
 ) -> SwitchFrequencyResult:
     result = SwitchFrequencyResult()
@@ -696,12 +725,22 @@ def run_switch_frequency_experiment(
     (up to the OS exit).  Phases are generated at ``measurement_phase_scale``
     of their full length and the measured cycles are scaled back up, which
     keeps the measurement cheap without changing the achieved IPC.
+
+    Thin wrapper over the registered ``table2`` spec.
     """
-    runner = runner or default_runner()
-    jobs = switch_frequency_jobs(
-        workloads, phases_to_measure, measurement_phase_scale, config, seed
+    from repro.sim.specs import experiment
+
+    settings = (
+        ExperimentSettings().with_workloads(tuple(workloads)).with_seeds((seed,))
     )
-    return _assemble_table2(jobs, runner.run_jobs(jobs))
+    return experiment("table2").run(
+        settings,
+        runner=runner,
+        explicit_workloads=True,
+        phases_to_measure=phases_to_measure,
+        measurement_phase_scale=measurement_phase_scale,
+        config=config,
+    )
 
 
 # ===================================================================== #
@@ -750,20 +789,12 @@ class SingleOsOverheadResult:
         return table.render()
 
 
-def run_single_os_overhead_study(
-    switch_overheads: Optional[SwitchOverheadResult] = None,
-    switch_frequency: Optional[SwitchFrequencyResult] = None,
+def combine_single_os(
+    switch_overheads: SwitchOverheadResult,
+    switch_frequency: SwitchFrequencyResult,
     workloads: Sequence[str] = PAPER_WORKLOAD_NAMES,
-    runner: Optional[ExperimentRunner] = None,
-    seed: int = 0,
 ) -> SingleOsOverheadResult:
-    """Combine Table 1 and Table 2 into the paper's single-OS overhead estimate."""
-    switch_overheads = switch_overheads or run_switch_overhead_experiment(
-        workloads, seed=seed, runner=runner
-    )
-    switch_frequency = switch_frequency or run_switch_frequency_experiment(
-        workloads, seed=seed, runner=runner
-    )
+    """Fold Table 1 and Table 2 rows into the single-OS overhead estimate."""
     result = SingleOsOverheadResult()
     for workload in workloads:
         overhead_row = switch_overheads.row(workload)
@@ -776,6 +807,37 @@ def run_single_os_overhead_study(
             )
         )
     return result
+
+
+def run_single_os_overhead_study(
+    switch_overheads: Optional[SwitchOverheadResult] = None,
+    switch_frequency: Optional[SwitchFrequencyResult] = None,
+    workloads: Sequence[str] = PAPER_WORKLOAD_NAMES,
+    runner: Optional[ExperimentRunner] = None,
+    seed: int = 0,
+) -> SingleOsOverheadResult:
+    """Combine Table 1 and Table 2 into the paper's single-OS overhead estimate.
+
+    With neither table given, this is a thin wrapper over the registered
+    ``single-os`` spec (one batch containing both tables' cells); existing
+    results are combined without running anything.
+    """
+    if switch_overheads is None and switch_frequency is None:
+        from repro.sim.specs import experiment
+
+        settings = (
+            ExperimentSettings().with_workloads(tuple(workloads)).with_seeds((seed,))
+        )
+        return experiment("single-os").run(
+            settings, runner=runner, explicit_workloads=True
+        )
+    switch_overheads = switch_overheads or run_switch_overhead_experiment(
+        workloads, seed=seed, runner=runner
+    )
+    switch_frequency = switch_frequency or run_switch_frequency_experiment(
+        workloads, seed=seed, runner=runner
+    )
+    return combine_single_os(switch_overheads, switch_frequency, workloads)
 
 
 # ===================================================================== #
@@ -829,7 +891,7 @@ def window_ablation_jobs(settings: ExperimentSettings) -> List[ExperimentJob]:
     ]
 
 
-def _assemble_ablation(
+def assemble_ablation(
     settings: ExperimentSettings, results: JobResults
 ) -> WindowAblationResult:
     cell = settings.cell_settings()
@@ -854,10 +916,16 @@ def run_window_ablation(
     runner: Optional[ExperimentRunner] = None,
 ) -> WindowAblationResult:
     """Reproduce the prior-work comparison: a larger window and a TSO store
-    buffer recover much of Reunion's IPC loss."""
-    settings = settings or ExperimentSettings(workloads=("apache", "oltp"))
-    runner = runner or default_runner()
-    return _assemble_ablation(settings, runner.run_jobs(window_ablation_jobs(settings)))
+    buffer recover much of Reunion's IPC loss.
+
+    Thin wrapper over the registered ``ablation`` spec; without explicit
+    settings the spec's workload limit restricts the sweep to two workloads.
+    """
+    from repro.sim.specs import experiment
+
+    return experiment("ablation").run(
+        settings, runner=runner, explicit_workloads=settings is not None
+    )
 
 
 # ===================================================================== #
@@ -865,9 +933,10 @@ def run_window_ablation(
 # ===================================================================== #
 
 #: Seeds the fault-campaign entry points sweep by default.  Campaign trials
-#: are cheap and cached, so a five-seed sweep (for real confidence
-#: intervals) is the default rather than the exception.
-FAULT_DEFAULT_SEEDS = (0, 1, 2, 3, 4)
+#: are cheap, cached and embarrassingly parallel, so a ten-seed sweep (for
+#: tight confidence intervals) is the default rather than the exception --
+#: matching the default :attr:`ExperimentSettings.seeds` sweep.
+FAULT_DEFAULT_SEEDS = tuple(range(10))
 
 #: Title shared by every rendering of the coverage comparison (here and in
 #: :func:`repro.sim.reporting.format_coverage_reports`).
@@ -943,7 +1012,7 @@ class FaultCoverageResult:
         return table.render()
 
 
-def _assemble_fault_coverage(
+def assemble_fault_coverage(
     jobs: Sequence[ExperimentJob],
     results: JobResults,
     trials_per_site: int,
@@ -981,17 +1050,19 @@ def run_fault_coverage_experiment(
     fault-site, seed, trials-chunk) cell is an independent job, so a
     multi-worker runner fans the trials out and a warm cache re-renders the
     comparison without injecting a single fault.
+
+    Thin wrapper over the registered ``faults`` spec.
     """
-    runner = runner or default_runner()
-    jobs = fault_campaign_jobs(
-        trials_per_site=trials_per_site,
-        configurations=configurations,
-        seeds=seeds,
+    from repro.sim.specs import experiment
+
+    settings = ExperimentSettings().with_seeds(tuple(dict.fromkeys(seeds)))
+    return experiment("faults").run(
+        settings,
+        runner=runner,
+        trials=trials_per_site,
+        configurations=tuple(configurations),
         fault_rate=fault_rate,
         config=config,
-    )
-    return _assemble_fault_coverage(
-        jobs, runner.run_jobs(jobs), trials_per_site, seeds, fault_rate
     )
 
 
@@ -1041,29 +1112,22 @@ def run_fault_rate_sweep(
     All (rate, configuration, site, seed, chunk) cells are enumerated into
     *one* batch, so a parallel runner overlaps the whole sweep and cached
     cells are shared with any other campaign run at the same rate.
+
+    Thin wrapper over the registered ``faults`` spec (its ``sweep_rates``
+    option is what turns the campaign into the sweep).
     """
     if not fault_rates:
         raise ExperimentError("a fault-rate sweep needs at least one rate")
-    runner = runner or default_runner()
-    jobs_by_rate = {
-        rate: fault_campaign_jobs(
-            trials_per_site=trials_per_site,
-            configurations=configurations,
-            seeds=seeds,
-            fault_rate=rate,
-            config=config,
-        )
-        for rate in fault_rates
-    }
-    results = runner.run_jobs([job for jobs in jobs_by_rate.values() for job in jobs])
-    return FaultRateSweepResult(
-        trials_per_site=trials_per_site,
-        seeds=tuple(seeds),
-        fault_rates=tuple(fault_rates),
-        by_rate={
-            rate: _assemble_fault_coverage(jobs, results, trials_per_site, seeds, rate)
-            for rate, jobs in jobs_by_rate.items()
-        },
+    from repro.sim.specs import experiment
+
+    settings = ExperimentSettings().with_seeds(tuple(dict.fromkeys(seeds)))
+    return experiment("faults").run(
+        settings,
+        runner=runner,
+        trials=trials_per_site,
+        configurations=tuple(configurations),
+        sweep_rates=tuple(fault_rates),
+        config=config,
     )
 
 
@@ -1085,6 +1149,10 @@ class AllExperimentsResult:
     single_os: Optional[SingleOsOverheadResult] = None
     ablation: Optional[WindowAblationResult] = None
     faults: Optional[FaultCoverageResult] = None
+    #: Results of any *user-registered* specs (beyond the paper's own),
+    #: keyed by spec name -- a custom experiment registered in
+    #: ``EXPERIMENTS`` rides the same batch and lands here.
+    extras: Dict[str, object] = field(default_factory=dict)
     #: Raw per-cell metrics keyed by cache key -- the canonical, fully
     #: serializable record of the batch (used by the determinism tests to
     #: compare serial and parallel runs byte for byte).
@@ -1109,11 +1177,24 @@ class AllExperimentsResult:
             parts.append(self.ablation.format_table())
         if self.faults is not None:
             parts.append(self.faults.format_table())
+        if self.extras:
+            from repro.sim.specs import EXPERIMENTS
+
+            for name, result in self.extras.items():
+                parts.append(EXPERIMENTS[name].to_table(result))
         return parts
 
     def render(self) -> str:
         """The full plain-text report."""
         return "\n\n".join(self.sections())
+
+
+#: Spec names assembled into :class:`AllExperimentsResult`'s named fields
+#: (dashes become underscores); every other registered spec is an "extra".
+_RUN_ALL_FIELDS = (
+    "figure5", "figure6", "pab", "table1", "table2", "single-os", "ablation",
+    "faults",
+)
 
 
 def run_all_experiments(
@@ -1123,76 +1204,60 @@ def run_all_experiments(
     include_ablation: bool = True,
     include_faults: bool = True,
 ) -> AllExperimentsResult:
-    """Run the whole evaluation as one job batch.
+    """Run the whole evaluation -- every registered spec -- as one job batch.
 
-    Every cell of every experiment -- simulation cells and fault-campaign
-    cells alike -- is enumerated up front and handed to the runner in a
-    single call, so a multi-worker runner overlaps cells *across*
-    experiments (not just within one) and a warm cache re-run executes
-    nothing at all.
+    The experiment list comes from the ``EXPERIMENTS`` registry of
+    :mod:`repro.sim.specs`: every spec's cells (simulation cells and
+    fault-campaign cells alike, plus any user-registered spec's) are
+    enumerated up front and handed to the runner in a single call, so a
+    multi-worker runner overlaps cells *across* experiments (not just
+    within one) and a warm cache re-run executes nothing at all.
     """
+    from repro.sim.specs import EXPERIMENTS, SpecRequest
+
     settings = settings or ExperimentSettings()
     runner = runner or default_runner()
-    seed = settings.seeds[0]
+    included = {
+        "switching": include_switching,
+        "ablation": include_ablation,
+        "faults": include_faults,
+    }
 
-    jobs: List[ExperimentJob] = []
-    jobs += figure5_jobs(settings)
-    jobs += figure6_jobs(settings)
-    jobs += pab_jobs(settings)
-    table1_jobs: List[ExperimentJob] = []
-    table2_jobs: List[ExperimentJob] = []
-    if include_switching:
-        table1_jobs = switch_overhead_jobs(
-            settings.workloads,
-            transitions_to_measure=settings.switch_transitions,
-            warmup_cycles=settings.switch_warmup_cycles,
-            seed=seed,
-        )
-        table2_jobs = switch_frequency_jobs(
-            settings.workloads,
-            phases_to_measure=settings.frequency_phases,
-            measurement_phase_scale=settings.frequency_phase_scale,
-            seed=seed,
-        )
-        jobs += table1_jobs + table2_jobs
-    ablation_settings = settings.with_workloads(settings.workloads[:2])
-    if include_ablation:
-        jobs += window_ablation_jobs(ablation_settings)
-    fault_jobs: List[ExperimentJob] = []
-    if include_faults:
-        fault_jobs = fault_campaign_jobs(
-            trials_per_site=settings.fault_trials_per_site,
-            seeds=settings.seeds,
-        )
-        jobs += fault_jobs
+    requests: Dict[str, SpecRequest] = {}
+    jobs_by_spec: Dict[str, List[ExperimentJob]] = {}
+    batch: List[ExperimentJob] = []
+    for name, spec in EXPERIMENTS.items():
+        if spec.run_all_group is not None and not included.get(spec.run_all_group, True):
+            continue
+        # No per-spec options: every spec sizes itself from the settings
+        # object (the faults spec, for instance, falls back to
+        # ``settings.fault_trials_per_site``).
+        request = spec.request(settings)
+        requests[name] = request
+        jobs_by_spec[name] = spec.enumerate_jobs(request)
+        batch += jobs_by_spec[name]
 
-    results = runner.run_jobs(jobs)
+    results = runner.run_jobs(batch)
 
-    table1 = _assemble_table1(table1_jobs, results) if include_switching else None
-    table2 = _assemble_table2(table2_jobs, results) if include_switching else None
-    single_os = (
-        run_single_os_overhead_study(table1, table2, settings.workloads)
-        if include_switching
-        else None
-    )
+    def assembled(name: str) -> Optional[object]:
+        if name not in requests:
+            return None
+        return EXPERIMENTS[name].assemble(requests[name], jobs_by_spec[name], results)
+
     return AllExperimentsResult(
         settings=settings,
-        figure5=_assemble_figure5(settings, results),
-        figure6=_assemble_figure6(settings, results, FIGURE6_CONFIGS),
-        pab=_assemble_pab(settings, results),
-        table1=table1,
-        table2=table2,
-        single_os=single_os,
-        ablation=(
-            _assemble_ablation(ablation_settings, results) if include_ablation else None
-        ),
-        faults=(
-            _assemble_fault_coverage(
-                fault_jobs, results, settings.fault_trials_per_site,
-                settings.seeds, 1.0,
-            )
-            if include_faults
-            else None
-        ),
-        job_metrics={job.cache_key(): dict(results[job]) for job in jobs},
+        figure5=assembled("figure5"),
+        figure6=assembled("figure6"),
+        pab=assembled("pab"),
+        table1=assembled("table1"),
+        table2=assembled("table2"),
+        single_os=assembled("single-os"),
+        ablation=assembled("ablation"),
+        faults=assembled("faults"),
+        extras={
+            name: assembled(name)
+            for name in requests
+            if name not in _RUN_ALL_FIELDS
+        },
+        job_metrics={job.cache_key(): dict(results[job]) for job in batch},
     )

@@ -15,17 +15,20 @@ configuration-variant, seed) combination -- is described by an
 
 :func:`execute_job` maps a job to its JSON-serializable ``{metric: value}``
 dictionary.  It is a module-level function on purpose: process-pool workers
-import it by reference.  The experiment entry points in
-:mod:`repro.sim.experiments` enumerate jobs, hand them to a runner, and
-assemble their result dataclasses from the returned metrics.
+import it by reference.  The experiment *specs* registered in
+:mod:`repro.sim.specs` enumerate jobs, hand them to a runner, and assemble
+the result dataclasses of :mod:`repro.sim.experiments` from the returned
+metrics.
 
 Job *kinds* are pluggable: :func:`register_job_kind` maps a kind name to its
 cell executor, so new cell families join the engine without touching
 :mod:`repro.sim.runner` or this module.  The simulation-shaped kinds below
 register themselves here; the fault-injection campaign registers a
 ``faults`` kind from :mod:`repro.faults.cells` (imported by the ``repro``
-package, so pool workers see the registration too); future back-ends
-(distributed runners, external simulators) follow the same pattern.
+package, so pool workers see the registration too).  Kinds compose with the
+two other extension seams: a new *experiment* over existing kinds is an
+:class:`~repro.sim.specs.ExperimentSpec`, and a new execution substrate is
+a :class:`~repro.sim.runner.RunnerBackend`.
 """
 
 from __future__ import annotations

@@ -1,12 +1,26 @@
 """Parallel experiment execution with an on-disk result cache.
 
 :class:`ExperimentRunner` executes batches of
-:class:`~repro.sim.jobs.ExperimentJob` cells either serially (``jobs=1``) or
-fanned out over a :class:`concurrent.futures.ProcessPoolExecutor`
-(``jobs=N``).  Because every job is a plain-value description of its cell and
-every cell is seeded deterministically, the two paths produce identical
-results; the determinism tests in ``tests/test_runner.py`` assert exactly
-that contract.
+:class:`~repro.sim.jobs.ExperimentJob` cells through a pluggable
+:class:`RunnerBackend`:
+
+* ``serial`` -- in the calling process, one cell at a time;
+* ``process`` -- fanned out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`;
+* ``thread`` -- fanned out over a
+  :class:`concurrent.futures.ThreadPoolExecutor` (cheap to spin up, no
+  pickling; the right choice for executors that release the GIL or for
+  smoke-testing the fan-out plumbing).
+
+Backends are chosen by name (``ExperimentRunner(jobs=4, backend="thread")``,
+``--backend`` on the CLI) and live in a registry
+(:func:`register_runner_backend`), which is the seam for future back-ends --
+a distributed runner only has to map a list of pending cells to their
+metrics and plug itself in; the runner's caching, memoisation and stats stay
+unchanged.  Because every job is a plain-value description of its cell and
+every cell is seeded deterministically, all backends produce byte-identical
+results; the determinism tests in ``tests/test_runner.py`` and
+``tests/test_specs.py`` assert exactly that contract.
 
 Results are memoised twice:
 
@@ -29,7 +43,7 @@ from __future__ import annotations
 
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
@@ -42,6 +56,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Type,
     Union,
 )
 
@@ -127,7 +142,14 @@ class ResultCache:
         return metrics
 
     def store(self, job: ExperimentJob, metrics: Metrics) -> None:
-        """Persist one cell's metrics (atomically, via rename)."""
+        """Persist one cell's metrics atomically (write, fsync, rename).
+
+        The entry is written to a process-private temporary file, flushed to
+        stable storage, and only then renamed into place, so a job killed at
+        any point can never leave a partially written entry under the final
+        name (which would read as a miss -- and silently re-simulate -- on
+        every subsequent run).
+        """
         path = self.path_for(job)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
@@ -136,34 +158,212 @@ class ResultCache:
             "job": job.to_dict(),
             "metrics": metrics,
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1), encoding="utf-8")
-        tmp.replace(path)
+        # Process-private name: two concurrent runs storing the same cell
+        # must never interleave writes into one temporary file.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True, indent=1)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
-    def clear(self) -> int:
-        """Delete every cached entry; return how many files were removed."""
+    def kinds(self) -> Tuple[str, ...]:
+        """The job kinds with at least one entry on disk, sorted."""
+        if not self.directory.is_dir():
+            return ()
+        return tuple(
+            sorted(
+                child.name
+                for child in self.directory.iterdir()
+                if child.is_dir() and any(child.glob("*.json"))
+            )
+        )
+
+    def stats(self) -> Dict[str, "CacheKindStats"]:
+        """Per-kind entry counts and on-disk sizes, sorted by kind."""
+        report: Dict[str, CacheKindStats] = {}
+        for kind in self.kinds():
+            stats = report.setdefault(kind, CacheKindStats(kind=kind))
+            for path in (self.directory / kind).glob("*.json"):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue
+                stats.entries += 1
+                stats.bytes += size
+        return report
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete cached entries; return how many files were removed.
+
+        With ``kind`` only that job kind's entries are pruned -- the
+        surgical tool for dropping the stale cells left behind by a
+        ``code_fingerprint`` change without discarding the whole cache.
+        """
         removed = 0
         if not self.directory.exists():
             return removed
-        for path in self.directory.glob("*/*.json"):
+        pattern = f"{kind}/*.json" if kind is not None else "*/*.json"
+        for path in self.directory.glob(pattern):
             path.unlink(missing_ok=True)
             removed += 1
         return removed
 
 
+@dataclass
+class CacheKindStats:
+    """One job kind's share of the on-disk result cache."""
+
+    kind: str
+    entries: int = 0
+    bytes: int = 0
+
+
+# ---------------------------------------------------------------------- #
+# Runner backends
+# ---------------------------------------------------------------------- #
+
+#: A cell executor: one job in, its metrics out.
+JobExecutor = Callable[[ExperimentJob], Metrics]
+
+
+class RunnerBackend:
+    """How a batch of pending (uncached) cells is executed.
+
+    A backend maps ``(executor, pending, workers)`` to an iterable of
+    ``(job, metrics)`` pairs, yielding each cell's result as it completes so
+    the runner can record and cache it immediately (an interrupted sweep
+    keeps everything that finished).  Pairs may arrive in any order.
+
+    Subclass and :func:`register_runner_backend` to plug in new execution
+    substrates -- a distributed backend that ships job descriptions to
+    remote workers implements exactly this one method.
+    """
+
+    #: Registry name; also what ``--backend`` and ``RunnerStats`` report.
+    name: str = "abstract"
+
+    def execute(
+        self,
+        executor: JobExecutor,
+        pending: Sequence[ExperimentJob],
+        workers: int,
+    ) -> Iterable[Tuple[ExperimentJob, Metrics]]:
+        raise NotImplementedError
+
+
+class SerialBackend(RunnerBackend):
+    """Execute every cell in the calling process, in enumeration order."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        executor: JobExecutor,
+        pending: Sequence[ExperimentJob],
+        workers: int,
+    ) -> Iterable[Tuple[ExperimentJob, Metrics]]:
+        for job in pending:
+            yield job, executor(job)
+
+
+class _PoolBackend(RunnerBackend):
+    """Shared fan-out loop of the executor-pool backends."""
+
+    pool_type: Type[Executor]
+
+    def execute(
+        self,
+        executor: JobExecutor,
+        pending: Sequence[ExperimentJob],
+        workers: int,
+    ) -> Iterable[Tuple[ExperimentJob, Metrics]]:
+        if len(pending) == 1:
+            # Local execution is always valid for a pool backend, and one
+            # cell is not worth the pool spin-up.
+            yield pending[0], executor(pending[0])
+            return
+        workers = max(1, min(workers, len(pending)))
+        with self.pool_type(max_workers=workers) as pool:
+            futures = {pool.submit(executor, job): job for job in pending}
+            for future in as_completed(futures):
+                yield futures[future], future.result()
+
+
+class ProcessBackend(_PoolBackend):
+    """Fan cells out over worker processes (true CPU parallelism; jobs and
+    metrics cross the process boundary by pickling)."""
+
+    name = "process"
+    pool_type = ProcessPoolExecutor
+
+
+class ThreadBackend(_PoolBackend):
+    """Fan cells out over threads in this process (no pickling, instant
+    startup; concurrency is limited by the GIL for pure-Python executors)."""
+
+    name = "thread"
+    pool_type = ThreadPoolExecutor
+
+
+_BACKENDS: Dict[str, Callable[[], RunnerBackend]] = {}
+
+
+def register_runner_backend(
+    name: str, factory: Callable[[], RunnerBackend], *, replace: bool = False
+) -> None:
+    """Register a backend factory under ``name`` (the ``--backend`` value)."""
+    if name in _BACKENDS and not replace:
+        raise ExperimentError(f"runner backend {name!r} is already registered")
+    _BACKENDS[name] = factory
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """The backend names a runner (and ``--backend``) can be built with."""
+    return tuple(sorted(_BACKENDS))
+
+
+def backend_by_name(name: str) -> RunnerBackend:
+    """Instantiate the registered backend called ``name``."""
+    try:
+        factory = _BACKENDS[name]
+    except KeyError:
+        known = ", ".join(registered_backends()) or "none"
+        raise ExperimentError(
+            f"unknown runner backend {name!r} (registered backends: {known})"
+        ) from None
+    return factory()
+
+
+register_runner_backend("serial", SerialBackend)
+register_runner_backend("process", ProcessBackend)
+register_runner_backend("thread", ThreadBackend)
+
+
 class ExperimentRunner:
-    """Executes job batches serially or over a process pool, with caching."""
+    """Executes job batches through a runner backend, with caching."""
 
     def __init__(
         self,
         jobs: int = 1,
         cache_dir: Optional[Union[str, Path]] = None,
         use_cache: Optional[bool] = None,
-        executor: Callable[[ExperimentJob], Metrics] = execute_job,
+        executor: JobExecutor = execute_job,
+        backend: Union[None, str, RunnerBackend] = None,
     ) -> None:
         if jobs < 1:
             raise ExperimentError("an ExperimentRunner needs at least one worker")
         self.jobs = jobs
+        #: ``backend=None`` keeps the historical behaviour: serial with one
+        #: worker, a process pool with more.
+        if backend is None:
+            backend = "serial" if jobs == 1 else "process"
+        if isinstance(backend, str):
+            backend = backend_by_name(backend)
+        self.backend = backend
         #: Caching defaults to "on exactly when a cache directory was given";
         #: pass ``use_cache=True`` to enable it at the default location.
         if use_cache is None:
@@ -230,15 +430,11 @@ class ExperimentRunner:
     ) -> Iterable[Tuple[ExperimentJob, Metrics]]:
         if not pending:
             return
-        if self.jobs == 1 or len(pending) == 1:
-            for job in pending:
-                yield job, self._executor(job)
-            return
-        workers = min(self.jobs, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(self._executor, job): job for job in pending}
-            for future in as_completed(futures):
-                yield futures[future], future.result()
+        # Every pending cell goes through the backend -- a custom backend
+        # (e.g. a remote-only distributed runner) must see single-cell
+        # batches too; the built-in pool backends skip the pool themselves
+        # when one cell is not worth it.
+        yield from self.backend.execute(self._executor, pending, self.jobs)
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,733 @@
+"""Declarative experiment specs and the central ``EXPERIMENTS`` registry.
+
+Every evaluation of the reproduction -- each paper figure/table and the
+fault-injection campaigns -- is described by one :class:`ExperimentSpec`: a
+plain-value object naming the experiment, the :class:`ParameterGrid` of axes
+it sweeps (workload x configuration x seed, ...), how its cells are
+enumerated as :class:`~repro.sim.jobs.ExperimentJob` values, how the
+returned metrics are assembled into a result object, and how that result is
+rendered (:meth:`~ExperimentSpec.to_table` / :meth:`~ExperimentSpec.to_json`).
+
+Specs are registered in the module-level :data:`EXPERIMENTS` registry, which
+is the single source of truth the rest of the system iterates:
+
+* the ``run_*`` entry points of :mod:`repro.sim.experiments` are thin
+  wrappers over :meth:`ExperimentSpec.run`;
+* ``run_all_experiments`` enumerates every registered spec's cells into one
+  job batch;
+* the CLI generates one subcommand per spec -- flags, help text and
+  defaults all come from the spec's metadata (:class:`SpecOption`), so a
+  new experiment shows up in ``repro <name>`` and ``repro list`` without
+  touching :mod:`repro.cli`.
+
+Adding a new scenario is therefore a ~30-line spec: declare a grid, an
+enumerator mapping grid points to jobs (reusing a registered job kind, or
+registering a new one via :func:`repro.sim.jobs.register_job_kind`), an
+assembly step, and call :func:`register_experiment`.  See
+``examples/custom_experiment.py`` for a worked example.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.config.system import PabLookupMode
+from repro.errors import ExperimentError
+from repro.faults.campaign import (
+    DEFAULT_CONFIGURATIONS,
+    SWEEP_CONFIGURATIONS,
+    TRIAL_SITES,
+)
+from repro.faults.cells import DEFAULT_TRIALS_PER_CELL, fault_campaign_jobs
+from repro.sim import experiments as _exp
+from repro.sim.experiments import (
+    ABLATION_VARIANTS,
+    FIGURE5_CONFIGS,
+    FIGURE6_CONFIGS,
+    ExperimentSettings,
+    figure5_jobs,
+    figure6_jobs,
+    pab_jobs,
+    switch_frequency_jobs,
+    switch_overhead_jobs,
+    window_ablation_jobs,
+)
+from repro.sim.jobs import ExperimentJob
+from repro.sim.runner import ExperimentRunner, Metrics, default_runner
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "ParameterGrid",
+    "SpecOption",
+    "SpecRequest",
+    "experiment",
+    "experiment_names",
+    "register_experiment",
+    "jsonify",
+    "parse_positive_int",
+    "parse_rate_list",
+    "parse_seed_list",
+]
+
+JobResults = Mapping[ExperimentJob, Metrics]
+
+
+# ===================================================================== #
+# Parameter grids
+# ===================================================================== #
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """The cartesian axes one experiment sweeps, in nesting order.
+
+    Purely descriptive -- the grid names the cell space (its size equals the
+    number of enumerated jobs), which is what ``repro list`` prints and what
+    :meth:`ExperimentSpec.to_json` records alongside the results.
+    """
+
+    #: Ordered (axis name, axis values) pairs; the last axis varies fastest.
+    axes: Tuple[Tuple[str, Tuple[object, ...]], ...]
+
+    @classmethod
+    def of(cls, *axes: Tuple[str, Sequence[object]]) -> "ParameterGrid":
+        """Build a grid from (name, values) pairs, normalising to tuples."""
+        return cls(axes=tuple((name, tuple(values)) for name, values in axes))
+
+    def names(self) -> Tuple[str, ...]:
+        """The axis names, outermost first."""
+        return tuple(name for name, _ in self.axes)
+
+    def axis(self, name: str) -> Tuple[object, ...]:
+        """The values of one axis."""
+        for axis_name, values in self.axes:
+            if axis_name == name:
+                return values
+        raise ExperimentError(f"grid has no axis named {name!r}")
+
+    def size(self) -> int:
+        """Number of grid points (cells)."""
+        return math.prod(len(values) for _, values in self.axes) if self.axes else 0
+
+    def points(self) -> Iterator[Dict[str, object]]:
+        """Every grid point as an ``{axis: value}`` dict, row-major."""
+
+        def expand(index: int, point: Dict[str, object]) -> Iterator[Dict[str, object]]:
+            if index == len(self.axes):
+                yield dict(point)
+                return
+            name, values = self.axes[index]
+            for value in values:
+                point[name] = value
+                yield from expand(index + 1, point)
+
+        yield from expand(0, {})
+
+    def describe(self) -> str:
+        """Compact human-readable shape, e.g. ``workload(6) x seed(10)``."""
+        if not self.axes:
+            return "(empty)"
+        return " x ".join(f"{name}({len(values)})" for name, values in self.axes)
+
+
+# ===================================================================== #
+# Option metadata (drives the auto-generated CLI flags)
+# ===================================================================== #
+
+
+def parse_positive_int(value: str) -> int:
+    """Argparse type for counts that must be at least 1."""
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return number
+
+
+def parse_seed_list(value: str) -> Tuple[int, ...]:
+    """``--seeds`` accepts a comma list ('0,1,2') or a count N (seeds 0..N-1)."""
+    try:
+        if "," in value:
+            # dict.fromkeys: drop duplicate seeds while keeping their order
+            # (a duplicated seed would double-count its cells in a sweep).
+            seeds = tuple(
+                dict.fromkeys(int(part) for part in value.split(",") if part.strip())
+            )
+        else:
+            seeds = tuple(range(int(value)))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a comma-separated seed list like '0,1,2' or a count like '5'"
+        ) from None
+    if not seeds:
+        raise argparse.ArgumentTypeError("needs at least one seed")
+    return seeds
+
+
+def parse_rate_list(value: str) -> Tuple[float, ...]:
+    """``--sweep-rates`` accepts a comma list of fault-rate scales in (0, 1]."""
+    try:
+        rates = tuple(float(part) for part in value.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a comma-separated list of rates like '0.25,0.5,1.0'"
+        ) from None
+    # `not (0 < rate <= 1)` rather than `rate <= 0 or rate > 1`: the former
+    # also rejects NaN, for which every comparison is False.
+    if not rates or any(not (0.0 < rate <= 1.0) for rate in rates):
+        raise argparse.ArgumentTypeError("rates must lie in (0, 1]")
+    return rates
+
+
+@dataclass(frozen=True)
+class SpecOption:
+    """One experiment-specific CLI flag, declared as spec metadata.
+
+    The CLI materialises every option as an ``argparse`` argument; the
+    parsed values reach the spec through :attr:`SpecRequest.options`.
+    """
+
+    #: Option name and ``argparse`` destination (underscored).
+    name: str
+    #: Command-line flag (dashed), e.g. ``--sweep-rates``.
+    flag: str
+    help: str = ""
+    default: object = None
+    #: Parser for the flag's string value; ignored for boolean flags.
+    parse: Optional[Callable[[str], object]] = None
+    metavar: Optional[str] = None
+    #: ``True`` for a ``store_true`` switch.
+    is_flag: bool = False
+
+
+# ===================================================================== #
+# Requests and specs
+# ===================================================================== #
+
+
+@dataclass(frozen=True)
+class SpecRequest:
+    """One resolved ask of a spec: settings plus experiment-specific options.
+
+    Built by :meth:`ExperimentSpec.request` (which applies the spec's
+    workload limit and single-seed policy), and passed verbatim to the
+    spec's ``grid`` / ``enumerate_jobs`` / ``assemble`` hooks.
+    """
+
+    settings: ExperimentSettings
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def option(self, name: str, default: object = None) -> object:
+        """Read one option, falling back to ``default`` when unset/None."""
+        value = self.options.get(name)
+        return default if value is None else value
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A declarative, re-runnable description of one experiment.
+
+    The hooks receive a resolved :class:`SpecRequest`; everything else --
+    running through a :class:`~repro.sim.runner.ExperimentRunner`, uniform
+    table and JSON rendering -- is provided by the spec machinery.
+    """
+
+    #: Registry key, CLI subcommand and JSON ``experiment`` field.
+    name: str
+    #: One-line summary (the CLI subcommand's help text).
+    title: str
+    #: Longer prose for ``repro list``/docs; defaults to the title.
+    description: str = ""
+    #: Spec family (``simulation``, ``measurement``, ``faults``) -- how the
+    #: cells execute, used for grouping in ``repro list`` and the tests.
+    family: str = "simulation"
+    #: The swept axes, given the resolved request.
+    grid: Callable[[SpecRequest], ParameterGrid] = lambda request: ParameterGrid(())
+    #: The request's cells as picklable engine jobs.
+    enumerate_jobs: Callable[[SpecRequest], List[ExperimentJob]] = (
+        lambda request: []
+    )
+    #: Fold the runner's ``{job: metrics}`` output into a result object.
+    assemble: Callable[[SpecRequest, Sequence[ExperimentJob], JobResults], object] = (
+        lambda request, jobs, results: None
+    )
+    #: Render a result as its plain-text tables, in presentation order.
+    tables: Callable[[object], List[str]] = lambda result: []
+    #: Experiment-specific CLI flags.
+    options: Tuple[SpecOption, ...] = ()
+    #: ``False`` for single-seed measurements: the request keeps only the
+    #: first seed, and the CLI announces dropped seeds instead of silently
+    #: ignoring them.
+    multi_seed: bool = True
+    #: When set, a request that did not explicitly choose workloads is
+    #: limited to the first N (the ablation runs two by default).
+    workload_limit: Optional[int] = None
+    #: Whether the experiment sweeps the paper workloads at all (the fault
+    #: campaigns sweep fault sites instead; the CLI then offers no
+    #: ``--workloads``/``--quick`` flags).
+    takes_workloads: bool = True
+    #: ``run_all_experiments`` skip group (``switching``, ``ablation``,
+    #: ``faults``) or ``None`` for the always-on core experiments.
+    run_all_group: Optional[str] = None
+    #: Names of the legacy ``run_*`` entry points this spec subsumes.
+    legacy_entry_points: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Request resolution and execution
+    # ------------------------------------------------------------------ #
+
+    def request(
+        self,
+        settings: Optional[ExperimentSettings] = None,
+        *,
+        explicit_workloads: bool = False,
+        **options: object,
+    ) -> SpecRequest:
+        """Resolve settings + options into the request the hooks consume."""
+        settings = settings or ExperimentSettings()
+        if (
+            self.workload_limit is not None
+            and not explicit_workloads
+            and len(settings.workloads) > self.workload_limit
+        ):
+            settings = settings.with_workloads(
+                settings.workloads[: self.workload_limit]
+            )
+        if not self.multi_seed and len(settings.seeds) > 1:
+            settings = settings.with_seeds(settings.seeds[:1])
+        return SpecRequest(settings=settings, options=options)
+
+    def run(
+        self,
+        settings: Optional[ExperimentSettings] = None,
+        runner: Optional[ExperimentRunner] = None,
+        request: Optional[SpecRequest] = None,
+        **options: object,
+    ) -> object:
+        """Enumerate, execute and assemble this experiment.
+
+        Either pass a pre-resolved ``request`` or let ``settings`` and
+        keyword options be resolved via :meth:`request`.
+        """
+        if request is None:
+            request = self.request(settings, **options)
+        runner = runner or default_runner()
+        jobs = self.enumerate_jobs(request)
+        results = runner.run_jobs(jobs)
+        return self.assemble(request, jobs, results)
+
+    # ------------------------------------------------------------------ #
+    # Uniform result rendering
+    # ------------------------------------------------------------------ #
+
+    def to_table(self, result: object) -> str:
+        """Every table of a result, joined the way the CLI prints them."""
+        return "\n\n".join(self.tables(result))
+
+    def to_json(self, result: object) -> Dict[str, object]:
+        """A JSON-safe record of a result (uniform across specs)."""
+        return {
+            "experiment": self.name,
+            "title": self.title,
+            "family": self.family,
+            "result": jsonify(result),
+        }
+
+
+def jsonify(value: object) -> object:
+    """Recursively convert any spec result into JSON-serializable values.
+
+    Dataclasses become field dicts (honouring a ``to_dict`` method when one
+    exists), enums their names, mappings get string keys; anything else
+    unknown falls back to ``str``.
+    """
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict) and not isinstance(value, type):
+        return jsonify(to_dict())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: jsonify(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, Enum):
+        return value.name
+    if isinstance(value, Mapping):
+        return {str(key): jsonify(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonify(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+# ===================================================================== #
+# The registry
+# ===================================================================== #
+
+#: Every registered experiment spec, in registration (= presentation) order.
+EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(spec: ExperimentSpec, *, replace: bool = False) -> ExperimentSpec:
+    """Add a spec to :data:`EXPERIMENTS` (rejecting silent name collisions)."""
+    if spec.name in EXPERIMENTS and not replace:
+        raise ExperimentError(f"experiment {spec.name!r} is already registered")
+    EXPERIMENTS[spec.name] = spec
+    return spec
+
+
+def experiment(name: str) -> ExperimentSpec:
+    """Look up one registered spec by name."""
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS) or "none"
+        raise ExperimentError(
+            f"unknown experiment {name!r} (registered: {known})"
+        ) from None
+
+
+def experiment_names() -> Tuple[str, ...]:
+    """The registered experiment names, in presentation order."""
+    return tuple(EXPERIMENTS)
+
+
+# ===================================================================== #
+# The reproduction's specs
+# ===================================================================== #
+
+
+def _seed_grid(request: SpecRequest, configurations: Sequence[object]) -> ParameterGrid:
+    return ParameterGrid.of(
+        ("workload", request.settings.workloads),
+        ("configuration", configurations),
+        ("seed", request.settings.seeds),
+    )
+
+
+register_experiment(
+    ExperimentSpec(
+        name="figure5",
+        title="Figure 5: DMR overhead (IPC and throughput)",
+        description=(
+            "Per-thread user IPC and overall throughput of No DMR 2X, "
+            "No DMR and Reunion-style DMR."
+        ),
+        grid=lambda request: _seed_grid(request, FIGURE5_CONFIGS),
+        enumerate_jobs=lambda request: figure5_jobs(request.settings),
+        assemble=lambda request, jobs, results: _exp.assemble_figure5(
+            request.settings, results
+        ),
+        tables=lambda result: [
+            result.format_ipc_table(),
+            result.format_throughput_table(),
+        ],
+        legacy_entry_points=("run_dmr_overhead_experiment",),
+    )
+)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="figure6",
+        title="Figure 6: mixed-mode performance",
+        description=(
+            "Per-VM IPC and throughput of the consolidated server under "
+            "DMR Base, MMM-IPC and MMM-TP."
+        ),
+        grid=lambda request: _seed_grid(
+            request, request.option("configurations", FIGURE6_CONFIGS)
+        ),
+        enumerate_jobs=lambda request: figure6_jobs(
+            request.settings, request.option("configurations", FIGURE6_CONFIGS)
+        ),
+        assemble=lambda request, jobs, results: _exp.assemble_figure6(
+            request.settings,
+            results,
+            request.option("configurations", FIGURE6_CONFIGS),
+        ),
+        tables=lambda result: [
+            result.format_ipc_table(),
+            result.format_throughput_table(),
+        ],
+        legacy_entry_points=("run_mixed_mode_experiment",),
+    )
+)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="pab",
+        title="Section 5.2: serial vs parallel PAB lookup",
+        description="IPC sensitivity of the performance VM to a serialised PAB lookup.",
+        grid=lambda request: ParameterGrid.of(
+            ("workload", request.settings.workloads),
+            ("lookup", tuple(mode.value for mode in (PabLookupMode.PARALLEL, PabLookupMode.SERIAL))),
+            ("seed", request.settings.seeds),
+        ),
+        enumerate_jobs=lambda request: pab_jobs(request.settings),
+        assemble=lambda request, jobs, results: _exp.assemble_pab(
+            request.settings, results
+        ),
+        tables=lambda result: [result.format_table()],
+        legacy_entry_points=("run_pab_latency_study",),
+    )
+)
+
+
+def _table1_jobs(request: SpecRequest) -> List[ExperimentJob]:
+    settings = request.settings
+    return switch_overhead_jobs(
+        settings.workloads,
+        transitions_to_measure=request.option(
+            "transitions_to_measure", settings.switch_transitions
+        ),
+        warmup_cycles=request.option("warmup_cycles", settings.switch_warmup_cycles),
+        config=request.option("config"),
+        seed=settings.seeds[0],
+    )
+
+
+register_experiment(
+    ExperimentSpec(
+        name="table1",
+        title="Table 1: mode-switch overheads",
+        description="Cycle cost of Enter-DMR and Leave-DMR on the full-size machine.",
+        family="measurement",
+        grid=lambda request: ParameterGrid.of(
+            ("workload", request.settings.workloads)
+        ),
+        enumerate_jobs=_table1_jobs,
+        assemble=lambda request, jobs, results: _exp.assemble_table1(jobs, results),
+        tables=lambda result: [result.format_table()],
+        multi_seed=False,
+        run_all_group="switching",
+        legacy_entry_points=("run_switch_overhead_experiment",),
+    )
+)
+
+
+def _table2_jobs(request: SpecRequest) -> List[ExperimentJob]:
+    settings = request.settings
+    return switch_frequency_jobs(
+        settings.workloads,
+        phases_to_measure=request.option(
+            "phases_to_measure", settings.frequency_phases
+        ),
+        measurement_phase_scale=request.option(
+            "measurement_phase_scale", settings.frequency_phase_scale
+        ),
+        config=request.option("config"),
+        seed=settings.seeds[0],
+    )
+
+
+register_experiment(
+    ExperimentSpec(
+        name="table2",
+        title="Table 2: cycles between mode switches",
+        description="Average user and OS phase lengths on the non-DMR baseline.",
+        family="measurement",
+        grid=lambda request: ParameterGrid.of(
+            ("workload", request.settings.workloads)
+        ),
+        enumerate_jobs=_table2_jobs,
+        assemble=lambda request, jobs, results: _exp.assemble_table2(jobs, results),
+        tables=lambda result: [result.format_table()],
+        multi_seed=False,
+        run_all_group="switching",
+        legacy_entry_points=("run_switch_frequency_experiment",),
+    )
+)
+
+
+def _single_os_jobs(request: SpecRequest) -> List[ExperimentJob]:
+    return _table1_jobs(request) + _table2_jobs(request)
+
+
+def _assemble_single_os(
+    request: SpecRequest, jobs: Sequence[ExperimentJob], results: JobResults
+) -> object:
+    table1 = _exp.assemble_table1([j for j in jobs if j.kind == "table1"], results)
+    table2 = _exp.assemble_table2([j for j in jobs if j.kind == "table2"], results)
+    return _exp.combine_single_os(table1, table2, request.settings.workloads)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="single-os",
+        title="Section 5.3: single-OS switching overhead",
+        description="Tables 1 and 2 combined into the single-OS overhead estimate.",
+        family="measurement",
+        grid=lambda request: ParameterGrid.of(
+            ("workload", request.settings.workloads),
+            ("measurement", ("table1", "table2")),
+        ),
+        enumerate_jobs=_single_os_jobs,
+        assemble=_assemble_single_os,
+        tables=lambda result: [result.format_table()],
+        multi_seed=False,
+        run_all_group="switching",
+        legacy_entry_points=("run_single_os_overhead_study",),
+    )
+)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="ablation",
+        title="window-size / consistency ablation",
+        description=(
+            "Reunion IPC under a larger instruction window and a TSO store "
+            "buffer (the Section 5.1 prior-work comparison)."
+        ),
+        grid=lambda request: ParameterGrid.of(
+            ("workload", request.settings.workloads),
+            ("variant", tuple(ABLATION_VARIANTS)),
+        ),
+        enumerate_jobs=lambda request: window_ablation_jobs(request.settings),
+        assemble=lambda request, jobs, results: _exp.assemble_ablation(
+            request.settings, results
+        ),
+        tables=lambda result: [result.format_table()],
+        multi_seed=False,
+        workload_limit=2,
+        run_all_group="ablation",
+        legacy_entry_points=("run_window_ablation",),
+    )
+)
+
+
+def _faults_configurations(request: SpecRequest) -> Sequence[object]:
+    explicit = request.option("configurations")
+    if explicit is not None:
+        return explicit
+    return SWEEP_CONFIGURATIONS if request.option("all_configurations") else DEFAULT_CONFIGURATIONS
+
+
+def _faults_rates(request: SpecRequest) -> Tuple[float, ...]:
+    sweep = request.option("sweep_rates")
+    if sweep:
+        return tuple(sweep)
+    return (float(request.option("fault_rate", 1.0)),)
+
+
+def _faults_trials(request: SpecRequest) -> int:
+    """Trials per site: the explicit option, else the settings' campaign size.
+
+    Falling back to ``settings.fault_trials_per_site`` is what lets
+    ``run_all_experiments`` drive the campaign purely through the settings
+    object, with no spec-specific plumbing."""
+    return int(request.option("trials", request.settings.fault_trials_per_site))
+
+
+def _faults_grid(request: SpecRequest) -> ParameterGrid:
+    trials = _faults_trials(request)
+    chunks = math.ceil(trials / int(request.option("trials_per_cell", DEFAULT_TRIALS_PER_CELL)))
+    axes: List[Tuple[str, Sequence[object]]] = []
+    rates = _faults_rates(request)
+    if len(rates) > 1:
+        axes.append(("rate", rates))
+    axes += [
+        ("configuration", tuple(c.name for c in _faults_configurations(request))),
+        ("site", TRIAL_SITES),
+        ("seed", request.settings.seeds),
+        ("chunk", tuple(range(chunks))),
+    ]
+    return ParameterGrid.of(*axes)
+
+
+def _faults_jobs(request: SpecRequest) -> List[ExperimentJob]:
+    jobs: List[ExperimentJob] = []
+    for rate in _faults_rates(request):
+        jobs += fault_campaign_jobs(
+            trials_per_site=_faults_trials(request),
+            configurations=_faults_configurations(request),
+            seeds=request.settings.seeds,
+            fault_rate=rate,
+            config=request.option("config"),
+            trials_per_cell=int(
+                request.option("trials_per_cell", DEFAULT_TRIALS_PER_CELL)
+            ),
+        )
+    return jobs
+
+
+def _assemble_faults(
+    request: SpecRequest, jobs: Sequence[ExperimentJob], results: JobResults
+) -> object:
+    trials = _faults_trials(request)
+    seeds = tuple(request.settings.seeds)
+    rates = _faults_rates(request)
+    by_rate: Dict[float, object] = {}
+    for rate in rates:
+        rate_jobs = [job for job in jobs if job.param("fault_rate") == float(rate)]
+        by_rate[rate] = _exp.assemble_fault_coverage(
+            rate_jobs, results, trials, seeds, float(rate)
+        )
+    if not request.option("sweep_rates"):
+        return by_rate[rates[0]]
+    return _exp.FaultRateSweepResult(
+        trials_per_site=trials, seeds=seeds, fault_rates=rates, by_rate=by_rate
+    )
+
+
+register_experiment(
+    ExperimentSpec(
+        name="faults",
+        title="fault-injection coverage campaign (cell-shaped: parallel and cached)",
+        description=(
+            "Coverage of reliable state across protection configurations "
+            "(Sections 2.1/3.4); --sweep-rates turns it into the fault-space "
+            "sweep of coverage vs fault-rate scale."
+        ),
+        family="faults",
+        grid=_faults_grid,
+        enumerate_jobs=_faults_jobs,
+        assemble=_assemble_faults,
+        tables=lambda result: [result.format_table()],
+        options=(
+            SpecOption(
+                name="trials",
+                flag="--trials",
+                parse=parse_positive_int,
+                default=50,
+                metavar="N",
+                help="trials per (configuration, fault site, seed) (default: 50)",
+            ),
+            SpecOption(
+                name="sweep_rates",
+                flag="--sweep-rates",
+                parse=parse_rate_list,
+                metavar="R1,R2,...",
+                help="sweep these fault-rate scales and print coverage vs rate",
+            ),
+            SpecOption(
+                name="all_configurations",
+                flag="--all-configurations",
+                is_flag=True,
+                help="include the extended configurations (e.g. dmr-plus-pab)",
+            ),
+        ),
+        takes_workloads=False,
+        run_all_group="faults",
+        legacy_entry_points=(
+            "run_fault_coverage_experiment",
+            "run_fault_rate_sweep",
+        ),
+    )
+)

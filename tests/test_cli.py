@@ -20,9 +20,36 @@ def test_help_lists_every_subcommand(capsys):
     assert excinfo.value.code == 0
     out = capsys.readouterr().out
     for command in (
-        "run", "figure5", "figure6", "table1", "table2", "faults", "report", "run-all"
+        "run", "figure5", "figure6", "table1", "table2", "faults", "report",
+        "run-all", "list", "cache",
     ):
         assert command in out
+
+
+def test_subcommands_are_generated_from_the_registry(capsys):
+    # Every registered spec is a subcommand with the shared engine flags --
+    # the CLI has no hand-written per-experiment parser blocks left.
+    from repro.sim.specs import EXPERIMENTS
+
+    parser = build_parser()
+    for name, spec in EXPERIMENTS.items():
+        args = parser.parse_args([name, "--jobs", "2", "--backend", "thread",
+                                  "--seeds", "1", "--no-cache"])
+        assert args.command == name
+        assert args.jobs == 2 and args.backend == "thread"
+        for option in spec.options:
+            assert hasattr(args, option.name)
+
+
+def test_list_enumerates_every_registered_spec(capsys):
+    from repro.sim.specs import EXPERIMENTS
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name, spec in EXPERIMENTS.items():
+        assert name in out
+        assert spec.family in out
+    assert "workload" in out  # grid axes are shown
 
 
 def test_command_is_required():
@@ -122,8 +149,56 @@ def test_run_all_quick(capsys, tmp_path):
     assert "0 executed" in out
 
 
+def test_figure5_thread_backend_matches_serial(capsys, isolated_cache):
+    serial_argv = ["figure5", "--quick", "--workloads", "apache", "--no-cache"]
+    assert main(serial_argv) == 0
+    serial_out = capsys.readouterr().out
+    threaded_argv = serial_argv + ["--jobs", "2", "--backend", "thread"]
+    assert main(threaded_argv) == 0
+    threaded_out = capsys.readouterr().out
+    assert "backend: thread" in threaded_out
+    # Identical tables, whatever the backend.
+    assert (
+        serial_out.split("experiment engine:")[0]
+        == threaded_out.split("experiment engine:")[0]
+    )
+
+
+def test_json_output_is_the_spec_document(capsys):
+    import json
+
+    assert main(
+        ["figure5", "--quick", "--workloads", "apache", "--no-cache", "--json"]
+    ) == 0
+    out = capsys.readouterr().out
+    document = json.loads(out.split("\n\nexperiment engine:")[0])
+    assert document["experiment"] == "figure5"
+    assert document["grid"]["workload"] == ["apache"]
+    assert document["result"]["rows"][0]["workload"] == "apache"
+
+
+def test_cache_stats_and_clear_by_kind(capsys, isolated_cache):
+    assert main(["figure5", "--quick", "--workloads", "apache"]) == 0
+    assert main(["faults", "--trials", "2", "--seeds", "1"]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "figure5" in out and "faults" in out and "total" in out
+
+    assert main(["cache", "clear", "--kind", "figure5"]) == 0
+    assert "removed 3 cached 'figure5' entries" in capsys.readouterr().out
+    assert not list(isolated_cache.glob("figure5/*.json"))
+    assert list(isolated_cache.glob("faults/*.json"))
+
+    assert main(["cache", "clear"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    assert "no entries" in capsys.readouterr().out
+
+
 def test_faults_subcommand(capsys):
-    assert main(["faults", "--trials", "5"]) == 0
+    assert main(["faults", "--trials", "5", "--seeds", "2"]) == 0
     out = capsys.readouterr().out
     assert "always-dmr" in out
     assert "naive-mode-switch" in out

@@ -49,7 +49,12 @@ from repro.sim.jobs import (
 from repro.sim.runner import (
     ExperimentRunner,
     ResultCache,
+    RunnerBackend,
+    SerialBackend,
+    backend_by_name,
     default_runner,
+    register_runner_backend,
+    registered_backends,
     set_default_runner,
     using_runner,
 )
@@ -243,6 +248,40 @@ class TestResultCache:
         assert cache.clear() == 2
         assert cache.load(quick_job()) is None
 
+    def test_clear_by_kind_prunes_only_that_kind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        figure5 = quick_job()
+        figure6 = replace(quick_job(), kind="figure6")
+        cache.store(figure5, {"a": 1.0})
+        cache.store(figure6, {"b": 2.0})
+        assert cache.clear(kind="figure5") == 1
+        assert cache.load(figure5) is None
+        assert cache.load(figure6) == {"b": 2.0}
+        assert cache.clear(kind="no-such-kind") == 0
+
+    def test_stats_reports_entries_and_bytes_per_kind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.stats() == {}
+        cache.store(quick_job(), {"a": 1.0})
+        cache.store(quick_job(variant="reunion"), {"a": 2.0})
+        cache.store(replace(quick_job(), kind="figure6"), {"b": 3.0})
+        stats = cache.stats()
+        assert set(stats) == set(cache.kinds()) == {"figure5", "figure6"}
+        assert stats["figure5"].entries == 2
+        assert stats["figure6"].entries == 1
+        for kind_stats in stats.values():
+            assert kind_stats.bytes > 0
+
+    def test_store_leaves_no_temporary_files(self, tmp_path):
+        # The fsync-and-rename write must clean up after itself: only the
+        # final entry remains, and it loads.
+        cache = ResultCache(tmp_path)
+        job = quick_job()
+        cache.store(job, {"a": 1.0})
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file()]
+        assert leftovers == [cache.path_for(job)]
+        assert cache.load(job) == {"a": 1.0}
+
 
 class TestRunner:
     def test_rejects_zero_workers(self):
@@ -302,6 +341,65 @@ class TestRunner:
         assert resumed.run_job(quick_job()) == {"value": 1.0}
         assert resumed.stats.cached == 1
         assert resumed.stats.executed == 0
+
+    def test_backend_defaults_follow_worker_count(self):
+        assert ExperimentRunner(jobs=1, use_cache=False).backend.name == "serial"
+        assert ExperimentRunner(jobs=2, use_cache=False).backend.name == "process"
+
+    def test_backend_chosen_by_name(self):
+        runner = ExperimentRunner(jobs=2, use_cache=False, backend="thread")
+        assert runner.backend.name == "thread"
+        # An instance is accepted as-is, too.
+        serial = SerialBackend()
+        assert ExperimentRunner(use_cache=False, backend=serial).backend is serial
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(ExperimentError, match="registered backends"):
+            ExperimentRunner(jobs=2, use_cache=False, backend="quantum")
+
+    def test_backend_registry_contents_and_duplicates(self):
+        assert {"serial", "process", "thread"} <= set(registered_backends())
+        assert backend_by_name("thread").name == "thread"
+        with pytest.raises(ExperimentError):
+            register_runner_backend("serial", SerialBackend)
+
+    def test_thread_backend_matches_serial(self):
+        def fake(job):
+            return {"value": float(job.seed)}
+
+        batch = [quick_job(seed=seed) for seed in range(6)]
+        serial = ExperimentRunner(jobs=1, use_cache=False, executor=fake)
+        threaded = ExperimentRunner(
+            jobs=3, use_cache=False, executor=fake, backend="thread"
+        )
+        assert serial.run_jobs(batch) == threaded.run_jobs(batch)
+        assert threaded.stats.executed == len(batch)
+
+    def test_custom_backend_plugs_in(self):
+        # The seam for a distributed runner: anything mapping pending cells
+        # to (job, metrics) pairs works, registered or passed directly.
+        class RecordingBackend(RunnerBackend):
+            name = "recording"
+
+            def __init__(self):
+                self.batches = []
+
+            def execute(self, executor, pending, workers):
+                self.batches.append(len(pending))
+                for job in pending:
+                    yield job, executor(job)
+
+        backend = RecordingBackend()
+        runner = ExperimentRunner(
+            jobs=4, use_cache=False, executor=lambda job: {"v": 1.0},
+            backend=backend,
+        )
+        batch = [quick_job(seed=seed) for seed in range(3)]
+        assert len(runner.run_jobs(batch)) == 3
+        # Single-cell batches reach the backend too: a remote-only backend
+        # must never be silently bypassed in favour of local execution.
+        runner.run_job(quick_job(seed=99))
+        assert backend.batches == [3, 1]
 
     def test_default_runner_installation(self):
         fallback = default_runner()
@@ -392,14 +490,23 @@ class TestRunAllParity:
         settings = QUICK
         serial = ExperimentRunner(jobs=1, cache_dir=tmp_path / "serial")
         parallel = ExperimentRunner(jobs=4, cache_dir=tmp_path / "parallel")
+        threaded = ExperimentRunner(
+            jobs=4, cache_dir=tmp_path / "threaded", backend="thread"
+        )
 
         one = run_all_experiments(settings, runner=serial)
         four = run_all_experiments(settings, runner=parallel)
+        via_threads = run_all_experiments(settings, runner=threaded)
         assert serial.stats.executed == parallel.stats.executed > 0
+        assert serial.stats.executed == threaded.stats.executed
+        # Every spec in the batch: all three backends, byte for byte.
         assert json.dumps(one.job_metrics, sort_keys=True) == json.dumps(
             four.job_metrics, sort_keys=True
         )
-        assert one.render() == four.render()
+        assert json.dumps(one.job_metrics, sort_keys=True) == json.dumps(
+            via_threads.job_metrics, sort_keys=True
+        )
+        assert one.render() == four.render() == via_threads.render()
 
         # Re-running against the serial runner's cache simulates nothing --
         # including the fault-campaign cells, which ride the same batch.

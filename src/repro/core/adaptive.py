@@ -154,6 +154,10 @@ class AdaptiveMmmPolicy(MmmTpPolicy):
 
     name = "mmm-adaptive"
     mixed_mode = True
+    #: The controller accumulates protection debt every quantum, so the plan
+    #: is *not* a pure function of the VCPUs' current DMR requirements; the
+    #: simulator must re-plan (and re-consult the controller) each quantum.
+    stateless_plans = False
 
     def __init__(
         self, controller: AdaptiveReliabilityController | None = None

@@ -57,6 +57,11 @@ class VmSpec:
     #: Scale factor applied to the workload's working-set sizes (used by the
     #: small test configuration).
     footprint_scale: float = 1.0
+    #: ``False`` builds the VM *deferred*: its address-space regions, page
+    #: tables, workloads and VCPUs are constructed up front (so the machine
+    #: shape is fully deterministic), but the VM does not participate in the
+    #: gang schedule until a ``VmArrived`` timeline event admits it.
+    present_at_start: bool = True
 
     def profile(self) -> WorkloadProfile:
         """Resolve the workload profile (by name or pass-through)."""
@@ -236,6 +241,10 @@ class MixedModeMachine:
         os_privilege = (
             PrivilegeLevel.HYPERVISOR if single_os else PrivilegeLevel.GUEST_OS
         )
+        if not any(spec.present_at_start for spec in self.vm_specs):
+            raise ConfigurationError(
+                "a machine needs at least one VM present at start"
+            )
         next_vcpu_id = 0
         for vm_id, spec in enumerate(self.vm_specs):
             vm = GuestVM(
@@ -247,6 +256,7 @@ class MixedModeMachine:
                     if isinstance(spec.workload, str)
                     else spec.workload.name
                 ),
+                active=spec.present_at_start,
             )
             profile = spec.profile()
             for index in range(spec.num_vcpus):
@@ -289,6 +299,77 @@ class MixedModeMachine:
         """Number of physical cores on the chip."""
         return self.config.num_cores
 
+    # ------------------------------------------------------------------ #
+    # Dynamic lifecycle (driven by timeline events mid-run)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def retired_cores(self) -> frozenset:
+        """Cores currently retired by permanent faults."""
+        return self.allocator.retired_cores
+
+    @property
+    def num_healthy_cores(self) -> int:
+        """Cores available for scheduling right now."""
+        return self.allocator.num_healthy_cores
+
+    def retire_core(self, core_id: int) -> None:
+        """Take one core out of service (a permanent fault).
+
+        The core leaves the allocator's pool; the next quantum's mapping
+        plan re-pairs any DMR partner around the failure.  Retiring every
+        core is rejected -- a chip with no healthy cores cannot make
+        progress and the scenario is almost certainly a mistake.
+        """
+        if self.num_healthy_cores <= 1:
+            raise ConfigurationError(
+                f"cannot retire core {core_id}: it is the last healthy core"
+            )
+        self.allocator.retire(core_id)
+
+    def restore_core(self, core_id: int) -> None:
+        """Return a retired core to service (a repair)."""
+        self.allocator.restore(core_id)
+
+    @property
+    def active_vms(self) -> List[GuestVM]:
+        """The guest VMs currently participating in the gang schedule."""
+        return [vm for vm in self.vms if vm.active]
+
+    def admit_vm(self, name: str) -> GuestVM:
+        """Admit a deferred (or previously drained) VM to the schedule."""
+        vm = self.vm_by_name(name)
+        if vm.active:
+            raise ConfigurationError(f"VM {name!r} is already active")
+        vm.active = True
+        return vm
+
+    def drain_vm(self, name: str) -> GuestVM:
+        """Drain an active VM from the schedule (its counters are kept)."""
+        vm = self.vm_by_name(name)
+        if not vm.active:
+            raise ConfigurationError(f"VM {name!r} is not active")
+        if len(self.active_vms) == 1:
+            raise ConfigurationError(
+                f"cannot drain VM {name!r}: it is the last active VM"
+            )
+        vm.active = False
+        return vm
+
+    def set_policy(self, policy: Union[str, MappingPolicy]) -> MappingPolicy:
+        """Hot-swap the VCPU-to-core mapping policy (privileged software)."""
+        self.policy = policy_by_name(policy) if isinstance(policy, str) else policy
+        return self.policy
+
+    def set_vm_reliability(self, name: str, mode: ReliabilityMode) -> GuestVM:
+        """Rewrite one VM's reliability requirement and all of its VCPUs'
+        mode registers (the paper's privileged per-VCPU register write)."""
+        vm = self.vm_by_name(name)
+        vm.reliability = mode
+        for vcpu in vm.vcpus:
+            vcpu.write_mode_register(mode, PrivilegeLevel.HYPERVISOR)
+        return vm
+
     @property
     def total_vcpus(self) -> int:
         """Number of VCPUs exposed to system software."""
@@ -308,10 +389,10 @@ class MixedModeMachine:
         except KeyError as exc:
             raise ConfigurationError(f"no VCPU with id {vcpu_id}") from exc
 
-    def simulator(self, options=None):
+    def simulator(self, options=None, timeline=None):
         """Create a :class:`repro.sim.simulator.Simulator` for this machine."""
         from repro.sim.simulator import SimulationOptions, Simulator
 
         if options is None:
             options = SimulationOptions()
-        return Simulator(machine=self, options=options)
+        return Simulator(machine=self, options=options, timeline=timeline)

@@ -41,6 +41,13 @@ class MappingPolicy(ABC):
     #: Whether this policy is a mixed-mode policy (affects the PAB and the
     #: mode-transition accounting performed by the simulator).
     mixed_mode: bool = False
+    #: Whether ``plan_quantum`` is a pure function of the VCPUs' identities
+    #: and current DMR requirements.  The simulator reuses the previous
+    #: quantum's plan when those inputs are unchanged and no timeline event
+    #: fired -- a policy carrying its own per-quantum state (e.g. the
+    #: duty-cycled adaptive policy) must set this to ``False`` so it is
+    #: consulted every quantum.
+    stateless_plans: bool = True
 
     @abstractmethod
     def plan_quantum(

@@ -1,6 +1,7 @@
 """Simulation driver, results, experiment engine and reporting.
 
-* :mod:`repro.sim.simulator` -- the quantum-based simulation loop,
+* :mod:`repro.sim.simulator` -- the event-driven, quantum-based simulation loop,
+* :mod:`repro.sim.timeline` -- mid-run machine-reshaping event schedules,
 * :mod:`repro.sim.results` -- result containers and metrics,
 * :mod:`repro.sim.settings` -- the shared experiment settings value,
 * :mod:`repro.sim.jobs` -- the picklable per-cell job model,
@@ -40,8 +41,28 @@ from repro.sim.specs import (
     register_experiment,
 )
 from repro.sim.simulator import SimulationOptions, Simulator
+from repro.sim.timeline import (
+    CoreFailed,
+    CoreRepaired,
+    FaultRateBurst,
+    PolicyChanged,
+    ReliabilityModeChanged,
+    Timeline,
+    TimelineEvent,
+    VmArrived,
+    VmDeparted,
+)
 
 __all__ = [
+    "Timeline",
+    "TimelineEvent",
+    "CoreFailed",
+    "CoreRepaired",
+    "VmArrived",
+    "VmDeparted",
+    "PolicyChanged",
+    "ReliabilityModeChanged",
+    "FaultRateBurst",
     "SimulationResult",
     "VmResult",
     "SimulationOptions",

@@ -62,6 +62,7 @@ from repro.sim.jobs import (
 )
 from repro.sim.runner import ExperimentRunner, Metrics, default_runner
 from repro.sim.settings import PAPER_TIMESLICE_CYCLES, ExperimentSettings
+from repro.sim.timeline import CoreFailed, Timeline, VmArrived, VmDeparted
 from repro.workloads.profiles import PAPER_WORKLOAD_NAMES
 
 __all__ = [
@@ -84,6 +85,10 @@ __all__ = [
     "SingleOsOverheadResult",
     "WindowAblationRow",
     "WindowAblationResult",
+    "DegradationRow",
+    "DegradationResult",
+    "ConsolidationChurnRow",
+    "ConsolidationChurnResult",
     "FaultCoverageRow",
     "FaultCoverageResult",
     "FaultRateSweepResult",
@@ -96,6 +101,10 @@ __all__ = [
     "switch_overhead_jobs",
     "switch_frequency_jobs",
     "window_ablation_jobs",
+    "degradation_timeline",
+    "degradation_jobs",
+    "churn_timeline",
+    "churn_jobs",
     "fault_campaign_jobs",
     "assemble_figure5",
     "assemble_figure6",
@@ -103,6 +112,8 @@ __all__ = [
     "assemble_table1",
     "assemble_table2",
     "assemble_ablation",
+    "assemble_degradation",
+    "assemble_churn",
     "assemble_fault_coverage",
     "combine_single_os",
     "run_dmr_overhead_experiment",
@@ -112,6 +123,8 @@ __all__ = [
     "run_switch_frequency_experiment",
     "run_single_os_overhead_study",
     "run_window_ablation",
+    "run_degradation_experiment",
+    "run_consolidation_churn_experiment",
     "run_fault_coverage_experiment",
     "run_fault_rate_sweep",
     "run_all_experiments",
@@ -925,6 +938,340 @@ def run_window_ablation(
 
     return experiment("ablation").run(
         settings, runner=runner, explicit_workloads=settings is not None
+    )
+
+
+# ===================================================================== #
+# Dynamic scenarios: graceful degradation under accumulating core failures
+# ===================================================================== #
+
+
+@dataclass
+class DegradationRow:
+    """One workload's throughput/IPC across the failed-core sweep."""
+
+    workload: str
+    #: Keyed by the number of failed cores.
+    throughput: Dict[int, ConfidenceInterval]
+    user_ipc: Dict[int, ConfidenceInterval]
+    paused_quanta: Dict[int, float]
+
+    def normalized_throughput(self) -> Dict[int, float]:
+        """Throughput normalised to the healthiest (fewest failures) cell."""
+        baseline = self.throughput[min(self.throughput)].mean
+        if baseline == 0:
+            return {failed: 0.0 for failed in self.throughput}
+        return {
+            failed: interval.mean / baseline
+            for failed, interval in self.throughput.items()
+        }
+
+
+@dataclass
+class DegradationResult:
+    """Graceful degradation: cores fail on a schedule mid-run."""
+
+    settings: ExperimentSettings
+    failures: Sequence[int]
+    num_cores: int
+    rows: List[DegradationRow] = field(default_factory=list)
+
+    def row(self, workload: str) -> DegradationRow:
+        """Row for one workload."""
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise ExperimentError(f"no degradation row for workload {workload!r}")
+
+    def format_table(self) -> str:
+        """Render throughput against the surviving-core count."""
+        table = TextTable(
+            [
+                "workload",
+                *[f"{self.num_cores - failed} cores" for failed in self.failures],
+            ],
+            title=(
+                "Graceful degradation: overall throughput vs surviving cores "
+                "(cores fail mid-run; Reunion DMR machine)"
+            ),
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row.workload,
+                    *[row.throughput[failed].mean for failed in self.failures],
+                ]
+            )
+        return table.render()
+
+
+def degradation_timeline(settings: ExperimentSettings, failed_cores: int) -> Timeline:
+    """The failure schedule of one degradation cell.
+
+    ``failed_cores`` permanent faults strike at evenly spaced cycles across
+    the measurement window, retiring the highest-numbered cores first, so a
+    single run sweeps from full capacity down to its final surviving-core
+    count -- every event fires mid-run.
+    """
+    num_cores = settings.config().num_cores
+    if failed_cores >= num_cores:
+        raise ExperimentError(
+            f"cannot fail {failed_cores} of {num_cores} cores "
+            "(at least one core must survive)"
+        )
+    start, window = settings.warmup_cycles, settings.total_cycles
+    return Timeline.of(
+        *(
+            CoreFailed(
+                cycle=start + (index + 1) * window // (failed_cores + 1),
+                core_id=num_cores - 1 - index,
+            )
+            for index in range(failed_cores)
+        )
+    )
+
+
+def degradation_jobs(
+    settings: ExperimentSettings, failures: Sequence[int]
+) -> List[ExperimentJob]:
+    """Every (workload, failed-core count, seed) degradation cell."""
+    cell = settings.cell_settings()
+    jobs: List[ExperimentJob] = []
+    for workload in settings.workloads:
+        for failed in failures:
+            params: tuple = (("failed_cores", int(failed)),)
+            if failed:
+                timeline = degradation_timeline(settings, int(failed))
+                params += (("timeline", timeline.to_json()),)
+            for seed in settings.seeds:
+                jobs.append(
+                    ExperimentJob(
+                        kind="degradation",
+                        workload=workload,
+                        variant=f"fail{int(failed)}",
+                        seed=seed,
+                        settings=cell,
+                        params=params,
+                    )
+                )
+    return jobs
+
+
+def assemble_degradation(
+    settings: ExperimentSettings,
+    failures: Sequence[int],
+    jobs: Sequence[ExperimentJob],
+    results: JobResults,
+) -> DegradationResult:
+    result = DegradationResult(
+        settings=settings,
+        failures=tuple(int(failed) for failed in failures),
+        num_cores=settings.config().num_cores,
+    )
+    samples: Dict[tuple, List[Metrics]] = {}
+    for job in jobs:
+        key = (job.workload, int(job.param("failed_cores", 0)))
+        samples.setdefault(key, []).append(results[job])
+    for workload in settings.workloads:
+        throughput: Dict[int, ConfidenceInterval] = {}
+        user_ipc: Dict[int, ConfidenceInterval] = {}
+        paused: Dict[int, float] = {}
+        for failed in result.failures:
+            cells = samples[(workload, failed)]
+            throughput[failed] = confidence_interval_95(
+                [cell["throughput"] for cell in cells]
+            )
+            user_ipc[failed] = confidence_interval_95(
+                [cell["user_ipc"] for cell in cells]
+            )
+            paused[failed] = mean(cell["paused_vcpu_quanta"] for cell in cells)
+        result.rows.append(
+            DegradationRow(
+                workload=workload,
+                throughput=throughput,
+                user_ipc=user_ipc,
+                paused_quanta=paused,
+            )
+        )
+    return result
+
+
+def run_degradation_experiment(
+    settings: Optional[ExperimentSettings] = None,
+    failures: Optional[Sequence[int]] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> DegradationResult:
+    """Sweep graceful degradation: throughput vs surviving-core count as
+    permanent faults retire cores on a schedule mid-run.
+
+    Thin wrapper over the registered ``degradation`` spec.
+    """
+    from repro.sim.specs import experiment
+
+    return experiment("degradation").run(
+        settings,
+        runner=runner,
+        explicit_workloads=settings is not None,
+        failures=tuple(failures) if failures is not None else None,
+    )
+
+
+# ===================================================================== #
+# Dynamic scenarios: consolidation-server VM churn
+# ===================================================================== #
+
+
+@dataclass
+class ConsolidationChurnRow:
+    """One workload's consolidation-churn data."""
+
+    workload: str
+    throughput: ConfidenceInterval
+    utilization: ConfidenceInterval
+    transition_cycles: ConfidenceInterval
+    events_applied: float
+
+
+@dataclass
+class ConsolidationChurnResult:
+    """Consolidation churn: guest VMs arrive and depart mid-run."""
+
+    settings: ExperimentSettings
+    extra_vms: int
+    rows: List[ConsolidationChurnRow] = field(default_factory=list)
+
+    def row(self, workload: str) -> ConsolidationChurnRow:
+        """Row for one workload."""
+        for row in self.rows:
+            if row.workload == workload:
+                return row
+        raise ExperimentError(f"no churn row for workload {workload!r}")
+
+    def format_table(self) -> str:
+        """Render utilisation and transition overhead under churn."""
+        table = TextTable(
+            [
+                "workload",
+                "throughput",
+                "core utilization",
+                "transition cycles",
+                "events",
+            ],
+            title=(
+                f"Consolidation churn: {self.extra_vms} burst VM(s) "
+                "arriving/departing mid-run (MMM-TP)"
+            ),
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row.workload,
+                    row.throughput.mean,
+                    row.utilization.mean,
+                    f"{row.transition_cycles.mean:.0f}",
+                    f"{row.events_applied:.0f}",
+                ]
+            )
+        return table.render()
+
+
+def churn_timeline(settings: ExperimentSettings, extra_vms: int) -> Timeline:
+    """The arrival/departure schedule of one consolidation-churn cell.
+
+    Burst VM ``i`` arrives at the ``(i+1)``-th and departs at the
+    ``(i+3)``-th of ``extra_vms + 3`` evenly spaced points across the
+    measurement window: each burst stays for two intervals, so consecutive
+    bursts genuinely overlap by one interval and the machine passes through
+    distinct consolidation levels (0, 1 and 2 concurrent bursts).
+    """
+    start, window = settings.warmup_cycles, settings.total_cycles
+    points = extra_vms + 3
+    events = []
+    for index in range(extra_vms):
+        events.append(
+            VmArrived(
+                cycle=start + (index + 1) * window // points,
+                vm_name=f"burst{index}",
+            )
+        )
+        events.append(
+            VmDeparted(
+                cycle=start + (index + 3) * window // points,
+                vm_name=f"burst{index}",
+            )
+        )
+    return Timeline.of(*events)
+
+
+def churn_jobs(settings: ExperimentSettings, extra_vms: int) -> List[ExperimentJob]:
+    """Every (workload, seed) consolidation-churn cell."""
+    cell = settings.cell_settings()
+    timeline = churn_timeline(settings, extra_vms)
+    params = (
+        ("extra_vms", int(extra_vms)),
+        ("timeline", timeline.to_json()),
+    )
+    return [
+        ExperimentJob(
+            kind="churn",
+            workload=workload,
+            variant=f"vms{int(extra_vms)}",
+            seed=seed,
+            settings=cell,
+            params=params,
+        )
+        for workload in settings.workloads
+        for seed in settings.seeds
+    ]
+
+
+def assemble_churn(
+    settings: ExperimentSettings,
+    extra_vms: int,
+    jobs: Sequence[ExperimentJob],
+    results: JobResults,
+) -> ConsolidationChurnResult:
+    result = ConsolidationChurnResult(settings=settings, extra_vms=int(extra_vms))
+    samples: Dict[str, List[Metrics]] = {}
+    for job in jobs:
+        samples.setdefault(job.workload, []).append(results[job])
+    for workload in settings.workloads:
+        cells = samples[workload]
+        result.rows.append(
+            ConsolidationChurnRow(
+                workload=workload,
+                throughput=confidence_interval_95(
+                    [cell["overall_throughput"] for cell in cells]
+                ),
+                utilization=confidence_interval_95(
+                    [cell["utilization"] for cell in cells]
+                ),
+                transition_cycles=confidence_interval_95(
+                    [cell["transition_cycles"] for cell in cells]
+                ),
+                events_applied=mean(cell["events_applied"] for cell in cells),
+            )
+        )
+    return result
+
+
+def run_consolidation_churn_experiment(
+    settings: Optional[ExperimentSettings] = None,
+    extra_vms: Optional[int] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> ConsolidationChurnResult:
+    """Sweep consolidation churn: utilisation and transition overhead while
+    guest VMs arrive at and depart from the consolidated server mid-run.
+
+    Thin wrapper over the registered ``consolidation-churn`` spec.
+    """
+    from repro.sim.specs import experiment
+
+    return experiment("consolidation-churn").run(
+        settings,
+        runner=runner,
+        explicit_workloads=settings is not None,
+        extra_vms=int(extra_vms) if extra_vms is not None else None,
     )
 
 

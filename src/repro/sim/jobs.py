@@ -50,6 +50,7 @@ from repro.errors import ExperimentError
 from repro.sim.results import SimulationResult
 from repro.sim.settings import ExperimentSettings
 from repro.sim.simulator import Simulator
+from repro.sim.timeline import Timeline
 from repro.virt.vcpu import ReliabilityMode
 
 #: Bump whenever the meaning of a job's metrics changes incompatibly; old
@@ -263,24 +264,20 @@ def figure5_machine(
     return MixedModeMachine(config=config, vm_specs=[spec], policy=policy, seed=seed)
 
 
-def figure6_machine(
+def consolidated_server_specs(
     settings: ExperimentSettings,
     workload: str,
-    configuration: str,
-    seed: int,
-    config: Optional[SystemConfig] = None,
-) -> MixedModeMachine:
-    """The two-VM consolidated server of one Figure 6 configuration."""
-    config = config if config is not None else settings.config()
-    if configuration == "dmr-base":
-        policy, perf_vcpus, perf_mode = "dmr-base", config.num_cores // 2, ReliabilityMode.RELIABLE
-    elif configuration == "mmm-ipc":
-        policy, perf_vcpus, perf_mode = "mmm-ipc", config.num_cores // 2, ReliabilityMode.PERFORMANCE
-    elif configuration == "mmm-tp":
-        policy, perf_vcpus, perf_mode = "mmm-tp", config.num_cores, ReliabilityMode.PERFORMANCE
-    else:
-        raise ExperimentError(f"unknown Figure 6 configuration {configuration!r}")
-    specs = [
+    config: SystemConfig,
+    perf_vcpus: int,
+    perf_mode: ReliabilityMode,
+) -> List[VmSpec]:
+    """The reliable + performance guest pair of the consolidated server.
+
+    Shared by the Figure 6 configurations and the consolidation-churn
+    machine, so the churn scenario always extends exactly the baseline
+    server it is compared against.
+    """
+    return [
         VmSpec(
             name="reliable",
             workload=workload,
@@ -298,6 +295,26 @@ def figure6_machine(
             footprint_scale=settings.footprint_scale,
         ),
     ]
+
+
+def figure6_machine(
+    settings: ExperimentSettings,
+    workload: str,
+    configuration: str,
+    seed: int,
+    config: Optional[SystemConfig] = None,
+) -> MixedModeMachine:
+    """The two-VM consolidated server of one Figure 6 configuration."""
+    config = config if config is not None else settings.config()
+    if configuration == "dmr-base":
+        policy, perf_vcpus, perf_mode = "dmr-base", config.num_cores // 2, ReliabilityMode.RELIABLE
+    elif configuration == "mmm-ipc":
+        policy, perf_vcpus, perf_mode = "mmm-ipc", config.num_cores // 2, ReliabilityMode.PERFORMANCE
+    elif configuration == "mmm-tp":
+        policy, perf_vcpus, perf_mode = "mmm-tp", config.num_cores, ReliabilityMode.PERFORMANCE
+    else:
+        raise ExperimentError(f"unknown Figure 6 configuration {configuration!r}")
+    specs = consolidated_server_specs(settings, workload, config, perf_vcpus, perf_mode)
     return MixedModeMachine(config=config, vm_specs=specs, policy=policy, seed=seed)
 
 
@@ -320,10 +337,55 @@ def _ablation_machine(
     return MixedModeMachine(config=config, vm_specs=[spec], policy="dmr-base", seed=seed)
 
 
+def churn_machine(
+    settings: ExperimentSettings,
+    workload: str,
+    extra_vms: int,
+    seed: int,
+) -> MixedModeMachine:
+    """The consolidated server plus ``extra_vms`` deferred performance VMs.
+
+    The base machine is the Figure 6 ``mmm-tp`` consolidated server; the
+    extra guests (named ``burst0``, ``burst1``, ...) are built deferred
+    (``present_at_start=False``) so the job's timeline can admit and drain
+    them mid-run with ``VmArrived``/``VmDeparted`` events.
+    """
+    config = settings.config()
+    specs = consolidated_server_specs(
+        settings, workload, config, config.num_cores, ReliabilityMode.PERFORMANCE
+    )
+    for index in range(extra_vms):
+        specs.append(
+            VmSpec(
+                name=f"burst{index}",
+                workload=workload,
+                num_vcpus=max(1, config.num_cores // 4),
+                reliability=ReliabilityMode.PERFORMANCE,
+                phase_scale=settings.phase_scale,
+                footprint_scale=settings.footprint_scale,
+                present_at_start=False,
+            )
+        )
+    return MixedModeMachine(config=config, vm_specs=specs, policy="mmm-tp", seed=seed)
+
+
 def _require_settings(job: ExperimentJob) -> ExperimentSettings:
     if job.settings is None:
         raise ExperimentError(f"job {job.label} needs ExperimentSettings")
     return job.settings
+
+
+def job_timeline(job: ExperimentJob) -> Optional[Timeline]:
+    """The job's event timeline, deserialized from its ``timeline`` param.
+
+    Any Simulator-driven cell may carry a timeline; it is part of the job's
+    canonical description, so the cache key -- and therefore the cached
+    result -- changes with the event schedule.
+    """
+    serialized = job.param("timeline")
+    if not serialized:
+        return None
+    return Timeline.from_json(str(serialized))
 
 
 def simulate_cell(job: ExperimentJob) -> SimulationResult:
@@ -348,9 +410,17 @@ def simulate_cell(job: ExperimentJob) -> SimulationResult:
         )
     elif job.kind == "ablation":
         machine = _ablation_machine(settings, job.workload, job.variant, job.seed)
+    elif job.kind == "degradation":
+        # The Reunion single-VM machine of Figure 5; the cores fail on the
+        # schedule carried by the job's timeline.
+        machine = figure5_machine(settings, job.workload, "reunion", job.seed)
+    elif job.kind == "churn":
+        machine = churn_machine(
+            settings, job.workload, int(job.param("extra_vms", 0)), job.seed
+        )
     else:
         raise ExperimentError(f"{job.kind!r} cells are not Simulator-driven")
-    return Simulator(machine, settings.options()).run()
+    return Simulator(machine, settings.options(), timeline=job_timeline(job)).run()
 
 
 # ===================================================================== #
@@ -395,6 +465,38 @@ def _execute_pab(job: ExperimentJob) -> Dict[str, float]:
 def _execute_ablation(job: ExperimentJob) -> Dict[str, float]:
     run = simulate_cell(job)
     return {"user_ipc": run.vm("baseline").average_user_ipc(run.total_cycles)}
+
+
+@register_job_kind("degradation")
+def _execute_degradation(job: ExperimentJob) -> Dict[str, float]:
+    """One graceful-degradation cell: cores fail mid-run on a schedule."""
+    settings = _require_settings(job)
+    run = simulate_cell(job)
+    vm = run.vm("baseline")
+    failed = int(job.param("failed_cores", 0))
+    return {
+        "throughput": run.overall_throughput(),
+        "user_ipc": vm.average_user_ipc(run.total_cycles),
+        "surviving_cores": settings.config().num_cores - failed,
+        "paused_vcpu_quanta": run.paused_vcpu_quanta,
+        "events_applied": run.timeline_events_applied,
+    }
+
+
+@register_job_kind("churn")
+def _execute_churn(job: ExperimentJob) -> Dict[str, float]:
+    """One consolidation-churn cell: guest VMs arrive and depart mid-run."""
+    run = simulate_cell(job)
+    used = float(run.quantum_stats.get("core_cycles_used", 0.0))
+    capacity = float(run.quantum_stats.get("core_cycles_capacity", 0.0))
+    return {
+        "overall_throughput": run.overall_throughput(),
+        "reliable_ipc": run.vm("reliable").average_user_ipc(run.total_cycles),
+        "utilization": used / capacity if capacity else 0.0,
+        "transitions": run.transitions,
+        "transition_cycles": run.transition_cycles,
+        "events_applied": run.timeline_events_applied,
+    }
 
 
 @register_job_kind("table1")

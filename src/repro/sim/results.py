@@ -93,6 +93,19 @@ class SimulationResult:
     violation_counts: Dict[str, int] = field(default_factory=dict)
     hierarchy_stats: Dict[str, float] = field(default_factory=dict)
     quantum_stats: Dict[str, float] = field(default_factory=dict)
+    #: Cycles trimmed off the final warmup quantum so measurement started
+    #: exactly at ``warmup_cycles`` (0 when the warmup aligned naturally).
+    #: Before the clamp those cycles were silently shifted into warmup and
+    #: dropped from the measured window.
+    warmup_clamp_cycles: int = 0
+    #: Timeline events applied during the run (warmup included -- the event
+    #: schedule describes the whole run, not just the measured window).
+    timeline_events_applied: int = 0
+    #: Timeline events scheduled at or after the end of the run, which
+    #: therefore never fired.
+    timeline_events_pending: int = 0
+    #: Applied events counted per event kind (``core-failed``, ...).
+    timeline_stats: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Lookup helpers
@@ -151,6 +164,9 @@ class SimulationResult:
             "average_user_ipc": self.average_user_ipc(),
             "transitions": self.transitions,
             "transition_cycles": self.transition_cycles,
+            "warmup_clamp_cycles": self.warmup_clamp_cycles,
+            "timeline_events_applied": self.timeline_events_applied,
+            "timeline_stats": dict(self.timeline_stats),
             "vms": {
                 vm.name: {
                     "user_ipc": vm.average_user_ipc(self.total_cycles),

@@ -62,6 +62,12 @@ class ExperimentSettings:
     #: Fault-injection trials per (configuration, fault site, seed) run by
     #: the campaign section of ``run_all_experiments``.
     fault_trials_per_site: int = 25
+    #: Failed-core counts swept by the graceful-degradation experiment (each
+    #: count is one cell: that many cores fail on a schedule mid-run).
+    degradation_failed_cores: Tuple[int, ...] = (0, 2, 4, 6)
+    #: Deferred guest VMs that arrive and depart mid-run in the
+    #: consolidation-churn experiment.
+    churn_extra_vms: int = 2
 
     @property
     def footprint_scale(self) -> float:
@@ -104,6 +110,8 @@ class ExperimentSettings:
             frequency_phases=1,
             frequency_phase_scale=0.02,
             fault_trials_per_site=5,
+            degradation_failed_cores=(0, 2),
+            churn_extra_vms=1,
         )
 
     def with_workloads(self, workloads: Sequence[str]) -> "ExperimentSettings":
@@ -123,6 +131,16 @@ class ExperimentSettings:
         away keeps job cache keys stable when the sweep is restricted or
         extended (a cached ``apache`` cell is reused whether the sweep ran
         two workloads or six).  ``fault_trials_per_site`` sizes the fault
-        sweep, not any simulation cell, so it is normalised away too.
+        sweep, ``degradation_failed_cores`` and ``churn_extra_vms`` size the
+        dynamic-scenario sweeps -- none of them describes a simulation cell
+        (each cell carries its own failure count, VM roster and timeline in
+        its job params), so they are normalised away too.
         """
-        return replace(self, workloads=(), seeds=(), fault_trials_per_site=0)
+        return replace(
+            self,
+            workloads=(),
+            seeds=(),
+            fault_trials_per_site=0,
+            degradation_failed_cores=(),
+            churn_extra_vms=0,
+        )

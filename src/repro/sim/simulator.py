@@ -1,35 +1,67 @@
-"""The quantum-based simulation loop.
+"""The event-driven, quantum-based simulation loop.
 
-The simulator advances the machine in scheduling quanta.  For each quantum it:
+The simulator advances the machine in scheduling quanta along an ordered
+:class:`~repro.sim.timeline.Timeline` of mid-run events.  Each quantum runs
+through five composable phases:
 
-1. asks the gang scheduler which guest VM owns the machine,
-2. asks the mapping policy to place that VM's VCPUs onto cores (DMR pairs,
-   single performance cores, or paused),
-3. charges mode-transition costs at timeslice boundaries where the machine
-   switches between a reliable VM and a performance VM (scaled by
-   ``transition_cost_scale`` so scaled-down timeslices keep the paper's
-   amortisation ratio),
-4. runs every placed VCPU through the core timing model for the quantum's
-   cycle budget (VCPUs whose reliability register is
+1. **schedule** -- ask the gang scheduler which *active* guest VM owns the
+   machine for this quantum,
+2. **place** -- ask the mapping policy to place that VM's VCPUs onto the
+   healthy cores (DMR pairs, single performance cores, or paused); when no
+   timeline event fired and the scheduling decision is unchanged since the
+   previous quantum, the previous :class:`MappingPlan` is reused instead of
+   re-planning (the hot-path optimisation; ``plan_reuses`` in the quantum
+   stats counts the hits),
+3. **transition-charge** -- charge mode-transition costs at timeslice
+   boundaries where the machine switches between a reliable VM and a
+   performance VM (scaled by ``transition_cost_scale`` so scaled-down
+   timeslices keep the paper's amortisation ratio),
+4. **execute** -- run every placed VCPU through the core timing model for
+   the quantum's cycle budget (VCPUs whose reliability register is
    ``PERFORMANCE_USER_ONLY`` are run with fine-grained switching: they
    escalate to DMR at every OS entry and drop back at every OS exit, paying
    the transition engine's costs each time), and
-5. accumulates results into the VCPUs and the machine-wide statistics.
+5. **account** -- accumulate results into the VCPUs and the machine-wide
+   statistics.
+
+Timeline events (core failures and repairs, VM arrivals and departures,
+policy and reliability-mode changes, fault-rate bursts) apply exactly at
+their cycle: the quantum boundary computation clamps at the next pending
+event, so two events inside one nominal quantum split it, an event at cycle
+0 reshapes the machine before the first quantum, and an event at the
+measurement boundary applies just as measurement begins.
 
 A warmup period can be simulated before measurement begins; caches, TLBs and
 PABs stay warm across the measurement boundary but all counters are reset.
+The final warmup quantum is clamped so measurement starts *exactly* at
+``warmup_cycles`` (previously a warmup not aligned to the quantum length
+silently shifted the boundary and dropped measured cycles);
+``SimulationResult.warmup_clamp_cycles`` surfaces how many cycles the clamp
+trimmed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.stats import StatSet
 from repro.core.transitions import TransitionFlavor
 from repro.cpu.timing import CoreAssignment, ExecutionMode, StopReason
 from repro.errors import SimulationError
+from repro.faults.injector import FaultRates
 from repro.sim.results import SimulationResult, build_vm_results
+from repro.sim.timeline import (
+    CoreFailed,
+    CoreRepaired,
+    FaultRateBurst,
+    PolicyChanged,
+    ReliabilityModeChanged,
+    Timeline,
+    TimelineEvent,
+    VmArrived,
+    VmDeparted,
+)
 from repro.virt.scheduler import GangScheduler, MappingPlan, VcpuPlacement
 from repro.virt.vcpu import ReliabilityMode, VirtualCPU
 
@@ -40,7 +72,10 @@ class SimulationOptions:
 
     #: Measured cycles (after warmup).
     total_cycles: int = 40_000
-    #: Cycles simulated before measurement starts (caches warm up).
+    #: Cycles simulated before measurement starts (caches warm up).  Need
+    #: not be a multiple of the quantum length: the final warmup quantum is
+    #: clamped at the boundary so measurement starts exactly here, and the
+    #: trimmed cycles are surfaced as ``SimulationResult.warmup_clamp_cycles``.
     warmup_cycles: int = 10_000
     #: Quantum length; defaults to the gang-scheduling timeslice.
     quantum_cycles: Optional[int] = None
@@ -85,11 +120,17 @@ class SimulationOptions:
 
 
 class Simulator:
-    """Drives one machine through warmup and measurement."""
+    """Drives one machine through warmup and measurement along a timeline."""
 
-    def __init__(self, machine, options: SimulationOptions) -> None:
+    def __init__(
+        self,
+        machine,
+        options: SimulationOptions,
+        timeline: Optional[Timeline] = None,
+    ) -> None:
         self.machine = machine
         self.options = options.validate()
+        self.timeline = (timeline if timeline is not None else Timeline()).validate()
         self.quantum_stats = StatSet()
         timeslice = machine.config.virtualization.timeslice_cycles
         self._quantum = min(
@@ -97,10 +138,30 @@ class Simulator:
             options.quantum_cycles if options.quantum_cycles is not None else timeslice,
         )
         self.gang = GangScheduler(
-            vm_ids=[vm.vm_id for vm in machine.vms], timeslice_cycles=timeslice
+            vm_ids=[vm.vm_id for vm in machine.active_vms],
+            timeslice_cycles=timeslice,
         )
+        # Timeline state: events in processing order, consumed from the front.
+        self._events: List[TimelineEvent] = self.timeline.sorted_events()
+        self._next_event = 0
+        self._events_applied = 0
+        self._timeline_stats: Dict[str, int] = {}
+        #: (restore cycle, base rates) of the active fault-rate burst.
+        self._burst_restore: Optional[Tuple[int, FaultRates]] = None
         self._previous_vm_id: Optional[int] = None
+        #: Whether the previous quantum's VM was reliable *when it ran*.
+        #: Captured at account time: a ReliabilityModeChanged event may flip
+        #: the VM's registers before the next boundary charge reads them,
+        #: and the Leave/Enter-DMR cost must follow the mode that actually
+        #: executed, not the mode the VM has now.
+        self._previous_vm_reliable: Optional[bool] = None
         self._previous_plan: Optional[MappingPlan] = None
+        #: Per-VM (decision signature, plan) cache for the place phase, so
+        #: plan reuse fires on multi-VM rotations too (each VM's slice
+        #: re-plans only when its own decision inputs changed).  Cleared
+        #: whenever a timeline event reshapes the machine.
+        self._plan_cache: Dict[int, Tuple[tuple, MappingPlan]] = {}
+        self._warmup_clamp_cycles = 0
         self._measuring = False
         self._transitions = 0
         self._transition_cycles = 0
@@ -122,7 +183,8 @@ class Simulator:
             if not self._measuring and cycle >= self.options.warmup_cycles:
                 self._reset_measurement_state()
                 self._measuring = True
-            quantum_end = min(end, self.gang.next_boundary(cycle), cycle + self._quantum)
+            self._apply_due_events(cycle)
+            quantum_end = self._quantum_end(cycle, end)
             self._run_quantum(cycle, quantum_end - cycle)
             cycle = quantum_end
 
@@ -146,8 +208,115 @@ class Simulator:
             violation_counts=self._violation_counts(),
             hierarchy_stats=machine.hierarchy.merged_stats().as_dict(),
             quantum_stats=self.quantum_stats.as_dict(),
+            warmup_clamp_cycles=self._warmup_clamp_cycles,
+            timeline_events_applied=self._events_applied,
+            timeline_events_pending=len(self._events) - self._next_event,
+            timeline_stats=dict(sorted(self._timeline_stats.items())),
         )
         return result
+
+    def _quantum_end(self, cycle: int, end: int) -> int:
+        """First cycle after ``cycle`` at which the quantum must stop.
+
+        The quantum is bounded by the end of the run, the gang-scheduling
+        boundary, the configured quantum length, the next pending timeline
+        event (so events apply exactly at their cycle), the end of an active
+        fault-rate burst, and -- while still warming up -- the measurement
+        boundary (the warmup clamp).
+        """
+        bound = min(end, self.gang.next_boundary(cycle), cycle + self._quantum)
+        if self._next_event < len(self._events):
+            pending = self._events[self._next_event].cycle
+            if cycle < pending < bound:
+                bound = pending
+        if self._burst_restore is not None and cycle < self._burst_restore[0] < bound:
+            bound = self._burst_restore[0]
+        warmup = self.options.warmup_cycles
+        if not self._measuring and cycle < warmup < bound:
+            # Clamp the final warmup quantum at the measurement boundary
+            # instead of silently extending warmup into the measured window.
+            self._warmup_clamp_cycles += bound - warmup
+            bound = warmup
+        return bound
+
+    # ------------------------------------------------------------------ #
+    # Timeline event application
+    # ------------------------------------------------------------------ #
+
+    def _apply_due_events(self, cycle: int) -> None:
+        """Apply every event scheduled at or before ``cycle``, in order."""
+        if self._burst_restore is not None and self._burst_restore[0] <= cycle:
+            _, base_rates = self._burst_restore
+            if self.machine.fault_injector is not None:
+                self.machine.fault_injector.rates = base_rates
+            self._burst_restore = None
+        while (
+            self._next_event < len(self._events)
+            and self._events[self._next_event].cycle <= cycle
+        ):
+            event = self._events[self._next_event]
+            self._next_event += 1
+            self._apply_event(event, cycle)
+            self._events_applied += 1
+            self._timeline_stats[event.KIND] = (
+                self._timeline_stats.get(event.KIND, 0) + 1
+            )
+            # The machine changed shape: every cached plan is suspect.
+            self._plan_cache.clear()
+
+    def _apply_event(self, event: TimelineEvent, cycle: int) -> None:
+        machine = self.machine
+        if isinstance(event, CoreFailed):
+            machine.retire_core(event.core_id)
+            # The failed core may sit in the previous plan; there is no
+            # orderly Leave-DMR from a dead core, so the plan is dropped
+            # (the next quantum re-plans and re-pairs around the failure).
+            self._previous_plan = None
+        elif isinstance(event, CoreRepaired):
+            machine.restore_core(event.core_id)
+        elif isinstance(event, VmArrived):
+            machine.admit_vm(event.vm_name)
+            self.gang.set_vm_ids([vm.vm_id for vm in machine.active_vms])
+        elif isinstance(event, VmDeparted):
+            machine.drain_vm(event.vm_name)
+            self.gang.set_vm_ids([vm.vm_id for vm in machine.active_vms])
+        elif isinstance(event, PolicyChanged):
+            # Unlike a core failure, the previous plan's pairs are still
+            # physically intact, so _previous_plan is kept: the Leave-DMR
+            # boundary charge for the slice that already ran must still be
+            # paid.  Re-planning under the new policy happens anyway (the
+            # event cleared the plan cache).
+            machine.set_policy(event.policy)
+        elif isinstance(event, ReliabilityModeChanged):
+            try:
+                mode = ReliabilityMode[event.mode]
+            except KeyError:
+                known = ", ".join(mode.name for mode in ReliabilityMode)
+                raise SimulationError(
+                    f"unknown reliability mode {event.mode!r} (known: {known})"
+                ) from None
+            machine.set_vm_reliability(event.vm_name, mode)
+        elif isinstance(event, FaultRateBurst):
+            injector = machine.fault_injector
+            if injector is not None:
+                # A burst arriving while another is active replaces it: the
+                # rates are always ``base * scale`` of the latest burst.
+                base = (
+                    self._burst_restore[1]
+                    if self._burst_restore is not None
+                    else injector.rates
+                )
+                injector.rates = replace(
+                    base,
+                    execution_result=base.execution_result * event.scale,
+                    store_address=base.store_address * event.scale,
+                    privileged_register=base.privileged_register * event.scale,
+                )
+                self._burst_restore = (cycle + event.duration_cycles, base)
+        else:
+            raise SimulationError(
+                f"the simulator cannot apply timeline event kind {event.KIND!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Functional cache warming
@@ -159,7 +328,9 @@ class Simulator:
         This reproduces steady-state cache/TLB contents without charging any
         simulated cycles, so short measurement windows are not dominated by
         compulsory (first-touch) misses that a real long-running workload
-        would have amortised long ago.
+        would have amortised long ago.  Deferred VMs are warmed too: by the
+        time a ``VmArrived`` event admits one, a real long-running guest
+        would have its steady-state footprint resident as well.
         """
         machine = self.machine
         for vm in machine.vms:
@@ -182,19 +353,71 @@ class Simulator:
                     machine.hierarchy.load(secondary, address, coherent=False)
 
     # ------------------------------------------------------------------ #
-    # Quantum execution
+    # Quantum execution (the five composable phases)
     # ------------------------------------------------------------------ #
 
     def _run_quantum(self, cycle: int, budget: int) -> None:
         machine = self.machine
-        vm = machine.vms[self.gang.vm_at(cycle)]
         machine.hierarchy.begin_window(budget)
+        vm = self._phase_schedule(cycle)
+        plan, reused = self._phase_place(vm)
+        effective_budget = self._phase_transition_charge(vm, plan, cycle, budget)
+        self._phase_execute(vm, plan, effective_budget, cycle)
+        self._phase_account(vm, plan, reused, budget)
+
+    def _phase_schedule(self, cycle: int):
+        """Which active guest VM owns the machine for this quantum."""
+        return self.machine.vms[self.gang.vm_at(cycle)]
+
+    def _plan_signature(self, vm) -> tuple:
+        """Everything the mapping policy's decision depends on.
+
+        When this signature matches the one cached for the VM and no
+        timeline event fired in between (events clear the cache),
+        ``plan_quantum`` would reproduce the same plan -- so the cached one
+        is reused without re-planning.
+        """
+        return (
+            vm.vm_id,
+            self.machine.policy.name,
+            tuple((vcpu.vcpu_id, vcpu.requires_dmr()) for vcpu in vm.vcpus),
+        )
+
+    def _phase_place(self, vm) -> Tuple[MappingPlan, bool]:
+        """Map the VM's VCPUs onto healthy cores (or reuse the VM's last plan)."""
+        machine = self.machine
+        if not machine.policy.stateless_plans or machine.fault_injector is not None:
+            # A stateful policy (e.g. the duty-cycled adaptive policy) must
+            # be consulted every quantum.  Fault-injected machines also
+            # always re-plan: a reused plan would carry its ReunionPair
+            # fingerprint state across quanta, making fault-detection timing
+            # depend on whether the plan cache happened to hit.
+            machine.allocator.reset()
+            return (
+                machine.policy.plan_quantum(
+                    vm.vcpus, machine.allocator, machine.pair_factory
+                ).validate(machine.num_cores, machine.retired_cores),
+                False,
+            )
+        signature = self._plan_signature(vm)
+        cached = self._plan_cache.get(vm.vm_id)
+        if cached is not None and cached[0] == signature:
+            return cached[1], True
         machine.allocator.reset()
         plan = machine.policy.plan_quantum(
             vm.vcpus, machine.allocator, machine.pair_factory
-        ).validate(machine.num_cores)
+        ).validate(machine.num_cores, machine.retired_cores)
+        self._plan_cache[vm.vm_id] = (signature, plan)
+        return plan, False
 
-        vm_switched = self._previous_vm_id is not None and self._previous_vm_id != vm.vm_id
+    def _phase_transition_charge(
+        self, vm, plan: MappingPlan, cycle: int, budget: int
+    ) -> int:
+        """Charge boundary transitions and rewarm on VM switches."""
+        machine = self.machine
+        vm_switched = (
+            self._previous_vm_id is not None and self._previous_vm_id != vm.vm_id
+        )
         transition_cost = 0
         if machine.policy.mixed_mode and vm_switched:
             transition_cost = self._charge_boundary_transition(vm, plan, cycle)
@@ -206,11 +429,21 @@ class Simulator:
             # Amortised-timeslice approximation: the incoming VM's steady-state
             # cache contents are re-established (see SimulationOptions).
             self._warm_vm_plan(plan)
-        effective_budget = max(
-            self.options.minimum_quantum_cycles, budget - transition_cost
+        # The floor keeps boundary transitions from starving a whole quantum,
+        # but must never *grant* cycles: an event-clamped micro-quantum (the
+        # wall budget itself below the floor) executes only its real budget,
+        # otherwise placed VCPUs would commit more work than the clock
+        # advances and event-heavy runs would inflate throughput.
+        return min(
+            budget, max(self.options.minimum_quantum_cycles, budget - transition_cost)
         )
 
-        active_cores = sum(len(p.assignment.cores) for p in plan.placements)
+    def _phase_execute(
+        self, vm, plan: MappingPlan, effective_budget: int, cycle: int
+    ) -> None:
+        """Run every placed VCPU through the core timing model."""
+        machine = self.machine
+        active_cores = plan.cores_in_use
         for placement in plan.placements:
             vcpu = machine.vcpus[placement.vcpu_id]
             if (
@@ -226,11 +459,27 @@ class Simulator:
                     vcpu, placement.assignment, effective_budget, cycle, active_cores
                 )
 
+    def _phase_account(
+        self, vm, plan: MappingPlan, reused: bool, budget: int
+    ) -> None:
+        """Fold the quantum into the machine-wide statistics."""
         self._paused_quanta += len(plan.paused_vcpu_ids)
         self.quantum_stats.add("quanta")
         self.quantum_stats.add("placed_vcpus", len(plan.placements))
         self.quantum_stats.add("paused_vcpus", len(plan.paused_vcpu_ids))
+        if reused:
+            self.quantum_stats.add("plan_reuses")
+        # Utilisation accounting: executing core-cycles vs the machine's
+        # healthy capacity (the consolidation-churn metric).  Weighted by
+        # the quantum's cycle budget -- quanta clamped at events or
+        # boundaries can be much shorter than a full timeslice, and an
+        # unweighted count would overweight the machine state around them.
+        self.quantum_stats.add("core_cycles_used", plan.cores_in_use * budget)
+        self.quantum_stats.add(
+            "core_cycles_capacity", self.machine.num_healthy_cores * budget
+        )
         self._previous_vm_id = vm.vm_id
+        self._previous_vm_reliable = vm.is_reliable
         self._previous_plan = plan
 
     def _run_placement(
@@ -365,13 +614,17 @@ class Simulator:
         """Charge Enter/Leave DMR at a boundary between VMs of different modes."""
         machine = self.machine
         previous_vm = machine.vms[self._previous_vm_id]
+        # The previous slice's reliability as captured when it executed: a
+        # ReliabilityModeChanged event between the slices must not erase (or
+        # invent) the transition cost of the mode the machine actually ran.
+        previous_was_reliable = bool(self._previous_vm_reliable)
         flavor = (
             TransitionFlavor.MMM_TP
             if machine.policy.name == "mmm-tp"
             else TransitionFlavor.MMM_IPC
         )
         costs = []
-        if vm.is_reliable and not previous_vm.is_reliable:
+        if vm.is_reliable and not previous_was_reliable:
             # Entering the reliable VM's timeslice: each new DMR pair performs
             # an Enter-DMR transition (the performance VCPUs that were using
             # the cores are context switched out).
@@ -397,7 +650,7 @@ class Simulator:
                 )
                 costs.append(breakdown.total_cycles)
                 vcpu.record_mode_switch(breakdown.total_cycles)
-        elif previous_vm.is_reliable and not vm.is_reliable:
+        elif previous_was_reliable and not vm.is_reliable:
             # Leaving DMR: the pairs of the previous plan dissolve; the mute
             # cores are flushed (MMM-TP) and the incoming performance VCPUs
             # are context switched in.

@@ -59,6 +59,8 @@ from repro.sim.experiments import (
     FIGURE5_CONFIGS,
     FIGURE6_CONFIGS,
     ExperimentSettings,
+    churn_jobs,
+    degradation_jobs,
     figure5_jobs,
     figure6_jobs,
     pab_jobs,
@@ -79,6 +81,8 @@ __all__ = [
     "experiment_names",
     "register_experiment",
     "jsonify",
+    "parse_count_list",
+    "parse_nonnegative_int",
     "parse_positive_int",
     "parse_rate_list",
     "parse_seed_list",
@@ -158,6 +162,14 @@ def parse_positive_int(value: str) -> int:
     return number
 
 
+def parse_nonnegative_int(value: str) -> int:
+    """Argparse type for counts where 0 is meaningful (e.g. no-churn)."""
+    number = int(value)
+    if number < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return number
+
+
 def parse_seed_list(value: str) -> Tuple[int, ...]:
     """``--seeds`` accepts a comma list ('0,1,2') or a count N (seeds 0..N-1)."""
     try:
@@ -176,6 +188,21 @@ def parse_seed_list(value: str) -> Tuple[int, ...]:
     if not seeds:
         raise argparse.ArgumentTypeError("needs at least one seed")
     return seeds
+
+
+def parse_count_list(value: str) -> Tuple[int, ...]:
+    """A comma list of non-negative integers (e.g. ``--failures 0,2,4``)."""
+    try:
+        counts = tuple(
+            dict.fromkeys(int(part) for part in value.split(",") if part.strip())
+        )
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a comma-separated list of counts like '0,2,4'"
+        ) from None
+    if not counts or any(count < 0 for count in counts):
+        raise argparse.ArgumentTypeError("counts must be non-negative integers")
+    return counts
 
 
 def parse_rate_list(value: str) -> Tuple[float, ...]:
@@ -608,6 +635,99 @@ register_experiment(
         workload_limit=2,
         run_all_group="ablation",
         legacy_entry_points=("run_window_ablation",),
+    )
+)
+
+
+def _degradation_failures(request: SpecRequest) -> Tuple[int, ...]:
+    explicit = request.options.get("failures")
+    if explicit is not None:
+        return tuple(int(failed) for failed in explicit)
+    return tuple(request.settings.degradation_failed_cores)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="degradation",
+        title="graceful degradation: throughput vs surviving cores (timeline-driven)",
+        description=(
+            "Permanent faults retire cores on a mid-run schedule (CoreFailed "
+            "timeline events); throughput and per-thread IPC are reported "
+            "against the surviving-core count."
+        ),
+        grid=lambda request: ParameterGrid.of(
+            ("workload", request.settings.workloads),
+            ("failed_cores", _degradation_failures(request)),
+            ("seed", request.settings.seeds),
+        ),
+        enumerate_jobs=lambda request: degradation_jobs(
+            request.settings, _degradation_failures(request)
+        ),
+        assemble=lambda request, jobs, results: _exp.assemble_degradation(
+            request.settings, _degradation_failures(request), jobs, results
+        ),
+        tables=lambda result: [result.format_table()],
+        options=(
+            SpecOption(
+                name="failures",
+                flag="--failures",
+                parse=parse_count_list,
+                metavar="N1,N2,...",
+                help=(
+                    "failed-core counts to sweep, e.g. '0,2,4,6' "
+                    "(default: the settings' sweep)"
+                ),
+            ),
+        ),
+        workload_limit=2,
+        legacy_entry_points=("run_degradation_experiment",),
+    )
+)
+
+
+def _churn_extra_vms(request: SpecRequest) -> int:
+    # `is not None`, not truthiness: an explicit `extra_vms=0` from the
+    # library wrapper is the no-churn baseline, not "use the default".
+    explicit = request.options.get("extra_vms")
+    if explicit is not None:
+        return int(explicit)
+    return int(request.settings.churn_extra_vms)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="consolidation-churn",
+        title="consolidation churn: VMs arriving/departing mid-run (timeline-driven)",
+        description=(
+            "Deferred burst VMs join and leave the MMM-TP consolidated "
+            "server on a VmArrived/VmDeparted timeline; reports utilisation, "
+            "throughput and transition overhead under churn."
+        ),
+        grid=lambda request: ParameterGrid.of(
+            ("workload", request.settings.workloads),
+            ("seed", request.settings.seeds),
+        ),
+        enumerate_jobs=lambda request: churn_jobs(
+            request.settings, _churn_extra_vms(request)
+        ),
+        assemble=lambda request, jobs, results: _exp.assemble_churn(
+            request.settings, _churn_extra_vms(request), jobs, results
+        ),
+        tables=lambda result: [result.format_table()],
+        options=(
+            SpecOption(
+                name="extra_vms",
+                flag="--extra-vms",
+                parse=parse_nonnegative_int,
+                metavar="N",
+                help=(
+                    "number of burst VMs arriving/departing mid-run; 0 is "
+                    "the no-churn baseline (default: the settings' churn level)"
+                ),
+            ),
+        ),
+        workload_limit=2,
+        legacy_entry_points=("run_consolidation_churn_experiment",),
     )
 )
 

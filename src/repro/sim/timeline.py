@@ -1,0 +1,281 @@
+"""The simulation timeline: ordered mid-run events that reshape the machine.
+
+The paper's central claim is that a mixed-mode multicore *adapts at
+runtime* -- cores are coupled into DMR pairs or released for performance as
+demand and faults dictate.  A :class:`Timeline` is the declarative
+description of such a dynamic scenario: an ordered sequence of
+:class:`TimelineEvent` values, each naming an absolute simulation cycle
+(warmup included) at which the machine changes shape.  The simulator applies
+every event exactly at its cycle by clamping the surrounding quantum at the
+event boundary, so two events inside what would have been one quantum split
+it and an event at cycle 0 reshapes the machine before the first quantum.
+
+Event kinds:
+
+* :class:`CoreFailed` / :class:`CoreRepaired` -- a physical core suffers a
+  permanent fault and is retired from the scheduling pool (its DMR partner,
+  if any, is re-paired by the next quantum's mapping plan), or returns after
+  repair;
+* :class:`VmArrived` / :class:`VmDeparted` -- a guest VM (built with
+  ``present_at_start=False``) is admitted to, or drained from, the gang
+  schedule -- the consolidation-server churn scenario;
+* :class:`PolicyChanged` -- privileged software hot-swaps the VCPU-to-core
+  mapping policy (e.g. ``mmm-ipc`` to ``mmm-tp``);
+* :class:`ReliabilityModeChanged` -- privileged software rewrites a whole
+  VM's per-VCPU reliability registers;
+* :class:`FaultRateBurst` -- the machine's fault-injection rates are scaled
+  by a factor for a bounded number of cycles (a particle-flux burst).
+
+Timelines are plain values: they serialize to a canonical JSON string
+(:meth:`Timeline.to_json`) that the experiment engine folds into the job
+identity, so a cell's cache key changes whenever its event schedule does and
+cached results stay byte-identical across backends and job chunking.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Iterable, List, Tuple, Type
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Timeline",
+    "TimelineEvent",
+    "CoreFailed",
+    "CoreRepaired",
+    "VmArrived",
+    "VmDeparted",
+    "PolicyChanged",
+    "ReliabilityModeChanged",
+    "FaultRateBurst",
+    "EVENT_KINDS",
+]
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """Base of every timeline event: something happens at an absolute cycle.
+
+    ``cycle`` counts from the very start of the run (warmup included), so a
+    scenario can reshape the machine before measurement begins.  Concrete
+    events set :attr:`KIND`, their serialization tag.
+    """
+
+    cycle: int
+
+    #: Serialization tag; also the key of the per-kind counters reported in
+    #: :attr:`repro.sim.results.SimulationResult.timeline_stats`.
+    KIND = "abstract"
+
+    def validate(self) -> "TimelineEvent":
+        """Check the event is well formed; return ``self``."""
+        if self.cycle < 0:
+            raise SimulationError(f"{self.KIND} event scheduled before cycle 0")
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe description (``kind`` plus the event's own fields)."""
+        payload: Dict[str, object] = {"kind": self.KIND}
+        payload.update(asdict(self))
+        return payload
+
+
+@dataclass(frozen=True)
+class CoreFailed(TimelineEvent):
+    """A permanent fault retires one physical core from the pool."""
+
+    core_id: int = 0
+    KIND = "core-failed"
+
+
+@dataclass(frozen=True)
+class CoreRepaired(TimelineEvent):
+    """A previously failed core returns to the scheduling pool."""
+
+    core_id: int = 0
+    KIND = "core-repaired"
+
+
+@dataclass(frozen=True)
+class VmArrived(TimelineEvent):
+    """A deferred guest VM is admitted to the gang schedule.
+
+    The VM must have been built into the machine with
+    ``present_at_start=False``; the event names it by its spec name.
+    """
+
+    vm_name: str = ""
+    KIND = "vm-arrived"
+
+
+@dataclass(frozen=True)
+class VmDeparted(TimelineEvent):
+    """An active guest VM is drained from the gang schedule."""
+
+    vm_name: str = ""
+    KIND = "vm-departed"
+
+
+@dataclass(frozen=True)
+class PolicyChanged(TimelineEvent):
+    """Privileged software swaps the VCPU-to-core mapping policy."""
+
+    policy: str = ""
+    KIND = "policy-changed"
+
+
+@dataclass(frozen=True)
+class ReliabilityModeChanged(TimelineEvent):
+    """One VM's per-VCPU reliability registers are rewritten.
+
+    ``mode`` is a :class:`repro.virt.vcpu.ReliabilityMode` member name
+    (``RELIABLE``, ``PERFORMANCE``, ``PERFORMANCE_USER_ONLY``).
+    """
+
+    vm_name: str = ""
+    mode: str = "RELIABLE"
+    KIND = "reliability-mode-changed"
+
+
+@dataclass(frozen=True)
+class FaultRateBurst(TimelineEvent):
+    """Scale the machine's fault-injection rates for a bounded window.
+
+    The injector's rates are multiplied by ``scale`` at :attr:`cycle` and
+    restored ``duration_cycles`` later.  A burst arriving while another is
+    active replaces it (the rates are always ``base * scale`` of the most
+    recent burst).  On a machine without a fault injector the event is
+    counted but has no effect.
+    """
+
+    scale: float = 1.0
+    duration_cycles: int = 0
+    KIND = "fault-rate-burst"
+
+    def validate(self) -> "FaultRateBurst":
+        super().validate()
+        if self.scale <= 0.0:
+            raise SimulationError("fault-rate-burst scale must be positive")
+        if self.duration_cycles <= 0:
+            raise SimulationError("fault-rate-burst duration must be positive")
+        return self
+
+
+#: Serialization tag to event class, for :meth:`Timeline.from_json`.
+EVENT_KINDS: Dict[str, Type[TimelineEvent]] = {
+    cls.KIND: cls
+    for cls in (
+        CoreFailed,
+        CoreRepaired,
+        VmArrived,
+        VmDeparted,
+        PolicyChanged,
+        ReliabilityModeChanged,
+        FaultRateBurst,
+    )
+}
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """An ordered schedule of mid-run machine reshapes.
+
+    Events are processed in cycle order; events sharing a cycle apply in the
+    order given, which makes every scenario fully deterministic.  The event
+    tuple is normalised at construction (stably sorted by cycle), so two
+    timelines describing the same schedule compare equal and serialize to
+    the same canonical JSON -- which is what the job cache key digests.
+    """
+
+    events: Tuple[TimelineEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Stable sort: same-cycle events keep their given relative order.
+        object.__setattr__(
+            self,
+            "events",
+            tuple(sorted(self.events, key=lambda event: event.cycle)),
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def validate(self) -> "Timeline":
+        """Validate every event; return ``self``."""
+        for event in self.events:
+            event.validate()
+        return self
+
+    def sorted_events(self) -> List[TimelineEvent]:
+        """The events in processing order (by cycle, ties in given order)."""
+        return list(self.events)
+
+    @classmethod
+    def of(cls, *events: TimelineEvent) -> "Timeline":
+        """Build (and validate) a timeline from the given events."""
+        return cls(events=tuple(events)).validate()
+
+    # ------------------------------------------------------------------ #
+    # Canonical serialization (what the job identity digests)
+    # ------------------------------------------------------------------ #
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Every event as a JSON-safe dict, in the timeline's order."""
+        return [event.to_dict() for event in self.events]
+
+    def to_json(self) -> str:
+        """Canonical JSON form: compact separators, sorted keys.
+
+        Two timelines describing the same schedule serialize identically, so
+        the experiment engine can fold this string into a job's cache key.
+        """
+        return json.dumps(self.to_dicts(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Timeline":
+        """Parse a timeline serialized by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise SimulationError(f"malformed timeline JSON: {exc}") from None
+        if not isinstance(payload, list):
+            raise SimulationError("a serialized timeline must be a JSON list")
+        return cls.from_dicts(payload)
+
+    @classmethod
+    def from_dicts(cls, payload: Iterable[Dict[str, object]]) -> "Timeline":
+        """Rebuild a timeline from :meth:`to_dicts` output."""
+        events: List[TimelineEvent] = []
+        for entry in payload:
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise SimulationError(f"malformed timeline event: {entry!r}")
+            kind = entry["kind"]
+            try:
+                event_class = EVENT_KINDS[kind]
+            except KeyError:
+                known = ", ".join(sorted(EVENT_KINDS))
+                raise SimulationError(
+                    f"unknown timeline event kind {kind!r} (known kinds: {known})"
+                ) from None
+            names = {f.name for f in fields(event_class)}
+            given = set(entry) - {"kind"}
+            # Strict field checking: a misspelled or omitted field must not
+            # silently fall back to a default and run a different scenario.
+            unknown = sorted(given - names)
+            if unknown:
+                raise SimulationError(
+                    f"{kind} event has unknown field(s) {', '.join(unknown)} "
+                    f"(expected: {', '.join(sorted(names))})"
+                )
+            missing = sorted(names - given)
+            if missing:
+                raise SimulationError(
+                    f"{kind} event is missing field(s) {', '.join(missing)}"
+                )
+            events.append(event_class(**{name: entry[name] for name in names}))
+        return cls(events=tuple(events)).validate()

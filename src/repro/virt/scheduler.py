@@ -18,7 +18,7 @@ mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.cpu.core import PhysicalCore
 from repro.cpu.timing import CoreAssignment
@@ -53,8 +53,10 @@ class MappingPlan:
     placements: List[VcpuPlacement] = field(default_factory=list)
     paused_vcpu_ids: List[int] = field(default_factory=list)
 
-    def validate(self, num_cores: int) -> "MappingPlan":
-        """Check no physical core is used twice; return ``self``."""
+    def validate(
+        self, num_cores: int, retired_cores: FrozenSet[int] = frozenset()
+    ) -> "MappingPlan":
+        """Check no physical core is used twice (or retired); return ``self``."""
         used: set[int] = set()
         for placement in self.placements:
             for core in placement.occupied_cores:
@@ -64,6 +66,10 @@ class MappingPlan:
                     )
                 if not 0 <= core < num_cores:
                     raise SchedulingError(f"core {core} does not exist on this chip")
+                if core in retired_cores:
+                    raise SchedulingError(
+                        f"core {core} is retired (failed) and cannot be scheduled"
+                    )
                 used.add(core)
         return self
 
@@ -79,10 +85,18 @@ class MappingPlan:
 
 
 class CoreAllocator:
-    """Tracks which physical cores are free during plan construction."""
+    """Tracks which physical cores are free during plan construction.
+
+    The allocator also owns the machine's *retired-core* set: cores taken
+    out by a permanent fault (:meth:`retire`) leave the free pool until a
+    repair restores them (:meth:`restore`), so the mapping policies -- which
+    only ever see the free list -- transparently re-pair DMR partners around
+    the failure at the next quantum.
+    """
 
     def __init__(self, cores: Sequence[PhysicalCore]) -> None:
         self.cores = list(cores)
+        self._retired: Set[int] = set()
         self._free: List[int] = [core.core_id for core in self.cores]
 
     @property
@@ -95,12 +109,40 @@ class CoreAllocator:
         """Cores still available in the current allocation round."""
         return len(self._free)
 
+    @property
+    def retired_cores(self) -> FrozenSet[int]:
+        """Cores currently retired by permanent faults."""
+        return frozenset(self._retired)
+
+    @property
+    def num_healthy_cores(self) -> int:
+        """Cores that are not retired (the machine's current capacity)."""
+        return len(self.cores) - len(self._retired)
+
+    def retire(self, core_id: int) -> None:
+        """Permanently remove one core from the pool (a core failure)."""
+        if not 0 <= core_id < len(self.cores):
+            raise SchedulingError(f"cannot retire core {core_id}: no such core")
+        if core_id in self._retired:
+            raise SchedulingError(f"core {core_id} is already retired")
+        self._retired.add(core_id)
+        if core_id in self._free:
+            self._free.remove(core_id)
+
+    def restore(self, core_id: int) -> None:
+        """Return a previously retired core to the pool (a repair)."""
+        if core_id not in self._retired:
+            raise SchedulingError(f"cannot restore core {core_id}: it is not retired")
+        self._retired.remove(core_id)
+
     def reset(self) -> None:
-        """Return every core to the free pool (start of a new quantum)."""
+        """Return every healthy core to the free pool (start of a quantum)."""
         for core in self.cores:
             if not core.is_idle:
                 core.release()
-        self._free = [core.core_id for core in self.cores]
+        self._free = [
+            core.core_id for core in self.cores if core.core_id not in self._retired
+        ]
 
     def allocate_single(self) -> Optional[int]:
         """Take one free core (or ``None`` when none remain)."""
@@ -123,7 +165,14 @@ class CoreAllocator:
 
 
 class GangScheduler:
-    """Round-robin gang scheduling of guest VMs with a fixed timeslice."""
+    """Round-robin gang scheduling of guest VMs with a fixed timeslice.
+
+    Membership is dynamic: :meth:`set_vm_ids` replaces the rotation when a
+    guest VM arrives or departs mid-run (the consolidation-churn scenarios).
+    The schedule is a pure function of the cycle and the *current* rotation,
+    so a membership change deterministically redirects every timeslice from
+    the change onward and leaves the past untouched.
+    """
 
     def __init__(self, vm_ids: Sequence[int], timeslice_cycles: int) -> None:
         if not vm_ids:
@@ -132,6 +181,12 @@ class GangScheduler:
             raise SchedulingError("timeslice must be positive")
         self.vm_ids = list(vm_ids)
         self.timeslice_cycles = timeslice_cycles
+
+    def set_vm_ids(self, vm_ids: Sequence[int]) -> None:
+        """Replace the scheduled VM rotation (arrival/departure of a guest)."""
+        if not vm_ids:
+            raise SchedulingError("gang scheduler needs at least one VM")
+        self.vm_ids = list(vm_ids)
 
     def vm_at(self, cycle: int) -> int:
         """VM scheduled on the machine at absolute ``cycle``."""

@@ -27,6 +27,12 @@ class GuestVM:
     reliability: ReliabilityMode
     workload_name: str
     vcpus: List[VirtualCPU] = field(default_factory=list)
+    #: Whether the VM currently participates in the gang schedule.  Deferred
+    #: VMs (``VmSpec.present_at_start=False``) start inactive and are
+    #: admitted by a ``VmArrived`` timeline event; ``VmDeparted`` drains an
+    #: active VM.  An inactive VM keeps its VCPUs and their accumulated
+    #: counters -- work done before a departure stays in the results.
+    active: bool = True
 
     def add_vcpu(self, vcpu: VirtualCPU) -> None:
         """Attach a VCPU to this VM (it inherits the VM's reliability mode)."""

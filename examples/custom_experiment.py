@@ -3,12 +3,16 @@
 
 The experiment layer is driven by the central ``EXPERIMENTS`` registry of
 :mod:`repro.sim.specs`: an experiment is a spec object declaring its
-parameter grid, how grid points become engine jobs, and how the returned
-metrics assemble into a result.  Registering one makes it a first-class
+parameter grid, how grid points become engine jobs, and -- since the frame
+redesign -- a ``MetricSchema`` naming its key axes and typed metric
+columns.  Everything else is generated: the generic assembler folds the
+runner's metrics into a ``ResultFrame`` (aggregating over seeds with 95%
+confidence intervals), and ``to_table`` / ``to_json`` / ``to_csv`` render
+straight from the schema.  Registering the spec makes it a first-class
 citizen everywhere -- it gains a CLI subcommand (``repro timeslice-sweep``)
 with the engine flags for free, shows up in ``repro list``, rides the
-``run-all`` batch (its tables land in the combined report), and its cells
-are cached and fanned out like every built-in experiment.
+``run-all`` batch, and its frame participates in ``repro export`` and
+``repro diff`` baselines.
 
 This example registers a *timeslice sweep*: how the consolidated server's
 overall throughput under MMM-TP responds to the gang-scheduling timeslice.
@@ -24,16 +28,15 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.analysis.tables import TextTable
-from repro.common.stats import mean
 from repro.sim.experiments import ExperimentSettings
+from repro.sim.frames import FrameView, MetricColumn, MetricSchema
 from repro.sim.jobs import ExperimentJob
 from repro.sim.runner import ExperimentRunner
 from repro.sim.specs import ExperimentSpec, ParameterGrid, register_experiment
 
 TIMESLICES = (10_000, 25_000, 50_000)
 
-# --- the ~30 lines: grid, jobs, assembly, registration -------------------
+# --- the ~30 lines: grid, jobs, schema, registration ---------------------
 
 
 def timeslice_jobs(request):
@@ -42,25 +45,27 @@ def timeslice_jobs(request):
         ExperimentJob(
             kind="figure6", workload="apache", variant="mmm-tp", seed=seed,
             settings=replace(base, timeslice_cycles=timeslice),
+            # The swept axis rides in the job params, so the spec's schema
+            # key ("timeslice") resolves straight off the job.
+            params=(("timeslice", timeslice),),
         )
         for timeslice in TIMESLICES
         for seed in request.settings.seeds
     ]
 
 
-def assemble_timeslices(request, jobs, results):
-    table = TextTable(
-        ["timeslice (cycles)", "overall throughput"],
-        title="Overall MMM-TP throughput vs gang-scheduling timeslice (apache)",
-    )
-    for timeslice in TIMESLICES:
-        samples = [
-            results[job]["overall_throughput"]
-            for job in jobs
-            if job.settings.timeslice_cycles == timeslice
-        ]
-        table.add_row([timeslice, mean(samples)])
-    return table.render()
+SCHEMA = MetricSchema(
+    keys=("timeslice",),
+    metrics=(
+        MetricColumn("overall_throughput", unit="instr/cycle", label="overall throughput"),
+    ),
+    views=(
+        FrameView(
+            title="Overall MMM-TP throughput vs gang-scheduling timeslice (apache)",
+            metrics=("overall_throughput",),
+        ),
+    ),
+)
 
 
 SPEC = register_experiment(
@@ -71,8 +76,7 @@ SPEC = register_experiment(
             ("timeslice", TIMESLICES), ("seed", request.settings.seeds)
         ),
         enumerate_jobs=timeslice_jobs,
-        assemble=assemble_timeslices,
-        tables=lambda result: [result],
+        schema=lambda request: SCHEMA,
     )
 )
 
@@ -82,9 +86,11 @@ SPEC = register_experiment(
 def main() -> None:
     runner = ExperimentRunner(jobs=4)
     settings = ExperimentSettings.quick().with_seeds((0, 1, 2))
-    result = SPEC.run(settings, runner=runner)
-    print(SPEC.to_table(result))
+    frame = SPEC.run(settings, runner=runner)
+    print(SPEC.to_table(frame))
     print()
+    print("as CSV:")
+    print(SPEC.to_csv(frame))
     print(f"grid: {SPEC.grid(SPEC.request(settings)).describe()}")
     print(f"engine: {runner.stats.summary()}")
 

@@ -12,9 +12,17 @@ Three groups of subcommands:
   ``report`` / ``run-all`` which run every registered spec as one batch.
   Registering a new spec adds its subcommand, flags and help text with no
   CLI change;
+* results plumbing: every spec's results are a schema-driven
+  ``ResultFrame`` (:mod:`repro.sim.frames`); ``run-all --json`` writes the
+  canonical multi-frame document (settings embedded), ``repro export
+  --format csv|json`` exports frames for downstream analysis, and ``repro
+  diff <baseline.json>`` re-runs a baseline's evaluation and exits non-zero
+  on metric drift beyond ``--rtol``/``--atol`` -- the regression check CI
+  runs against a committed baseline;
 * housekeeping: ``list`` prints the spec registry, ``list-workloads`` the
   calibrated workload profiles, and ``cache stats`` / ``cache clear`` inspect
-  and prune the on-disk result cache.
+  and prune the on-disk result cache (including the cache schema-version
+  breakdown after a format bump).
 
 The experiment subcommands share the experiment-engine flags: ``--jobs N``
 fans the experiment cells out over N workers, ``--backend`` picks the
@@ -33,6 +41,9 @@ Examples::
     python -m repro figure6 --workloads apache oltp --jobs 4
     python -m repro faults --trials 200 --seeds 8 --jobs 4
     python -m repro run-all --quick --jobs 4 --backend thread
+    python -m repro run-all --quick --json > baseline.json
+    python -m repro diff baseline.json
+    python -m repro export --format csv --experiments figure5
     python -m repro cache stats
 """
 
@@ -47,9 +58,17 @@ from repro.analysis.tables import TextTable
 from repro.config.presets import evaluation_system_config
 from repro.core.mmm import MixedModeMulticore
 from repro.core.policies import available_policies
-from repro.sim.experiments import ExperimentSettings
+from repro.errors import ExperimentError
+from repro.sim.experiments import ExperimentSettings, collect_frames, run_all_experiments
+from repro.sim.frames import (
+    diff_documents,
+    document_frames,
+    frames_document,
+    frames_to_csv,
+)
 from repro.sim.reporting import full_report
 from repro.sim.runner import (
+    CacheKindStats,
     ExperimentRunner,
     ResultCache,
     default_cache_dir,
@@ -75,12 +94,18 @@ def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
     )
 
 
-def _print_engine_stats(runner: ExperimentRunner) -> None:
-    """One-line account of how the batch was served (cache effectiveness)."""
-    print()
+def _print_engine_stats(runner: ExperimentRunner, to_stderr: bool = False) -> None:
+    """One-line account of how the batch was served (cache effectiveness).
+
+    Machine-readable invocations (``--json``, ``export``, ``diff``) route
+    the line to stderr so stdout stays a clean document for redirection.
+    """
+    stream = sys.stderr if to_stderr else sys.stdout
+    print(file=stream)
     print(
         f"experiment engine: {runner.stats.summary()} "
-        f"(backend: {runner.backend.name}, workers: {runner.jobs})"
+        f"(backend: {runner.backend.name}, workers: {runner.jobs})",
+        file=stream,
     )
 
 
@@ -116,7 +141,9 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_sweep_arguments(
-    parser: argparse.ArgumentParser, spec: Optional[ExperimentSpec] = None
+    parser: argparse.ArgumentParser,
+    spec: Optional[ExperimentSpec] = None,
+    json_flag: bool = True,
 ) -> None:
     """The settings-sweep flags (from spec metadata when one is given)."""
     if spec is None or spec.takes_workloads:
@@ -143,13 +170,19 @@ def _add_sweep_arguments(
         ),
     )
     _add_engine_arguments(parser)
-    # --json is the per-spec uniform document; the aggregate report/run-all
-    # commands render text only, so they do not offer the flag.
-    if spec is not None:
+    # --json prints the machine-readable document: the spec's uniform
+    # document on a spec subcommand, the canonical multi-frame results
+    # document (the `repro diff` baseline format) on report/run-all.
+    # `repro export` has --format instead, so it opts out.
+    if json_flag:
         parser.add_argument(
             "--json",
             action="store_true",
-            help="print the spec's uniform JSON document instead of tables",
+            help=(
+                "print the spec's uniform JSON document instead of tables"
+                if spec is not None
+                else "print the canonical results document (a `repro diff` baseline)"
+            ),
         )
 
 
@@ -196,7 +229,7 @@ def _run_spec(spec: ExperimentSpec, args: argparse.Namespace) -> int:
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print(spec.to_table(result))
-    _print_engine_stats(runner)
+    _print_engine_stats(runner, to_stderr=args.json)
     return 0
 
 
@@ -268,16 +301,26 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         print(f"result cache at {cache.directory}: no entries")
         return 0
     table = TextTable(
-        ["kind", "entries", "size"], title=f"Result cache at {cache.directory}"
+        ["kind", "entries", "size", "versions"],
+        title=f"Result cache at {cache.directory}",
     )
-    total_entries = total_bytes = 0
+    total = CacheKindStats(kind="total")
     for kind_stats in stats.values():
         table.add_row(
-            [kind_stats.kind, kind_stats.entries, _human_bytes(kind_stats.bytes)]
+            [
+                kind_stats.kind,
+                kind_stats.entries,
+                _human_bytes(kind_stats.bytes),
+                kind_stats.version_summary(),
+            ]
         )
-        total_entries += kind_stats.entries
-        total_bytes += kind_stats.bytes
-    table.add_row(["total", total_entries, _human_bytes(total_bytes)])
+        total.entries += kind_stats.entries
+        total.bytes += kind_stats.bytes
+        for version, count in kind_stats.versions.items():
+            total.versions[version] = total.versions.get(version, 0) + count
+    table.add_row(
+        [total.kind, total.entries, _human_bytes(total.bytes), total.version_summary()]
+    )
     print(table.render())
     return 0
 
@@ -336,6 +379,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     runner = _runner_from_args(args)
+    if args.json:
+        # The canonical results document: frames keyed by experiment, with
+        # the settings embedded so `repro diff <file>` can re-run it.
+        everything = run_all_experiments(
+            _settings_from_args(args),
+            runner=runner,
+            include_switching=not args.skip_switching,
+            include_ablation=not args.skip_ablation,
+            include_faults=not args.skip_faults,
+        )
+        print(json.dumps(everything.to_document(), indent=2, sort_keys=True))
+        _print_engine_stats(runner, to_stderr=True)
+        return 0
     print(
         full_report(
             _settings_from_args(args),
@@ -346,6 +402,129 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
     )
     _print_engine_stats(runner)
+    return 0
+
+
+def _frame_names_from_args(args: argparse.Namespace) -> list:
+    """The spec names an export covers: ``--experiments`` or the run-all set."""
+    if getattr(args, "experiments", None):
+        unknown = [name for name in args.experiments if name not in EXPERIMENTS]
+        if unknown:
+            raise ExperimentError(
+                f"unknown experiments {unknown} (see `repro list`)"
+            )
+        return list(args.experiments)
+    skipped = {
+        "switching": getattr(args, "skip_switching", False),
+        "ablation": getattr(args, "skip_ablation", False),
+        "faults": getattr(args, "skip_faults", False),
+    }
+    return [
+        name
+        for name, spec in EXPERIMENTS.items()
+        if spec.schema is not None
+        and not (spec.run_all_group is not None and skipped.get(spec.run_all_group))
+    ]
+
+
+def _write_output(text: str, output: Optional[str]) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    """Run the selected experiments (warm-cache friendly) and export frames."""
+    runner = _runner_from_args(args)
+    try:
+        names = _frame_names_from_args(args)
+        frames = collect_frames(_settings_from_args(args), names, runner=runner)
+    except ExperimentError as error:
+        print(f"cannot export: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        from dataclasses import asdict
+
+        document = frames_document(frames, settings=asdict(_settings_from_args(args)))
+        text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    elif len(frames) == 1:
+        # A single experiment exports in its schema's wide CSV shape...
+        (frame,) = frames.values()
+        text = frame.to_csv()
+    else:
+        # ...while a mixed export uses the uniform tidy (long) shape.
+        text = frames_to_csv(frames)
+    _write_output(text, args.output)
+    _print_engine_stats(runner, to_stderr=True)
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Re-run a baseline document's evaluation and compare within tolerance."""
+    runner = _runner_from_args(args)
+    try:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"cannot read baseline {args.baseline!r}: {error}", file=sys.stderr)
+        return 2
+    try:
+        baseline = document_frames(payload)
+    except ExperimentError as error:
+        print(f"not a results document: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        settings = ExperimentSettings.from_dict(payload.get("settings") or {})
+    except (ExperimentError, TypeError, ValueError) as error:
+        print(f"baseline has malformed settings: {error}", file=sys.stderr)
+        return 2
+
+    # The baseline's frames define the comparison scope (partial baselines,
+    # e.g. from `repro export --experiments`, are legitimate).  A baseline
+    # frame this build can no longer reproduce -- its spec was deleted,
+    # renamed or lost its schema -- is therefore *drift*, not a skip:
+    # silently passing would let a vanished experiment through the gate.
+    from repro.sim.frames import FrameDrift
+
+    drifts = []
+    known = []
+    for name in baseline:
+        spec = EXPERIMENTS.get(name)
+        if spec is None or spec.schema is None:
+            drifts.append(
+                FrameDrift(
+                    frame=name,
+                    kind="missing-frame",
+                    detail="baseline experiment has no registered schema spec",
+                )
+            )
+        else:
+            known.append(name)
+    try:
+        current = collect_frames(settings, known, runner=runner)
+    except (ExperimentError, TypeError, ValueError) as error:
+        print(f"cannot re-run baseline evaluation: {error}", file=sys.stderr)
+        return 2
+    drifts += diff_documents(
+        {name: baseline[name] for name in known},
+        current,
+        rel_tol=args.rtol,
+        abs_tol=args.atol,
+    )
+    if drifts:
+        print(f"results drifted from {args.baseline} ({len(drifts)} difference(s)):")
+        for drift in drifts:
+            print(f"  {drift}")
+        _print_engine_stats(runner, to_stderr=True)
+        return 1
+    print(
+        f"results match {args.baseline} "
+        f"({len(known)} frame(s), rtol={args.rtol:g}, atol={args.atol:g})"
+    )
+    _print_engine_stats(runner, to_stderr=True)
     return 0
 
 
@@ -404,6 +583,63 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--skip-ablation", action="store_true")
         sub.add_argument("--skip-faults", action="store_true")
         sub.set_defaults(handler=_cmd_report)
+
+    export_parser = subparsers.add_parser(
+        "export",
+        help="run experiments and export their result frames as CSV or JSON",
+    )
+    _add_sweep_arguments(export_parser, json_flag=False)
+    export_parser.add_argument(
+        "--format",
+        choices=("csv", "json"),
+        default="json",
+        help="export format (default: json, the canonical frames document)",
+    )
+    export_parser.add_argument(
+        "--experiments",
+        nargs="+",
+        metavar="NAME",
+        help="restrict the export to these registered specs (default: the run-all set)",
+    )
+    export_parser.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="FILE",
+        help="write to FILE instead of stdout",
+    )
+    export_parser.add_argument("--skip-switching", action="store_true")
+    export_parser.add_argument("--skip-ablation", action="store_true")
+    export_parser.add_argument("--skip-faults", action="store_true")
+    export_parser.set_defaults(handler=_cmd_export)
+
+    diff_parser = subparsers.add_parser(
+        "diff",
+        help=(
+            "re-run a baseline results document (repro run-all --json) and "
+            "fail on metric drift"
+        ),
+    )
+    diff_parser.add_argument(
+        "baseline",
+        help="baseline document written by `repro run-all --json` or `repro export`",
+    )
+    diff_parser.add_argument(
+        "--rtol",
+        type=float,
+        default=1e-9,
+        metavar="R",
+        help="relative tolerance for numeric comparisons (default: 1e-9)",
+    )
+    diff_parser.add_argument(
+        "--atol",
+        type=float,
+        default=1e-12,
+        metavar="A",
+        help="absolute tolerance for numeric comparisons (default: 1e-12)",
+    )
+    _add_engine_arguments(diff_parser)
+    diff_parser.set_defaults(handler=_cmd_diff)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or prune the on-disk result cache"

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, Iterable, Mapping
 
 
@@ -33,6 +34,12 @@ class ConfidenceInterval:
         return self.mean + self.half_width
 
     def __str__(self) -> str:
+        # A half-width of 0 from n<=1 is not "no spread" but "no spread
+        # *estimate*"; say so instead of printing a misleading "± 0".
+        if self.count == 0:
+            return "(no data)"
+        if self.count == 1:
+            return f"{self.mean:.4g} (single seed)"
         return f"{self.mean:.4g} ± {self.half_width:.2g} (n={self.count})"
 
 
@@ -54,8 +61,14 @@ _T_TABLE = {
 }
 
 
+@lru_cache(maxsize=None)
 def _t_quantile(dof: int) -> float:
-    """Approximate two-sided 95% t quantile for ``dof`` degrees of freedom."""
+    """Approximate two-sided 95% t quantile for ``dof`` degrees of freedom.
+
+    Memoized: the frame assembler calls this once per aggregated cell, and
+    the sweep sizes mean the same handful of dof values repeat thousands of
+    times (the cache is bounded by the number of distinct sample counts).
+    """
     if dof <= 0:
         return 0.0
     if dof in _T_TABLE:

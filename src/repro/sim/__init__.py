@@ -3,6 +3,9 @@
 * :mod:`repro.sim.simulator` -- the event-driven, quantum-based simulation loop,
 * :mod:`repro.sim.timeline` -- mid-run machine-reshaping event schedules,
 * :mod:`repro.sim.results` -- result containers and metrics,
+* :mod:`repro.sim.frames` -- the schema-driven typed results layer
+  (``MetricSchema`` + ``ResultFrame``: generated rendering, export and
+  baseline diffing),
 * :mod:`repro.sim.settings` -- the shared experiment settings value,
 * :mod:`repro.sim.jobs` -- the picklable per-cell job model,
 * :mod:`repro.sim.runner` -- pluggable-backend job execution with caching,
@@ -12,6 +15,17 @@
 * :mod:`repro.sim.reporting` -- plain-text rendering of the results.
 """
 
+from repro.sim.frames import (
+    FrameView,
+    MetricColumn,
+    MetricSchema,
+    ResultFrame,
+    diff_documents,
+    diff_frames,
+    document_frames,
+    frames_document,
+    frames_to_csv,
+)
 from repro.sim.jobs import ExperimentJob, execute_job
 from repro.sim.results import SimulationResult, VmResult
 from repro.sim.runner import (
@@ -54,6 +68,15 @@ from repro.sim.timeline import (
 )
 
 __all__ = [
+    "MetricSchema",
+    "MetricColumn",
+    "FrameView",
+    "ResultFrame",
+    "diff_frames",
+    "diff_documents",
+    "frames_document",
+    "document_frames",
+    "frames_to_csv",
     "Timeline",
     "TimelineEvent",
     "CoreFailed",

@@ -1,9 +1,9 @@
-"""Per-figure / per-table experiment entry points.
+"""Per-figure / per-table experiment entry points and legacy result views.
 
 Every table and figure of the paper's evaluation (Section 5) has one function
-here that enumerates the relevant simulation cells, runs them through the
-experiment engine, and returns a structured result object with the same
-rows/series the paper reports:
+here that runs the corresponding :class:`~repro.sim.specs.ExperimentSpec`
+and returns a structured result object with the same rows/series the paper
+reports:
 
 ======================  =====================================================
 Paper artefact          Entry point
@@ -25,20 +25,21 @@ All experiments share :class:`ExperimentSettings` (see
 capacity/footprint scale factor so that the whole evaluation completes on a
 laptop while preserving the relative behaviour the paper reports.
 
-Every experiment here is *declared* as an :class:`~repro.sim.specs.ExperimentSpec`
-in the central registry of :mod:`repro.sim.specs`; the ``run_*`` functions
-are thin, signature-compatible wrappers over :meth:`ExperimentSpec.run`.
-This module keeps the domain pieces the specs are built from: the job
-enumerators (``*_jobs``), the assembly steps (``assemble_*``) that fold the
-runner's metrics into the result dataclasses below, and the dataclasses
-themselves.  :func:`run_all_experiments` iterates the registry and
-enumerates *every* spec's cells into one batch, which is what lets a
-multi-worker runner overlap all of them.
+Since the frame redesign, the single source of aggregation is the
+schema-driven :class:`~repro.sim.frames.ResultFrame`: each spec declares a
+:class:`~repro.sim.frames.MetricSchema` and running it yields a frame.  The
+dataclasses in this module are *views* over those frames -- they keep the
+familiar per-row attribute access and the paper-shaped ``format_*`` tables,
+but no longer aggregate anything themselves.  This module keeps the domain
+pieces the specs are built from (the job enumerators and timeline builders)
+plus the view constructors; :func:`run_all_experiments` iterates the
+``EXPERIMENTS`` registry, enumerates *every* spec's cells into one batch,
+and returns one frame per spec.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.metrics import normalize_to, percent_change
@@ -54,6 +55,7 @@ from repro.faults.campaign import (
 )
 from repro.faults.cells import assemble_campaign_reports, fault_campaign_jobs
 from repro.faults.outcomes import CoverageReport
+from repro.sim.frames import ResultFrame, frames_document
 from repro.sim.jobs import (
     ABLATION_VARIANTS,
     FIGURE5_CONFIGS,
@@ -106,16 +108,9 @@ __all__ = [
     "churn_timeline",
     "churn_jobs",
     "fault_campaign_jobs",
-    "assemble_figure5",
-    "assemble_figure6",
-    "assemble_pab",
-    "assemble_table1",
-    "assemble_table2",
-    "assemble_ablation",
-    "assemble_degradation",
-    "assemble_churn",
     "assemble_fault_coverage",
     "combine_single_os",
+    "collect_frames",
     "run_dmr_overhead_experiment",
     "run_mixed_mode_experiment",
     "run_pab_latency_study",
@@ -161,10 +156,33 @@ class DmrOverheadRow:
 
 @dataclass
 class DmrOverheadResult:
-    """Figure 5(a) and 5(b) of the paper."""
+    """Figure 5(a) and 5(b) of the paper (a view over the ``figure5`` frame)."""
 
     settings: ExperimentSettings
     rows: List[DmrOverheadRow] = field(default_factory=list)
+
+    @classmethod
+    def from_frame(
+        cls, settings: ExperimentSettings, frame: ResultFrame
+    ) -> "DmrOverheadResult":
+        """Re-shape the schema-assembled frame into the legacy row view."""
+        result = cls(settings=settings)
+        configurations = frame.axis_values("configuration")
+        for workload in frame.axis_values("workload"):
+            result.rows.append(
+                DmrOverheadRow(
+                    workload=str(workload),
+                    per_thread_ipc={
+                        str(c): frame.value("user_ipc", workload=workload, configuration=c)
+                        for c in configurations
+                    },
+                    throughput={
+                        str(c): frame.value("throughput", workload=workload, configuration=c)
+                        for c in configurations
+                    },
+                )
+            )
+        return result
 
     def row(self, workload: str) -> DmrOverheadRow:
         """Row for one workload."""
@@ -210,47 +228,18 @@ def figure5_jobs(settings: ExperimentSettings) -> List[ExperimentJob]:
     ]
 
 
-def assemble_figure5(
-    settings: ExperimentSettings, results: JobResults
-) -> DmrOverheadResult:
-    cell = settings.cell_settings()
-    result = DmrOverheadResult(settings=settings)
-    for workload in settings.workloads:
-        ipc: Dict[str, ConfidenceInterval] = {}
-        throughput: Dict[str, ConfidenceInterval] = {}
-        for configuration in FIGURE5_CONFIGS:
-            samples = [
-                results[
-                    ExperimentJob(
-                        kind="figure5", workload=workload, variant=configuration,
-                        seed=seed, settings=cell,
-                    )
-                ]
-                for seed in settings.seeds
-            ]
-            ipc[configuration] = confidence_interval_95(
-                [sample["user_ipc"] for sample in samples]
-            )
-            throughput[configuration] = confidence_interval_95(
-                [sample["throughput"] for sample in samples]
-            )
-        result.rows.append(
-            DmrOverheadRow(workload=workload, per_thread_ipc=ipc, throughput=throughput)
-        )
-    return result
-
-
 def run_dmr_overhead_experiment(
     settings: Optional[ExperimentSettings] = None,
     runner: Optional[ExperimentRunner] = None,
 ) -> DmrOverheadResult:
     """Reproduce Figure 5: per-thread IPC and throughput of DMR vs. no DMR.
 
-    Thin wrapper over the registered ``figure5`` spec.
+    Thin view over the registered ``figure5`` spec's frame.
     """
     from repro.sim.specs import experiment
 
-    return experiment("figure5").run(settings, runner=runner)
+    run = experiment("figure5").execute(settings, runner=runner)
+    return DmrOverheadResult.from_frame(run.request.settings, run.frame())
 
 
 # ===================================================================== #
@@ -295,12 +284,39 @@ class MixedModeRow:
         )
 
 
+_FIGURE6_SERIES = (
+    "reliable_ipc",
+    "performance_ipc",
+    "reliable_throughput",
+    "performance_throughput",
+    "overall_throughput",
+)
+
+
 @dataclass
 class MixedModeResult:
-    """Figure 6(a) and 6(b) of the paper."""
+    """Figure 6(a) and 6(b) of the paper (a view over the ``figure6`` frame)."""
 
     settings: ExperimentSettings
     rows: List[MixedModeRow] = field(default_factory=list)
+
+    @classmethod
+    def from_frame(
+        cls, settings: ExperimentSettings, frame: ResultFrame
+    ) -> "MixedModeResult":
+        """Re-shape the schema-assembled frame into the legacy row view."""
+        result = cls(settings=settings)
+        configurations = frame.axis_values("configuration")
+        for workload in frame.axis_values("workload"):
+            series = {
+                name: {
+                    str(c): frame.value(name, workload=workload, configuration=c)
+                    for c in configurations
+                }
+                for name in _FIGURE6_SERIES
+            }
+            result.rows.append(MixedModeRow(workload=str(workload), **series))
+        return result
 
     def row(self, workload: str) -> MixedModeRow:
         """Row for one workload."""
@@ -361,44 +377,6 @@ def figure6_jobs(
     ]
 
 
-_FIGURE6_SERIES = (
-    ("reliable_ipc", "reliable_ipc"),
-    ("performance_ipc", "performance_ipc"),
-    ("reliable_throughput", "reliable_throughput"),
-    ("performance_throughput", "performance_throughput"),
-    ("overall_throughput", "overall_throughput"),
-)
-
-
-def assemble_figure6(
-    settings: ExperimentSettings,
-    results: JobResults,
-    configurations: Sequence[str],
-) -> MixedModeResult:
-    cell = settings.cell_settings()
-    result = MixedModeResult(settings=settings)
-    for workload in settings.workloads:
-        series: Dict[str, Dict[str, ConfidenceInterval]] = {
-            name: {} for name, _ in _FIGURE6_SERIES
-        }
-        for configuration in configurations:
-            samples = [
-                results[
-                    ExperimentJob(
-                        kind="figure6", workload=workload, variant=configuration,
-                        seed=seed, settings=cell,
-                    )
-                ]
-                for seed in settings.seeds
-            ]
-            for name, metric in _FIGURE6_SERIES:
-                series[name][configuration] = confidence_interval_95(
-                    [sample[metric] for sample in samples]
-                )
-        result.rows.append(MixedModeRow(workload=workload, **series))
-    return result
-
-
 def run_mixed_mode_experiment(
     settings: Optional[ExperimentSettings] = None,
     configurations: Sequence[str] = FIGURE6_CONFIGS,
@@ -406,13 +384,14 @@ def run_mixed_mode_experiment(
 ) -> MixedModeResult:
     """Reproduce Figure 6: mixed-mode consolidated-server performance.
 
-    Thin wrapper over the registered ``figure6`` spec.
+    Thin view over the registered ``figure6`` spec's frame.
     """
     from repro.sim.specs import experiment
 
-    return experiment("figure6").run(
+    run = experiment("figure6").execute(
         settings, runner=runner, configurations=tuple(configurations)
     )
+    return MixedModeResult.from_frame(run.request.settings, run.frame())
 
 
 # ===================================================================== #
@@ -443,10 +422,38 @@ class PabLatencyRow:
 
 @dataclass
 class PabLatencyResult:
-    """Section 5.2's serial-PAB sensitivity study."""
+    """Section 5.2's serial-PAB sensitivity study (a view over the ``pab`` frame)."""
 
     settings: ExperimentSettings
     rows: List[PabLatencyRow] = field(default_factory=list)
+
+    @classmethod
+    def from_frame(
+        cls, settings: ExperimentSettings, frame: ResultFrame
+    ) -> "PabLatencyResult":
+        """Re-shape the schema-assembled frame into the legacy row view."""
+        result = cls(settings=settings)
+        parallel = PabLookupMode.PARALLEL.value
+        serial = PabLookupMode.SERIAL.value
+        for workload in frame.axis_values("workload"):
+            result.rows.append(
+                PabLatencyRow(
+                    workload=str(workload),
+                    parallel_ipc=frame.value(
+                        "performance_ipc", workload=workload, lookup=parallel
+                    ),
+                    serial_ipc=frame.value(
+                        "performance_ipc", workload=workload, lookup=serial
+                    ),
+                    reliable_parallel_ipc=frame.value(
+                        "reliable_ipc", workload=workload, lookup=parallel
+                    ),
+                    reliable_serial_ipc=frame.value(
+                        "reliable_ipc", workload=workload, lookup=serial
+                    ),
+                )
+            )
+        return result
 
     def format_table(self) -> str:
         """Render the study as a table of IPC changes."""
@@ -480,51 +487,18 @@ def pab_jobs(settings: ExperimentSettings) -> List[ExperimentJob]:
     ]
 
 
-def assemble_pab(
-    settings: ExperimentSettings, results: JobResults
-) -> PabLatencyResult:
-    cell = settings.cell_settings()
-    result = PabLatencyResult(settings=settings)
-    for workload in settings.workloads:
-        ipc: Dict[str, float] = {}
-        reliable_ipc: Dict[str, float] = {}
-        for mode in (PabLookupMode.PARALLEL, PabLookupMode.SERIAL):
-            samples = [
-                results[
-                    ExperimentJob(
-                        kind="pab", workload=workload, variant=mode.value, seed=seed,
-                        settings=cell,
-                    )
-                ]
-                for seed in settings.seeds
-            ]
-            ipc[mode.value] = mean(sample["performance_ipc"] for sample in samples)
-            reliable_ipc[mode.value] = mean(
-                sample["reliable_ipc"] for sample in samples
-            )
-        result.rows.append(
-            PabLatencyRow(
-                workload=workload,
-                parallel_ipc=ipc[PabLookupMode.PARALLEL.value],
-                serial_ipc=ipc[PabLookupMode.SERIAL.value],
-                reliable_parallel_ipc=reliable_ipc[PabLookupMode.PARALLEL.value],
-                reliable_serial_ipc=reliable_ipc[PabLookupMode.SERIAL.value],
-            )
-        )
-    return result
-
-
 def run_pab_latency_study(
     settings: Optional[ExperimentSettings] = None,
     runner: Optional[ExperimentRunner] = None,
 ) -> PabLatencyResult:
     """Reproduce the serial-vs-parallel PAB lookup comparison of Section 5.2.
 
-    Thin wrapper over the registered ``pab`` spec.
+    Thin view over the registered ``pab`` spec's frame.
     """
     from repro.sim.specs import experiment
 
-    return experiment("pab").run(settings, runner=runner)
+    run = experiment("pab").execute(settings, runner=runner)
+    return PabLatencyResult.from_frame(run.request.settings, run.frame())
 
 
 # ===================================================================== #
@@ -543,9 +517,23 @@ class SwitchOverheadRow:
 
 @dataclass
 class SwitchOverheadResult:
-    """Table 1 of the paper."""
+    """Table 1 of the paper (a view over the ``table1`` frame)."""
 
     rows: List[SwitchOverheadRow] = field(default_factory=list)
+
+    @classmethod
+    def from_frame(cls, frame: ResultFrame) -> "SwitchOverheadResult":
+        """Re-shape the schema-assembled frame into the legacy row view."""
+        result = cls()
+        for row in frame.rows:
+            result.rows.append(
+                SwitchOverheadRow(
+                    workload=str(row["workload"]),
+                    enter_dmr_cycles=row["enter_dmr_cycles"],
+                    leave_dmr_cycles=row["leave_dmr_cycles"],
+                )
+            )
+        return result
 
     def row(self, workload: str) -> SwitchOverheadRow:
         """Row for one workload."""
@@ -594,22 +582,6 @@ def switch_overhead_jobs(
     ]
 
 
-def assemble_table1(
-    jobs: Sequence[ExperimentJob], results: JobResults
-) -> SwitchOverheadResult:
-    result = SwitchOverheadResult()
-    for job in jobs:
-        metrics = results[job]
-        result.rows.append(
-            SwitchOverheadRow(
-                workload=job.workload,
-                enter_dmr_cycles=metrics["enter_dmr_cycles"],
-                leave_dmr_cycles=metrics["leave_dmr_cycles"],
-            )
-        )
-    return result
-
-
 def run_switch_overhead_experiment(
     workloads: Sequence[str] = PAPER_WORKLOAD_NAMES,
     transitions_to_measure: int = 8,
@@ -624,14 +596,14 @@ def run_switch_overhead_experiment(
     configuration by default, because the Leave-DMR cost is dominated by the
     one-line-per-cycle flush of the 512 KB (8192-line) L2.
 
-    Thin wrapper over the registered ``table1`` spec.
+    Thin view over the registered ``table1`` spec's frame.
     """
     from repro.sim.specs import experiment
 
     settings = (
         ExperimentSettings().with_workloads(tuple(workloads)).with_seeds((seed,))
     )
-    return experiment("table1").run(
+    run = experiment("table1").execute(
         settings,
         runner=runner,
         explicit_workloads=True,
@@ -639,6 +611,7 @@ def run_switch_overhead_experiment(
         warmup_cycles=warmup_cycles,
         config=config,
     )
+    return SwitchOverheadResult.from_frame(run.frame())
 
 
 # ===================================================================== #
@@ -662,9 +635,23 @@ class SwitchFrequencyRow:
 
 @dataclass
 class SwitchFrequencyResult:
-    """Table 2 of the paper."""
+    """Table 2 of the paper (a view over the ``table2`` frame)."""
 
     rows: List[SwitchFrequencyRow] = field(default_factory=list)
+
+    @classmethod
+    def from_frame(cls, frame: ResultFrame) -> "SwitchFrequencyResult":
+        """Re-shape the schema-assembled frame into the legacy row view."""
+        result = cls()
+        for row in frame.rows:
+            result.rows.append(
+                SwitchFrequencyRow(
+                    workload=str(row["workload"]),
+                    user_cycles=row["user_cycles"],
+                    os_cycles=row["os_cycles"],
+                )
+            )
+        return result
 
     def row(self, workload: str) -> SwitchFrequencyRow:
         """Row for one workload."""
@@ -707,22 +694,6 @@ def switch_frequency_jobs(
     ]
 
 
-def assemble_table2(
-    jobs: Sequence[ExperimentJob], results: JobResults
-) -> SwitchFrequencyResult:
-    result = SwitchFrequencyResult()
-    for job in jobs:
-        metrics = results[job]
-        result.rows.append(
-            SwitchFrequencyRow(
-                workload=job.workload,
-                user_cycles=metrics["user_cycles"],
-                os_cycles=metrics["os_cycles"],
-            )
-        )
-    return result
-
-
 def run_switch_frequency_experiment(
     workloads: Sequence[str] = PAPER_WORKLOAD_NAMES,
     phases_to_measure: int = 3,
@@ -739,14 +710,14 @@ def run_switch_frequency_experiment(
     of their full length and the measured cycles are scaled back up, which
     keeps the measurement cheap without changing the achieved IPC.
 
-    Thin wrapper over the registered ``table2`` spec.
+    Thin view over the registered ``table2`` spec's frame.
     """
     from repro.sim.specs import experiment
 
     settings = (
         ExperimentSettings().with_workloads(tuple(workloads)).with_seeds((seed,))
     )
-    return experiment("table2").run(
+    run = experiment("table2").execute(
         settings,
         runner=runner,
         explicit_workloads=True,
@@ -754,6 +725,7 @@ def run_switch_frequency_experiment(
         measurement_phase_scale=measurement_phase_scale,
         config=config,
     )
+    return SwitchFrequencyResult.from_frame(run.frame())
 
 
 # ===================================================================== #
@@ -783,6 +755,20 @@ class SingleOsOverheadResult:
     """The bottom-line analysis at the end of Section 5.3."""
 
     rows: List[SingleOsOverheadRow] = field(default_factory=list)
+
+    @classmethod
+    def from_frame(cls, frame: ResultFrame) -> "SingleOsOverheadResult":
+        """Re-shape the schema-assembled frame into the legacy row view."""
+        result = cls()
+        for row in frame.rows:
+            result.rows.append(
+                SingleOsOverheadRow(
+                    workload=str(row["workload"]),
+                    switch_cycles=row["switch_cycles"],
+                    round_trip_cycles=row["round_trip_cycles"],
+                )
+            )
+        return result
 
     def format_table(self) -> str:
         """Render the overhead estimate."""
@@ -831,9 +817,9 @@ def run_single_os_overhead_study(
 ) -> SingleOsOverheadResult:
     """Combine Table 1 and Table 2 into the paper's single-OS overhead estimate.
 
-    With neither table given, this is a thin wrapper over the registered
-    ``single-os`` spec (one batch containing both tables' cells); existing
-    results are combined without running anything.
+    With neither table given, this is a thin view over the registered
+    ``single-os`` spec's frame (one batch containing both tables' cells);
+    existing results are combined without running anything.
     """
     if switch_overheads is None and switch_frequency is None:
         from repro.sim.specs import experiment
@@ -841,9 +827,10 @@ def run_single_os_overhead_study(
         settings = (
             ExperimentSettings().with_workloads(tuple(workloads)).with_seeds((seed,))
         )
-        return experiment("single-os").run(
+        run = experiment("single-os").execute(
             settings, runner=runner, explicit_workloads=True
         )
+        return SingleOsOverheadResult.from_frame(run.frame())
     switch_overheads = switch_overheads or run_switch_overhead_experiment(
         workloads, seed=seed, runner=runner
     )
@@ -877,6 +864,25 @@ class WindowAblationResult:
     settings: ExperimentSettings
     rows: List[WindowAblationRow] = field(default_factory=list)
 
+    @classmethod
+    def from_frame(
+        cls, settings: ExperimentSettings, frame: ResultFrame
+    ) -> "WindowAblationResult":
+        """Re-shape the schema-assembled frame into the legacy row view."""
+        result = cls(settings=settings)
+        variants = frame.axis_values("variant")
+        for workload in frame.axis_values("workload"):
+            result.rows.append(
+                WindowAblationRow(
+                    workload=str(workload),
+                    ipc_by_variant={
+                        str(v): frame.value("user_ipc", workload=workload, variant=v)
+                        for v in variants
+                    },
+                )
+            )
+        return result
+
     def format_table(self) -> str:
         """Render the ablation."""
         variants = list(self.rows[0].ipc_by_variant) if self.rows else []
@@ -904,26 +910,6 @@ def window_ablation_jobs(settings: ExperimentSettings) -> List[ExperimentJob]:
     ]
 
 
-def assemble_ablation(
-    settings: ExperimentSettings, results: JobResults
-) -> WindowAblationResult:
-    cell = settings.cell_settings()
-    seed = settings.seeds[0]
-    result = WindowAblationResult(settings=settings)
-    for workload in settings.workloads:
-        ipc_by_variant = {
-            variant: results[
-                ExperimentJob(
-                    kind="ablation", workload=workload, variant=variant, seed=seed,
-                    settings=cell,
-                )
-            ]["user_ipc"]
-            for variant in ABLATION_VARIANTS
-        }
-        result.rows.append(WindowAblationRow(workload=workload, ipc_by_variant=ipc_by_variant))
-    return result
-
-
 def run_window_ablation(
     settings: Optional[ExperimentSettings] = None,
     runner: Optional[ExperimentRunner] = None,
@@ -931,14 +917,16 @@ def run_window_ablation(
     """Reproduce the prior-work comparison: a larger window and a TSO store
     buffer recover much of Reunion's IPC loss.
 
-    Thin wrapper over the registered ``ablation`` spec; without explicit
-    settings the spec's workload limit restricts the sweep to two workloads.
+    Thin view over the registered ``ablation`` spec's frame; without
+    explicit settings the spec's workload limit restricts the sweep to two
+    workloads.
     """
     from repro.sim.specs import experiment
 
-    return experiment("ablation").run(
+    run = experiment("ablation").execute(
         settings, runner=runner, explicit_workloads=settings is not None
     )
+    return WindowAblationResult.from_frame(run.request.settings, run.frame())
 
 
 # ===================================================================== #
@@ -975,6 +963,43 @@ class DegradationResult:
     failures: Sequence[int]
     num_cores: int
     rows: List[DegradationRow] = field(default_factory=list)
+
+    @classmethod
+    def from_frame(
+        cls, settings: ExperimentSettings, frame: ResultFrame
+    ) -> "DegradationResult":
+        """Re-shape the schema-assembled frame into the legacy row view."""
+        failures = tuple(int(f) for f in frame.axis_values("failed_cores"))
+        result = cls(
+            settings=settings,
+            failures=failures,
+            num_cores=settings.config().num_cores,
+        )
+        for workload in frame.axis_values("workload"):
+            result.rows.append(
+                DegradationRow(
+                    workload=str(workload),
+                    throughput={
+                        failed: frame.value(
+                            "throughput", workload=workload, failed_cores=failed
+                        )
+                        for failed in failures
+                    },
+                    user_ipc={
+                        failed: frame.value(
+                            "user_ipc", workload=workload, failed_cores=failed
+                        )
+                        for failed in failures
+                    },
+                    paused_quanta={
+                        failed: frame.value(
+                            "paused_vcpu_quanta", workload=workload, failed_cores=failed
+                        )
+                        for failed in failures
+                    },
+                )
+            )
+        return result
 
     def row(self, workload: str) -> DegradationRow:
         """Row for one workload."""
@@ -1057,45 +1082,6 @@ def degradation_jobs(
     return jobs
 
 
-def assemble_degradation(
-    settings: ExperimentSettings,
-    failures: Sequence[int],
-    jobs: Sequence[ExperimentJob],
-    results: JobResults,
-) -> DegradationResult:
-    result = DegradationResult(
-        settings=settings,
-        failures=tuple(int(failed) for failed in failures),
-        num_cores=settings.config().num_cores,
-    )
-    samples: Dict[tuple, List[Metrics]] = {}
-    for job in jobs:
-        key = (job.workload, int(job.param("failed_cores", 0)))
-        samples.setdefault(key, []).append(results[job])
-    for workload in settings.workloads:
-        throughput: Dict[int, ConfidenceInterval] = {}
-        user_ipc: Dict[int, ConfidenceInterval] = {}
-        paused: Dict[int, float] = {}
-        for failed in result.failures:
-            cells = samples[(workload, failed)]
-            throughput[failed] = confidence_interval_95(
-                [cell["throughput"] for cell in cells]
-            )
-            user_ipc[failed] = confidence_interval_95(
-                [cell["user_ipc"] for cell in cells]
-            )
-            paused[failed] = mean(cell["paused_vcpu_quanta"] for cell in cells)
-        result.rows.append(
-            DegradationRow(
-                workload=workload,
-                throughput=throughput,
-                user_ipc=user_ipc,
-                paused_quanta=paused,
-            )
-        )
-    return result
-
-
 def run_degradation_experiment(
     settings: Optional[ExperimentSettings] = None,
     failures: Optional[Sequence[int]] = None,
@@ -1104,16 +1090,17 @@ def run_degradation_experiment(
     """Sweep graceful degradation: throughput vs surviving-core count as
     permanent faults retire cores on a schedule mid-run.
 
-    Thin wrapper over the registered ``degradation`` spec.
+    Thin view over the registered ``degradation`` spec's frame.
     """
     from repro.sim.specs import experiment
 
-    return experiment("degradation").run(
+    run = experiment("degradation").execute(
         settings,
         runner=runner,
         explicit_workloads=settings is not None,
         failures=tuple(failures) if failures is not None else None,
     )
+    return DegradationResult.from_frame(run.request.settings, run.frame())
 
 
 # ===================================================================== #
@@ -1139,6 +1126,24 @@ class ConsolidationChurnResult:
     settings: ExperimentSettings
     extra_vms: int
     rows: List[ConsolidationChurnRow] = field(default_factory=list)
+
+    @classmethod
+    def from_frame(
+        cls, settings: ExperimentSettings, extra_vms: int, frame: ResultFrame
+    ) -> "ConsolidationChurnResult":
+        """Re-shape the schema-assembled frame into the legacy row view."""
+        result = cls(settings=settings, extra_vms=int(extra_vms))
+        for workload in frame.axis_values("workload"):
+            result.rows.append(
+                ConsolidationChurnRow(
+                    workload=str(workload),
+                    throughput=frame.value("overall_throughput", workload=workload),
+                    utilization=frame.value("utilization", workload=workload),
+                    transition_cycles=frame.value("transition_cycles", workload=workload),
+                    events_applied=frame.value("events_applied", workload=workload),
+                )
+            )
+        return result
 
     def row(self, workload: str) -> ConsolidationChurnRow:
         """Row for one workload."""
@@ -1225,36 +1230,6 @@ def churn_jobs(settings: ExperimentSettings, extra_vms: int) -> List[ExperimentJ
     ]
 
 
-def assemble_churn(
-    settings: ExperimentSettings,
-    extra_vms: int,
-    jobs: Sequence[ExperimentJob],
-    results: JobResults,
-) -> ConsolidationChurnResult:
-    result = ConsolidationChurnResult(settings=settings, extra_vms=int(extra_vms))
-    samples: Dict[str, List[Metrics]] = {}
-    for job in jobs:
-        samples.setdefault(job.workload, []).append(results[job])
-    for workload in settings.workloads:
-        cells = samples[workload]
-        result.rows.append(
-            ConsolidationChurnRow(
-                workload=workload,
-                throughput=confidence_interval_95(
-                    [cell["overall_throughput"] for cell in cells]
-                ),
-                utilization=confidence_interval_95(
-                    [cell["utilization"] for cell in cells]
-                ),
-                transition_cycles=confidence_interval_95(
-                    [cell["transition_cycles"] for cell in cells]
-                ),
-                events_applied=mean(cell["events_applied"] for cell in cells),
-            )
-        )
-    return result
-
-
 def run_consolidation_churn_experiment(
     settings: Optional[ExperimentSettings] = None,
     extra_vms: Optional[int] = None,
@@ -1263,15 +1238,21 @@ def run_consolidation_churn_experiment(
     """Sweep consolidation churn: utilisation and transition overhead while
     guest VMs arrive at and depart from the consolidated server mid-run.
 
-    Thin wrapper over the registered ``consolidation-churn`` spec.
+    Thin view over the registered ``consolidation-churn`` spec's frame.
     """
     from repro.sim.specs import experiment
 
-    return experiment("consolidation-churn").run(
+    run = experiment("consolidation-churn").execute(
         settings,
         runner=runner,
         explicit_workloads=settings is not None,
         extra_vms=int(extra_vms) if extra_vms is not None else None,
+    )
+    resolved_extra = int(
+        run.request.option("extra_vms", run.request.settings.churn_extra_vms)
+    )
+    return ConsolidationChurnResult.from_frame(
+        run.request.settings, resolved_extra, run.frame()
     )
 
 
@@ -1285,7 +1266,8 @@ def run_consolidation_churn_experiment(
 #: matching the default :attr:`ExperimentSettings.seeds` sweep.
 FAULT_DEFAULT_SEEDS = tuple(range(10))
 
-#: Title shared by every rendering of the coverage comparison (here and in
+#: Title shared by every rendering of the coverage comparison (the frame
+#: view of the ``faults`` spec and
 #: :func:`repro.sim.reporting.format_coverage_reports`).
 FAULT_COVERAGE_TITLE = (
     "Fault-injection coverage "
@@ -1321,7 +1303,13 @@ class FaultCoverageRow:
 
 @dataclass
 class FaultCoverageResult:
-    """The paper's protection comparison (Sections 2.1 and 3.4)."""
+    """The paper's protection comparison (Sections 2.1 and 3.4).
+
+    Unlike the pure frame views above, this result keeps the full per-trial
+    records (the merged :class:`CoverageReport` per configuration), which
+    the campaign analyses and tests need; the registered ``faults`` spec's
+    frame carries only the aggregate coverage columns.
+    """
 
     trials_per_site: int
     seeds: Sequence[int]
@@ -1366,6 +1354,7 @@ def assemble_fault_coverage(
     seeds: Sequence[int],
     fault_rate: float,
 ) -> FaultCoverageResult:
+    """Fold raw campaign cells into the record-keeping legacy result."""
     merged, per_seed = assemble_campaign_reports(jobs, results)
     result = FaultCoverageResult(
         trials_per_site=trials_per_site, seeds=tuple(seeds), fault_rate=fault_rate
@@ -1398,18 +1387,22 @@ def run_fault_coverage_experiment(
     multi-worker runner fans the trials out and a warm cache re-renders the
     comparison without injecting a single fault.
 
-    Thin wrapper over the registered ``faults`` spec.
+    Thin wrapper over the registered ``faults`` spec; keeps the full trial
+    records (the spec's own frame carries the aggregate columns only).
     """
     from repro.sim.specs import experiment
 
     settings = ExperimentSettings().with_seeds(tuple(dict.fromkeys(seeds)))
-    return experiment("faults").run(
+    run = experiment("faults").execute(
         settings,
         runner=runner,
         trials=trials_per_site,
         configurations=tuple(configurations),
         fault_rate=fault_rate,
         config=config,
+    )
+    return assemble_fault_coverage(
+        run.jobs, run.results, trials_per_site, run.request.settings.seeds, fault_rate
     )
 
 
@@ -1468,13 +1461,26 @@ def run_fault_rate_sweep(
     from repro.sim.specs import experiment
 
     settings = ExperimentSettings().with_seeds(tuple(dict.fromkeys(seeds)))
-    return experiment("faults").run(
+    run = experiment("faults").execute(
         settings,
         runner=runner,
         trials=trials_per_site,
         configurations=tuple(configurations),
         sweep_rates=tuple(fault_rates),
         config=config,
+    )
+    resolved_seeds = run.request.settings.seeds
+    by_rate: Dict[float, FaultCoverageResult] = {}
+    for rate in fault_rates:
+        rate_jobs = [job for job in run.jobs if job.param("fault_rate") == float(rate)]
+        by_rate[rate] = assemble_fault_coverage(
+            rate_jobs, run.results, trials_per_site, resolved_seeds, float(rate)
+        )
+    return FaultRateSweepResult(
+        trials_per_site=trials_per_site,
+        seeds=resolved_seeds,
+        fault_rates=tuple(fault_rates),
+        by_rate=by_rate,
     )
 
 
@@ -1485,63 +1491,156 @@ def run_fault_rate_sweep(
 
 @dataclass
 class AllExperimentsResult:
-    """Every experiment's result, produced from one job batch."""
+    """Every experiment's result frame, produced from one job batch."""
 
     settings: ExperimentSettings
-    figure5: DmrOverheadResult
-    figure6: MixedModeResult
-    pab: PabLatencyResult
-    table1: Optional[SwitchOverheadResult] = None
-    table2: Optional[SwitchFrequencyResult] = None
-    single_os: Optional[SingleOsOverheadResult] = None
-    ablation: Optional[WindowAblationResult] = None
-    faults: Optional[FaultCoverageResult] = None
-    #: Results of any *user-registered* specs (beyond the paper's own),
-    #: keyed by spec name -- a custom experiment registered in
-    #: ``EXPERIMENTS`` rides the same batch and lands here.
+    #: One schema-assembled frame per registered spec, in registry
+    #: (= presentation) order.
+    frames: Dict[str, ResultFrame] = field(default_factory=dict)
+    #: Results of any schema-less (user-registered) specs, keyed by spec
+    #: name -- a custom experiment registered in ``EXPERIMENTS`` rides the
+    #: same batch and lands here.
     extras: Dict[str, object] = field(default_factory=dict)
     #: Raw per-cell metrics keyed by cache key -- the canonical, fully
     #: serializable record of the batch (used by the determinism tests to
     #: compare serial and parallel runs byte for byte).
     job_metrics: Dict[str, Metrics] = field(default_factory=dict)
 
+    def frame(self, name: str) -> ResultFrame:
+        """One spec's frame (raising when it was skipped)."""
+        try:
+            return self.frames[name]
+        except KeyError:
+            raise ExperimentError(
+                f"experiment {name!r} was not part of this run"
+            ) from None
+
+    # Legacy dataclass views over the frames, for callers that prefer the
+    # familiar per-row attribute access.  ``None`` when the experiment was
+    # skipped in this run.
+
+    @property
+    def figure5(self) -> Optional[DmrOverheadResult]:
+        frame = self.frames.get("figure5")
+        return DmrOverheadResult.from_frame(self.settings, frame) if frame else None
+
+    @property
+    def figure6(self) -> Optional[MixedModeResult]:
+        frame = self.frames.get("figure6")
+        return MixedModeResult.from_frame(self.settings, frame) if frame else None
+
+    @property
+    def pab(self) -> Optional[PabLatencyResult]:
+        frame = self.frames.get("pab")
+        return PabLatencyResult.from_frame(self.settings, frame) if frame else None
+
+    @property
+    def table1(self) -> Optional[SwitchOverheadResult]:
+        frame = self.frames.get("table1")
+        return SwitchOverheadResult.from_frame(frame) if frame else None
+
+    @property
+    def table2(self) -> Optional[SwitchFrequencyResult]:
+        frame = self.frames.get("table2")
+        return SwitchFrequencyResult.from_frame(frame) if frame else None
+
+    @property
+    def single_os(self) -> Optional[SingleOsOverheadResult]:
+        frame = self.frames.get("single-os")
+        return SingleOsOverheadResult.from_frame(frame) if frame else None
+
+    @property
+    def ablation(self) -> Optional[WindowAblationResult]:
+        frame = self.frames.get("ablation")
+        return WindowAblationResult.from_frame(self.settings, frame) if frame else None
+
+    @property
+    def faults(self) -> Optional[ResultFrame]:
+        """The fault campaign's aggregate frame (coverage per configuration)."""
+        return self.frames.get("faults")
+
     def sections(self) -> List[str]:
         """Every reproduced table, in the paper's presentation order."""
-        parts = [
-            self.figure5.format_ipc_table(),
-            self.figure5.format_throughput_table(),
-            self.figure6.format_ipc_table(),
-            self.figure6.format_throughput_table(),
-            self.pab.format_table(),
-        ]
-        if self.table1 is not None:
-            parts.append(self.table1.format_table())
-        if self.table2 is not None:
-            parts.append(self.table2.format_table())
-        if self.single_os is not None:
-            parts.append(self.single_os.format_table())
-        if self.ablation is not None:
-            parts.append(self.ablation.format_table())
-        if self.faults is not None:
-            parts.append(self.faults.format_table())
-        if self.extras:
-            from repro.sim.specs import EXPERIMENTS
+        from repro.sim.specs import EXPERIMENTS
 
-            for name, result in self.extras.items():
-                parts.append(EXPERIMENTS[name].to_table(result))
+        parts = [
+            EXPERIMENTS[name].to_table(frame) for name, frame in self.frames.items()
+        ]
+        parts += [
+            EXPERIMENTS[name].to_table(result) for name, result in self.extras.items()
+        ]
         return parts
 
     def render(self) -> str:
         """The full plain-text report."""
         return "\n\n".join(self.sections())
 
+    def to_document(self) -> Dict[str, object]:
+        """The canonical JSON document of this run (``run-all --json``).
 
-#: Spec names assembled into :class:`AllExperimentsResult`'s named fields
-#: (dashes become underscores); every other registered spec is an "extra".
-_RUN_ALL_FIELDS = (
-    "figure5", "figure6", "pab", "table1", "table2", "single-os", "ablation",
-    "faults",
-)
+        Embeds the settings so ``repro diff`` can re-run the exact same
+        evaluation against the document as a baseline.
+        """
+        return frames_document(self.frames, settings=asdict(self.settings))
+
+
+def _enumerate_spec_batch(settings: ExperimentSettings, names: Sequence[str]):
+    """Resolve requests and enumerate every named spec's cells into one batch.
+
+    The shared front half of :func:`collect_frames` and
+    :func:`run_all_experiments`: request resolution and batching must stay
+    identical between them, or ``repro export``/``repro diff`` would
+    silently diverge from the ``run-all --json`` baselines they compare
+    against.  Returns ``(requests, jobs_by_spec, batch)``.
+    """
+    from repro.sim.specs import experiment
+
+    requests = {}
+    jobs_by_spec: Dict[str, List[ExperimentJob]] = {}
+    batch: List[ExperimentJob] = []
+    for name in names:
+        spec = experiment(name)
+        # No per-spec options: every spec sizes itself from the settings
+        # object (the faults spec, for instance, falls back to
+        # ``settings.fault_trials_per_site``).
+        request = spec.request(settings)
+        requests[name] = request
+        jobs_by_spec[name] = spec.enumerate_jobs(request)
+        batch += jobs_by_spec[name]
+    return requests, jobs_by_spec, batch
+
+
+def collect_frames(
+    settings: Optional[ExperimentSettings] = None,
+    names: Optional[Sequence[str]] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> Dict[str, ResultFrame]:
+    """Run the named specs as one batch and return their frames.
+
+    ``names`` defaults to every registered spec with a schema.  This is the
+    engine behind ``repro export`` and ``repro diff``: cells of all the
+    selected specs are enumerated into a single runner batch (overlapping
+    across experiments under a parallel runner) and each spec's frame is
+    assembled from the shared results.
+    """
+    from repro.sim.specs import EXPERIMENTS, experiment
+
+    settings = settings or ExperimentSettings()
+    runner = runner or default_runner()
+    if names is None:
+        names = [name for name, spec in EXPERIMENTS.items() if spec.schema is not None]
+    for name in names:
+        if experiment(name).schema is None:
+            raise ExperimentError(
+                f"experiment {name!r} declares no MetricSchema and cannot be framed"
+            )
+
+    requests, jobs_by_spec, batch = _enumerate_spec_batch(settings, names)
+    results = runner.run_jobs(batch)
+    return {
+        name: experiment(name).assemble_frame(requests[name], jobs_by_spec[name], results)
+        for name in requests
+    }
 
 
 def run_all_experiments(
@@ -1558,9 +1657,11 @@ def run_all_experiments(
     fault-campaign cells alike, plus any user-registered spec's) are
     enumerated up front and handed to the runner in a single call, so a
     multi-worker runner overlaps cells *across* experiments (not just
-    within one) and a warm cache re-run executes nothing at all.
+    within one) and a warm cache re-run executes nothing at all.  Each
+    spec's results land as one :class:`ResultFrame` (schema-less specs
+    fall back to their ``assemble`` hook and land in ``extras``).
     """
-    from repro.sim.specs import EXPERIMENTS, SpecRequest
+    from repro.sim.specs import EXPERIMENTS
 
     settings = settings or ExperimentSettings()
     runner = runner or default_runner()
@@ -1569,42 +1670,27 @@ def run_all_experiments(
         "ablation": include_ablation,
         "faults": include_faults,
     }
+    names = [
+        name
+        for name, spec in EXPERIMENTS.items()
+        if spec.run_all_group is None or included.get(spec.run_all_group, True)
+    ]
 
-    requests: Dict[str, SpecRequest] = {}
-    jobs_by_spec: Dict[str, List[ExperimentJob]] = {}
-    batch: List[ExperimentJob] = []
-    for name, spec in EXPERIMENTS.items():
-        if spec.run_all_group is not None and not included.get(spec.run_all_group, True):
-            continue
-        # No per-spec options: every spec sizes itself from the settings
-        # object (the faults spec, for instance, falls back to
-        # ``settings.fault_trials_per_site``).
-        request = spec.request(settings)
-        requests[name] = request
-        jobs_by_spec[name] = spec.enumerate_jobs(request)
-        batch += jobs_by_spec[name]
-
+    requests, jobs_by_spec, batch = _enumerate_spec_batch(settings, names)
     results = runner.run_jobs(batch)
 
-    def assembled(name: str) -> Optional[object]:
-        if name not in requests:
-            return None
-        return EXPERIMENTS[name].assemble(requests[name], jobs_by_spec[name], results)
+    frames: Dict[str, ResultFrame] = {}
+    extras: Dict[str, object] = {}
+    for name, request in requests.items():
+        spec = EXPERIMENTS[name]
+        if spec.schema is not None:
+            frames[name] = spec.assemble_frame(request, jobs_by_spec[name], results)
+        else:
+            extras[name] = spec.assemble(request, jobs_by_spec[name], results)
 
     return AllExperimentsResult(
         settings=settings,
-        figure5=assembled("figure5"),
-        figure6=assembled("figure6"),
-        pab=assembled("pab"),
-        table1=assembled("table1"),
-        table2=assembled("table2"),
-        single_os=assembled("single-os"),
-        ablation=assembled("ablation"),
-        faults=assembled("faults"),
-        extras={
-            name: assembled(name)
-            for name in requests
-            if name not in _RUN_ALL_FIELDS
-        },
+        frames=frames,
+        extras=extras,
         job_metrics={job.cache_key(): dict(results[job]) for job in batch},
     )

@@ -58,7 +58,12 @@ from repro.virt.vcpu import ReliabilityMode
 #: not need a bump: the cache key also digests the package's source code
 #: (see :func:`code_fingerprint`), so results simulated by different code
 #: are never served as current.
-CACHE_SCHEMA_VERSION = 1
+#:
+#: Version 2: metric dicts are assembled into typed ``ResultFrame`` rows
+#: (:mod:`repro.sim.frames`); pre-frame entries must be clean misses rather
+#: than risk mis-assembling into frames.  ``repro cache stats`` reports the
+#: per-version breakdown of whatever is on disk.
+CACHE_SCHEMA_VERSION = 2
 
 _CODE_FINGERPRINT: Optional[str] = None
 

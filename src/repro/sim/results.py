@@ -111,19 +111,37 @@ class SimulationResult:
     # Lookup helpers
     # ------------------------------------------------------------------ #
 
+    def _vm_index(self) -> "tuple[Dict[str, VmResult], Dict[int, VmResult]]":
+        """Cached name and id lookup tables over ``vm_results``.
+
+        The metric extractors look VMs up once per metric, so the previous
+        linear scans re-walked the VM list for every extracted number; the
+        index is built once and rebuilt only if ``vm_results`` changes
+        length (the one mutation the builders perform).
+        """
+        cached = self.__dict__.get("_vm_index_cache")
+        if cached is None or cached[0] != len(self.vm_results):
+            by_name = {vm.name: vm for vm in self.vm_results}
+            by_id = {vm.vm_id: vm for vm in self.vm_results}
+            cached = (len(self.vm_results), by_name, by_id)
+            self.__dict__["_vm_index_cache"] = cached
+        return cached[1], cached[2]
+
     def vm(self, name: str) -> VmResult:
         """Result of the VM with the given spec name."""
-        for vm in self.vm_results:
-            if vm.name == name:
-                return vm
-        raise SimulationError(f"no VM named {name!r} in this result")
+        by_name, _ = self._vm_index()
+        try:
+            return by_name[name]
+        except KeyError:
+            raise SimulationError(f"no VM named {name!r} in this result") from None
 
     def vm_by_id(self, vm_id: int) -> VmResult:
         """Result of the VM with the given id."""
-        for vm in self.vm_results:
-            if vm.vm_id == vm_id:
-                return vm
-        raise SimulationError(f"no VM with id {vm_id} in this result")
+        _, by_id = self._vm_index()
+        try:
+            return by_id[vm_id]
+        except KeyError:
+            raise SimulationError(f"no VM with id {vm_id} in this result") from None
 
     # ------------------------------------------------------------------ #
     # Machine-wide metrics

@@ -43,9 +43,10 @@ from __future__ import annotations
 
 import json
 import os
+import re
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 from typing import (
     Callable,
@@ -183,7 +184,13 @@ class ResultCache:
         )
 
     def stats(self) -> Dict[str, "CacheKindStats"]:
-        """Per-kind entry counts and on-disk sizes, sorted by kind."""
+        """Per-kind entry counts, on-disk sizes and schema-version mix.
+
+        The version breakdown (``versions``) reads each entry's recorded
+        ``schema`` field: after a :data:`CACHE_SCHEMA_VERSION` bump it shows
+        how much of the cache is stale pre-bump entries (clean misses) that
+        ``cache clear`` could prune.
+        """
         report: Dict[str, CacheKindStats] = {}
         for kind in self.kinds():
             stats = report.setdefault(kind, CacheKindStats(kind=kind))
@@ -194,6 +201,8 @@ class ResultCache:
                     continue
                 stats.entries += 1
                 stats.bytes += size
+                version = _entry_schema_version(path, size)
+                stats.versions[version] = stats.versions.get(version, 0) + 1
         return report
 
     def clear(self, kind: Optional[str] = None) -> int:
@@ -213,6 +222,29 @@ class ResultCache:
         return removed
 
 
+def _entry_schema_version(path: Path, size: int) -> str:
+    """The recorded ``schema`` version of one cache entry, cheaply.
+
+    Entries are dumped with ``sort_keys=True``, so the top-level ``schema``
+    field is the *last* key in the file; reading a small tail and taking
+    the last ``"schema": N`` match avoids deserializing the whole entry
+    (fault-campaign cells can be tens of kilobytes each).  Falls back to a
+    full parse for files that do not match (e.g. hand-edited entries), and
+    to ``"?"`` for unreadable ones -- which load as misses anyway.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(max(0, size - 256))
+            tail = handle.read().decode("utf-8", errors="replace")
+        matches = re.findall(r'"schema":\s*(\d+)', tail)
+        if matches:
+            return matches[-1]
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return str(payload.get("schema", "?"))
+    except (OSError, ValueError, AttributeError):
+        return "?"
+
+
 @dataclass
 class CacheKindStats:
     """One job kind's share of the on-disk result cache."""
@@ -220,6 +252,15 @@ class CacheKindStats:
     kind: str
     entries: int = 0
     bytes: int = 0
+    #: Entry counts per recorded cache schema version (``"?"`` for
+    #: unreadable entries -- which load as misses anyway).
+    versions: Dict[str, int] = dataclass_field(default_factory=dict)
+
+    def version_summary(self) -> str:
+        """Compact ``v1:3 v2:12`` rendering of the version mix."""
+        return " ".join(
+            f"v{version}:{count}" for version, count in sorted(self.versions.items())
+        )
 
 
 # ---------------------------------------------------------------------- #

@@ -13,11 +13,12 @@ experiment cell, which is what makes the job model of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Sequence, Tuple
+from dataclasses import dataclass, fields, replace
+from typing import Mapping, Sequence, Tuple
 
 from repro.config.presets import evaluation_system_config
 from repro.config.system import SystemConfig
+from repro.errors import ExperimentError
 from repro.sim.simulator import SimulationOptions
 from repro.workloads.profiles import PAPER_WORKLOAD_NAMES
 
@@ -113,6 +114,28 @@ class ExperimentSettings:
             degradation_failed_cores=(0, 2),
             churn_extra_vms=1,
         )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentSettings":
+        """Rebuild settings from a ``dataclasses.asdict`` payload.
+
+        This is how ``repro diff`` re-runs the evaluation a baseline
+        document was produced with: JSON round trips turn the tuple fields
+        into lists, so sequences are normalised back to tuples.  Unknown
+        keys are ignored (a baseline written by a newer build still drives
+        the fields this build knows about).
+        """
+        if not isinstance(payload, Mapping):
+            raise ExperimentError(
+                f"settings payload must be an object, not {type(payload).__name__}"
+            )
+        known = {f.name for f in fields(cls)}
+        kwargs = {}
+        for name, value in payload.items():
+            if name not in known:
+                continue
+            kwargs[name] = tuple(value) if isinstance(value, list) else value
+        return cls(**kwargs)
 
     def with_workloads(self, workloads: Sequence[str]) -> "ExperimentSettings":
         """A copy restricted to the given workloads."""

@@ -4,27 +4,34 @@ Every evaluation of the reproduction -- each paper figure/table and the
 fault-injection campaigns -- is described by one :class:`ExperimentSpec`: a
 plain-value object naming the experiment, the :class:`ParameterGrid` of axes
 it sweeps (workload x configuration x seed, ...), how its cells are
-enumerated as :class:`~repro.sim.jobs.ExperimentJob` values, how the
-returned metrics are assembled into a result object, and how that result is
-rendered (:meth:`~ExperimentSpec.to_table` / :meth:`~ExperimentSpec.to_json`).
+enumerated as :class:`~repro.sim.jobs.ExperimentJob` values, and -- since
+the frame redesign -- a :class:`~repro.sim.frames.MetricSchema` declaring
+its key axes and metric columns.  Running a spec returns a typed
+:class:`~repro.sim.frames.ResultFrame`; the generic assembler of
+:mod:`repro.sim.frames` folds the runner's ``{job: metrics}`` output into
+the frame, aggregating over seeds in one place, and ``to_table`` /
+``to_json`` / ``to_csv`` are *generated* from the schema.
 
 Specs are registered in the module-level :data:`EXPERIMENTS` registry, which
 is the single source of truth the rest of the system iterates:
 
 * the ``run_*`` entry points of :mod:`repro.sim.experiments` are thin
-  wrappers over :meth:`ExperimentSpec.run`;
+  wrappers over :meth:`ExperimentSpec.run` that re-shape the frame into the
+  legacy result dataclasses (views over the frame);
 * ``run_all_experiments`` enumerates every registered spec's cells into one
-  job batch;
+  job batch and returns one frame per spec;
 * the CLI generates one subcommand per spec -- flags, help text and
   defaults all come from the spec's metadata (:class:`SpecOption`), so a
-  new experiment shows up in ``repro <name>`` and ``repro list`` without
-  touching :mod:`repro.cli`.
+  new experiment shows up in ``repro <name>``, ``repro list``, ``repro
+  export`` and ``repro diff`` without touching :mod:`repro.cli`.
 
 Adding a new scenario is therefore a ~30-line spec: declare a grid, an
 enumerator mapping grid points to jobs (reusing a registered job kind, or
-registering a new one via :func:`repro.sim.jobs.register_job_kind`), an
-assembly step, and call :func:`register_experiment`.  See
-``examples/custom_experiment.py`` for a worked example.
+registering a new one via :func:`repro.sim.jobs.register_job_kind`), a
+:class:`MetricSchema`, and call :func:`register_experiment`.  See
+``examples/custom_experiment.py`` for a worked example.  Specs without a
+schema remain supported: their ``assemble`` hook runs instead and their
+result renders through the ``tables`` hook.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from enum import Enum
 from typing import (
     Callable,
     Dict,
+    Iterable,
     Iterator,
     List,
     Mapping,
@@ -52,10 +60,14 @@ from repro.faults.campaign import (
     SWEEP_CONFIGURATIONS,
     TRIAL_SITES,
 )
-from repro.faults.cells import DEFAULT_TRIALS_PER_CELL, fault_campaign_jobs
-from repro.sim import experiments as _exp
+from repro.faults.cells import (
+    DEFAULT_TRIALS_PER_CELL,
+    assemble_campaign_reports,
+    fault_campaign_jobs,
+)
 from repro.sim.experiments import (
     ABLATION_VARIANTS,
+    FAULT_COVERAGE_TITLE,
     FIGURE5_CONFIGS,
     FIGURE6_CONFIGS,
     ExperimentSettings,
@@ -68,6 +80,7 @@ from repro.sim.experiments import (
     switch_overhead_jobs,
     window_ablation_jobs,
 )
+from repro.sim.frames import FrameView, MetricColumn, MetricSchema, ResultFrame
 from repro.sim.jobs import ExperimentJob
 from repro.sim.runner import ExperimentRunner, Metrics, default_runner
 
@@ -77,6 +90,7 @@ __all__ = [
     "ParameterGrid",
     "SpecOption",
     "SpecRequest",
+    "SpecRun",
     "experiment",
     "experiment_names",
     "register_experiment",
@@ -89,6 +103,10 @@ __all__ = [
 ]
 
 JobResults = Mapping[ExperimentJob, Metrics]
+
+#: One raw frame sample: a key tuple (schema key order) plus a mapping of
+#: metric samples contributed at that coordinate.
+FrameSample = Tuple[Tuple[object, ...], Mapping[str, object]]
 
 
 # ===================================================================== #
@@ -252,7 +270,7 @@ class SpecRequest:
 
     Built by :meth:`ExperimentSpec.request` (which applies the spec's
     workload limit and single-seed policy), and passed verbatim to the
-    spec's ``grid`` / ``enumerate_jobs`` / ``assemble`` hooks.
+    spec's ``grid`` / ``enumerate_jobs`` / ``schema`` hooks.
     """
 
     settings: ExperimentSettings
@@ -269,8 +287,9 @@ class ExperimentSpec:
     """A declarative, re-runnable description of one experiment.
 
     The hooks receive a resolved :class:`SpecRequest`; everything else --
-    running through a :class:`~repro.sim.runner.ExperimentRunner`, uniform
-    table and JSON rendering -- is provided by the spec machinery.
+    running through a :class:`~repro.sim.runner.ExperimentRunner`, generic
+    frame assembly, schema-generated table / JSON / CSV rendering -- is
+    provided by the spec machinery.
     """
 
     #: Registry key, CLI subcommand and JSON ``experiment`` field.
@@ -288,11 +307,24 @@ class ExperimentSpec:
     enumerate_jobs: Callable[[SpecRequest], List[ExperimentJob]] = (
         lambda request: []
     )
-    #: Fold the runner's ``{job: metrics}`` output into a result object.
+    #: The declared result shape: key axes plus typed metric columns.
+    #: With a schema, running the spec returns a :class:`ResultFrame`
+    #: assembled by the generic fold of :mod:`repro.sim.frames`.
+    schema: Optional[Callable[[SpecRequest], MetricSchema]] = None
+    #: Optional override of the raw samples fed to the frame assembler;
+    #: the default maps each job's key coordinates straight off the job and
+    #: feeds its whole metrics dict.  Needed when samples must be computed
+    #: *across* cells first (the fault campaign derives per-seed coverage
+    #: from many trial-chunk cells).
+    cell_samples: Optional[
+        Callable[[SpecRequest, Sequence[ExperimentJob], JobResults], Iterable[FrameSample]]
+    ] = None
+    #: Legacy assembly hook for specs *without* a schema: fold the runner's
+    #: ``{job: metrics}`` output into an arbitrary result object.
     assemble: Callable[[SpecRequest, Sequence[ExperimentJob], JobResults], object] = (
         lambda request, jobs, results: None
     )
-    #: Render a result as its plain-text tables, in presentation order.
+    #: Legacy rendering hook for specs without a schema.
     tables: Callable[[object], List[str]] = lambda result: []
     #: Experiment-specific CLI flags.
     options: Tuple[SpecOption, ...] = ()
@@ -338,6 +370,28 @@ class ExperimentSpec:
             settings = settings.with_seeds(settings.seeds[:1])
         return SpecRequest(settings=settings, options=options)
 
+    def execute(
+        self,
+        settings: Optional[ExperimentSettings] = None,
+        runner: Optional[ExperimentRunner] = None,
+        request: Optional[SpecRequest] = None,
+        **options: object,
+    ) -> "SpecRun":
+        """Enumerate and execute this experiment, keeping the raw results.
+
+        Either pass a pre-resolved ``request`` or let ``settings`` and
+        keyword options be resolved via :meth:`request`.  The returned
+        :class:`SpecRun` exposes the raw ``{job: metrics}`` mapping as well
+        as the assembled :meth:`~SpecRun.frame` -- the legacy wrappers use
+        it to build their dataclass views without re-running anything.
+        """
+        if request is None:
+            request = self.request(settings, **options)
+        runner = runner or default_runner()
+        jobs = self.enumerate_jobs(request)
+        results = runner.run_jobs(jobs)
+        return SpecRun(spec=self, request=request, jobs=jobs, results=results)
+
     def run(
         self,
         settings: Optional[ExperimentSettings] = None,
@@ -345,24 +399,65 @@ class ExperimentSpec:
         request: Optional[SpecRequest] = None,
         **options: object,
     ) -> object:
-        """Enumerate, execute and assemble this experiment.
+        """Run this experiment and return its result.
 
-        Either pass a pre-resolved ``request`` or let ``settings`` and
-        keyword options be resolved via :meth:`request`.
+        Specs with a schema return the assembled :class:`ResultFrame`;
+        schema-less specs return whatever their ``assemble`` hook builds.
         """
-        if request is None:
-            request = self.request(settings, **options)
-        runner = runner or default_runner()
-        jobs = self.enumerate_jobs(request)
-        results = runner.run_jobs(jobs)
-        return self.assemble(request, jobs, results)
+        return self.execute(settings, runner=runner, request=request, **options).result()
 
     # ------------------------------------------------------------------ #
-    # Uniform result rendering
+    # Frame assembly (generic, schema-driven)
+    # ------------------------------------------------------------------ #
+
+    def metric_schema(self, request: SpecRequest) -> MetricSchema:
+        """The resolved schema of one request."""
+        if self.schema is None:
+            raise ExperimentError(
+                f"experiment {self.name!r} declares no MetricSchema"
+            )
+        return self.schema(request)
+
+    def samples(
+        self,
+        request: SpecRequest,
+        jobs: Sequence[ExperimentJob],
+        results: JobResults,
+    ) -> Iterable[FrameSample]:
+        """The raw ``(key, values)`` samples fed to the frame assembler."""
+        if self.cell_samples is not None:
+            return self.cell_samples(request, jobs, results)
+        schema = self.metric_schema(request)
+        return (
+            (
+                tuple(_job_axis_value(job, axis) for axis in schema.keys),
+                results[job],
+            )
+            for job in jobs
+        )
+
+    def assemble_frame(
+        self,
+        request: SpecRequest,
+        jobs: Sequence[ExperimentJob],
+        results: JobResults,
+    ) -> ResultFrame:
+        """Fold the runner's output into this spec's :class:`ResultFrame`."""
+        return ResultFrame.assemble(
+            self.metric_schema(request),
+            self.samples(request, jobs, results),
+            name=self.name,
+            title=self.title,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Uniform result rendering (generated from the schema)
     # ------------------------------------------------------------------ #
 
     def to_table(self, result: object) -> str:
         """Every table of a result, joined the way the CLI prints them."""
+        if isinstance(result, ResultFrame):
+            return result.to_table()
         return "\n\n".join(self.tables(result))
 
     def to_json(self, result: object) -> Dict[str, object]:
@@ -371,8 +466,58 @@ class ExperimentSpec:
             "experiment": self.name,
             "title": self.title,
             "family": self.family,
-            "result": jsonify(result),
+            "result": result.to_json()
+            if isinstance(result, ResultFrame)
+            else jsonify(result),
         }
+
+    def to_csv(self, result: object) -> str:
+        """CSV export generated from the schema (frames only)."""
+        if not isinstance(result, ResultFrame):
+            raise ExperimentError(
+                f"experiment {self.name!r} produced no frame to export as CSV"
+            )
+        return result.to_csv()
+
+
+@dataclass
+class SpecRun:
+    """One executed spec request: the raw results plus the assembled frame."""
+
+    spec: ExperimentSpec
+    request: SpecRequest
+    jobs: List[ExperimentJob]
+    results: JobResults
+    _frame: Optional[ResultFrame] = None
+
+    def frame(self) -> ResultFrame:
+        """The schema-assembled frame (computed once per run)."""
+        if self._frame is None:
+            self._frame = self.spec.assemble_frame(self.request, self.jobs, self.results)
+        return self._frame
+
+    def result(self) -> object:
+        """The spec's result: its frame, or the legacy ``assemble`` output."""
+        if self.spec.schema is not None:
+            return self.frame()
+        return self.spec.assemble(self.request, self.jobs, self.results)
+
+
+def _job_axis_value(job: ExperimentJob, axis: str) -> object:
+    """Default mapping from a schema key axis to a job's coordinate.
+
+    ``workload`` and ``seed`` are job fields; any other axis is looked up
+    in the job's ``params`` payload and falls back to the ``variant``
+    label (the configuration axis of the simulation families).
+    """
+    if axis == "workload":
+        return job.workload
+    if axis == "seed":
+        return job.seed
+    value = job.param(axis)
+    if value is not None:
+        return value
+    return job.variant
 
 
 def jsonify(value: object) -> object:
@@ -446,6 +591,33 @@ def _seed_grid(request: SpecRequest, configurations: Sequence[object]) -> Parame
     )
 
 
+def _ipc_metric(name: str, label: str = "") -> MetricColumn:
+    return MetricColumn(name, unit="instr/cycle", label=label)
+
+
+_FIGURE5_SCHEMA = MetricSchema(
+    keys=("workload", "configuration"),
+    metrics=(
+        _ipc_metric("user_ipc", "user IPC"),
+        _ipc_metric("throughput"),
+    ),
+    views=(
+        FrameView(
+            title="Figure 5(a): per-thread user IPC (normalised to No DMR 2X)",
+            metrics=("user_ipc",),
+            pivot="configuration",
+            normalize_to="no-dmr-2x",
+        ),
+        FrameView(
+            title="Figure 5(b): overall throughput (normalised to No DMR 2X)",
+            metrics=("throughput",),
+            pivot="configuration",
+            normalize_to="no-dmr-2x",
+        ),
+    ),
+)
+
+
 register_experiment(
     ExperimentSpec(
         name="figure5",
@@ -456,15 +628,39 @@ register_experiment(
         ),
         grid=lambda request: _seed_grid(request, FIGURE5_CONFIGS),
         enumerate_jobs=lambda request: figure5_jobs(request.settings),
-        assemble=lambda request, jobs, results: _exp.assemble_figure5(
-            request.settings, results
-        ),
-        tables=lambda result: [
-            result.format_ipc_table(),
-            result.format_throughput_table(),
-        ],
+        schema=lambda request: _FIGURE5_SCHEMA,
         legacy_entry_points=("run_dmr_overhead_experiment",),
     )
+)
+
+
+_FIGURE6_SCHEMA = MetricSchema(
+    keys=("workload", "configuration"),
+    metrics=(
+        _ipc_metric("reliable_ipc", "reliable"),
+        _ipc_metric("performance_ipc", "performance"),
+        _ipc_metric("reliable_throughput"),
+        _ipc_metric("performance_throughput"),
+        _ipc_metric("overall_throughput"),
+    ),
+    views=(
+        FrameView(
+            title="Figure 6(a): per-thread user IPC (normalised to DMR Base)",
+            metrics=("reliable_ipc", "performance_ipc"),
+            series_labels=("reliable", "performance"),
+            series_column="vm",
+            pivot="configuration",
+            normalize_to="dmr-base",
+        ),
+        FrameView(
+            title="Figure 6(b): throughput (normalised to DMR Base)",
+            metrics=("performance_throughput", "overall_throughput"),
+            series_labels=("performance-vm", "overall"),
+            series_column="series",
+            pivot="configuration",
+            normalize_to="dmr-base",
+        ),
+    ),
 )
 
 
@@ -482,17 +678,27 @@ register_experiment(
         enumerate_jobs=lambda request: figure6_jobs(
             request.settings, request.option("configurations", FIGURE6_CONFIGS)
         ),
-        assemble=lambda request, jobs, results: _exp.assemble_figure6(
-            request.settings,
-            results,
-            request.option("configurations", FIGURE6_CONFIGS),
-        ),
-        tables=lambda result: [
-            result.format_ipc_table(),
-            result.format_throughput_table(),
-        ],
+        schema=lambda request: _FIGURE6_SCHEMA,
         legacy_entry_points=("run_mixed_mode_experiment",),
     )
+)
+
+
+_PAB_SCHEMA = MetricSchema(
+    keys=("workload", "lookup"),
+    metrics=(
+        MetricColumn("performance_ipc", unit="instr/cycle", aggregate="mean"),
+        MetricColumn("reliable_ipc", unit="instr/cycle", aggregate="mean"),
+    ),
+    views=(
+        FrameView(
+            title="Effect of a 2-cycle serial PAB lookup (MMM-TP, performance VM)",
+            metrics=("performance_ipc", "reliable_ipc"),
+            series_labels=("performance", "reliable"),
+            series_column="vm",
+            pivot="lookup",
+        ),
+    ),
 )
 
 
@@ -507,10 +713,7 @@ register_experiment(
             ("seed", request.settings.seeds),
         ),
         enumerate_jobs=lambda request: pab_jobs(request.settings),
-        assemble=lambda request, jobs, results: _exp.assemble_pab(
-            request.settings, results
-        ),
-        tables=lambda result: [result.format_table()],
+        schema=lambda request: _PAB_SCHEMA,
         legacy_entry_points=("run_pab_latency_study",),
     )
 )
@@ -529,6 +732,27 @@ def _table1_jobs(request: SpecRequest) -> List[ExperimentJob]:
     )
 
 
+_TABLE1_SCHEMA = MetricSchema(
+    keys=("workload",),
+    metrics=(
+        MetricColumn(
+            "enter_dmr_cycles", unit="cycles", aggregate="last",
+            label="Enter DMR", fmt="{:.0f}",
+        ),
+        MetricColumn(
+            "leave_dmr_cycles", unit="cycles", aggregate="last",
+            label="Leave DMR", fmt="{:.0f}",
+        ),
+    ),
+    views=(
+        FrameView(
+            title="Table 1: mixed-mode switching overheads (cycles, MMM-TP)",
+            metrics=("enter_dmr_cycles", "leave_dmr_cycles"),
+        ),
+    ),
+)
+
+
 register_experiment(
     ExperimentSpec(
         name="table1",
@@ -539,8 +763,7 @@ register_experiment(
             ("workload", request.settings.workloads)
         ),
         enumerate_jobs=_table1_jobs,
-        assemble=lambda request, jobs, results: _exp.assemble_table1(jobs, results),
-        tables=lambda result: [result.format_table()],
+        schema=lambda request: _TABLE1_SCHEMA,
         multi_seed=False,
         run_all_group="switching",
         legacy_entry_points=("run_switch_overhead_experiment",),
@@ -563,6 +786,27 @@ def _table2_jobs(request: SpecRequest) -> List[ExperimentJob]:
     )
 
 
+_TABLE2_SCHEMA = MetricSchema(
+    keys=("workload",),
+    metrics=(
+        MetricColumn(
+            "user_cycles", unit="cycles", aggregate="last",
+            label="User Cycles", fmt="{:.0f}",
+        ),
+        MetricColumn(
+            "os_cycles", unit="cycles", aggregate="last",
+            label="OS Cycles", fmt="{:.0f}",
+        ),
+    ),
+    views=(
+        FrameView(
+            title="Table 2: cycles before switching modes (single-OS, non-DMR baseline)",
+            metrics=("user_cycles", "os_cycles"),
+        ),
+    ),
+)
+
+
 register_experiment(
     ExperimentSpec(
         name="table2",
@@ -573,8 +817,7 @@ register_experiment(
             ("workload", request.settings.workloads)
         ),
         enumerate_jobs=_table2_jobs,
-        assemble=lambda request, jobs, results: _exp.assemble_table2(jobs, results),
-        tables=lambda result: [result.format_table()],
+        schema=lambda request: _TABLE2_SCHEMA,
         multi_seed=False,
         run_all_group="switching",
         legacy_entry_points=("run_switch_frequency_experiment",),
@@ -586,12 +829,55 @@ def _single_os_jobs(request: SpecRequest) -> List[ExperimentJob]:
     return _table1_jobs(request) + _table2_jobs(request)
 
 
-def _assemble_single_os(
+def _single_os_samples(
     request: SpecRequest, jobs: Sequence[ExperimentJob], results: JobResults
-) -> object:
-    table1 = _exp.assemble_table1([j for j in jobs if j.kind == "table1"], results)
-    table2 = _exp.assemble_table2([j for j in jobs if j.kind == "table2"], results)
-    return _exp.combine_single_os(table1, table2, request.settings.workloads)
+) -> Iterator[FrameSample]:
+    """Merge Table 1 and Table 2 cells into one row per workload.
+
+    Each measurement kind contributes a *partial* sample; the assembler
+    merges them by key and the ``overhead_percent`` column derives from the
+    merged row."""
+    for job in jobs:
+        metrics = results[job]
+        if job.kind == "table1":
+            yield (job.workload,), {
+                "switch_cycles": metrics["enter_dmr_cycles"] + metrics["leave_dmr_cycles"]
+            }
+        else:
+            yield (job.workload,), {
+                "round_trip_cycles": metrics["user_cycles"] + metrics["os_cycles"]
+            }
+
+
+def _single_os_overhead(row: Mapping[str, object]) -> float:
+    switch = float(row.get("switch_cycles") or 0.0)
+    total = float(row.get("round_trip_cycles") or 0.0) + switch
+    return switch / total * 100.0 if total else 0.0
+
+
+_SINGLE_OS_SCHEMA = MetricSchema(
+    keys=("workload",),
+    metrics=(
+        MetricColumn(
+            "switch_cycles", unit="cycles", aggregate="last",
+            label="switch cycles", fmt="{:.0f}",
+        ),
+        MetricColumn(
+            "round_trip_cycles", unit="cycles", aggregate="last",
+            label="user+OS cycles", fmt="{:.0f}",
+        ),
+        MetricColumn(
+            "overhead_percent", unit="%", aggregate="derive",
+            label="overhead %", derive=_single_os_overhead,
+        ),
+    ),
+    views=(
+        FrameView(
+            title="Single-OS mode-switching overhead (Table 1 + Table 2 combined)",
+            metrics=("switch_cycles", "round_trip_cycles", "overhead_percent"),
+        ),
+    ),
+)
 
 
 register_experiment(
@@ -605,12 +891,31 @@ register_experiment(
             ("measurement", ("table1", "table2")),
         ),
         enumerate_jobs=_single_os_jobs,
-        assemble=_assemble_single_os,
-        tables=lambda result: [result.format_table()],
+        schema=lambda request: _SINGLE_OS_SCHEMA,
+        cell_samples=_single_os_samples,
         multi_seed=False,
         run_all_group="switching",
         legacy_entry_points=("run_single_os_overhead_study",),
     )
+)
+
+
+_ABLATION_SCHEMA = MetricSchema(
+    keys=("workload", "variant"),
+    # Single-seed measurement: the cell's raw IPC, not a degenerate CI.
+    metrics=(
+        MetricColumn(
+            "user_ipc", unit="instr/cycle", aggregate="last", label="user IPC"
+        ),
+    ),
+    views=(
+        FrameView(
+            title="Reunion per-thread IPC vs window size / consistency (normalised)",
+            metrics=("user_ipc",),
+            pivot="variant",
+            normalize_to="window128-sc",
+        ),
+    ),
 )
 
 
@@ -627,10 +932,7 @@ register_experiment(
             ("variant", tuple(ABLATION_VARIANTS)),
         ),
         enumerate_jobs=lambda request: window_ablation_jobs(request.settings),
-        assemble=lambda request, jobs, results: _exp.assemble_ablation(
-            request.settings, results
-        ),
-        tables=lambda result: [result.format_table()],
+        schema=lambda request: _ABLATION_SCHEMA,
         multi_seed=False,
         workload_limit=2,
         run_all_group="ablation",
@@ -644,6 +946,30 @@ def _degradation_failures(request: SpecRequest) -> Tuple[int, ...]:
     if explicit is not None:
         return tuple(int(failed) for failed in explicit)
     return tuple(request.settings.degradation_failed_cores)
+
+
+def _degradation_schema(request: SpecRequest) -> MetricSchema:
+    num_cores = request.settings.config().num_cores
+    return MetricSchema(
+        keys=("workload", "failed_cores"),
+        metrics=(
+            _ipc_metric("throughput"),
+            _ipc_metric("user_ipc", "user IPC"),
+            MetricColumn("paused_vcpu_quanta", aggregate="mean", label="paused quanta"),
+            MetricColumn("events_applied", aggregate="mean", label="events"),
+        ),
+        views=(
+            FrameView(
+                title=(
+                    "Graceful degradation: overall throughput vs surviving cores "
+                    "(cores fail mid-run; Reunion DMR machine)"
+                ),
+                metrics=("throughput",),
+                pivot="failed_cores",
+                pivot_header=lambda failed: f"{num_cores - int(failed)} cores",
+            ),
+        ),
+    )
 
 
 register_experiment(
@@ -663,10 +989,7 @@ register_experiment(
         enumerate_jobs=lambda request: degradation_jobs(
             request.settings, _degradation_failures(request)
         ),
-        assemble=lambda request, jobs, results: _exp.assemble_degradation(
-            request.settings, _degradation_failures(request), jobs, results
-        ),
-        tables=lambda result: [result.format_table()],
+        schema=_degradation_schema,
         options=(
             SpecOption(
                 name="failures",
@@ -694,6 +1017,38 @@ def _churn_extra_vms(request: SpecRequest) -> int:
     return int(request.settings.churn_extra_vms)
 
 
+def _churn_schema(request: SpecRequest) -> MetricSchema:
+    extra_vms = _churn_extra_vms(request)
+    return MetricSchema(
+        keys=("workload",),
+        metrics=(
+            _ipc_metric("overall_throughput", "throughput"),
+            MetricColumn("utilization", label="core utilization"),
+            MetricColumn(
+                "transition_cycles", unit="cycles",
+                label="transition cycles", fmt="{:.0f}",
+            ),
+            MetricColumn(
+                "events_applied", aggregate="mean", label="events", fmt="{:.0f}",
+            ),
+        ),
+        views=(
+            FrameView(
+                title=(
+                    f"Consolidation churn: {extra_vms} burst VM(s) "
+                    "arriving/departing mid-run (MMM-TP)"
+                ),
+                metrics=(
+                    "overall_throughput",
+                    "utilization",
+                    "transition_cycles",
+                    "events_applied",
+                ),
+            ),
+        ),
+    )
+
+
 register_experiment(
     ExperimentSpec(
         name="consolidation-churn",
@@ -710,10 +1065,7 @@ register_experiment(
         enumerate_jobs=lambda request: churn_jobs(
             request.settings, _churn_extra_vms(request)
         ),
-        assemble=lambda request, jobs, results: _exp.assemble_churn(
-            request.settings, _churn_extra_vms(request), jobs, results
-        ),
-        tables=lambda result: [result.format_table()],
+        schema=_churn_schema,
         options=(
             SpecOption(
                 name="extra_vms",
@@ -787,23 +1139,69 @@ def _faults_jobs(request: SpecRequest) -> List[ExperimentJob]:
     return jobs
 
 
-def _assemble_faults(
-    request: SpecRequest, jobs: Sequence[ExperimentJob], results: JobResults
-) -> object:
-    trials = _faults_trials(request)
-    seeds = tuple(request.settings.seeds)
-    rates = _faults_rates(request)
-    by_rate: Dict[float, object] = {}
-    for rate in rates:
-        rate_jobs = [job for job in jobs if job.param("fault_rate") == float(rate)]
-        by_rate[rate] = _exp.assemble_fault_coverage(
-            rate_jobs, results, trials, seeds, float(rate)
+def _faults_sweeping(request: SpecRequest) -> bool:
+    return bool(request.option("sweep_rates"))
+
+
+def _faults_schema(request: SpecRequest) -> MetricSchema:
+    sweeping = _faults_sweeping(request)
+    keys = ("rate", "configuration") if sweeping else ("configuration",)
+    if sweeping:
+        views = (
+            FrameView(
+                title=(
+                    "Fault-space sweep: silent corruption rate vs fault-rate scale "
+                    f"({_faults_trials(request)} trials/site, "
+                    f"{len(tuple(request.settings.seeds))} seeds)"
+                ),
+                metrics=("silent_corruption_rate",),
+                pivot="rate",
+                pivot_header="rate {:g}",
+            ),
         )
-    if not request.option("sweep_rates"):
-        return by_rate[rates[0]]
-    return _exp.FaultRateSweepResult(
-        trials_per_site=trials, seeds=seeds, fault_rates=rates, by_rate=by_rate
+    else:
+        views = (
+            FrameView(
+                title=FAULT_COVERAGE_TITLE,
+                metrics=("trials", "coverage", "silent_corruption_rate"),
+            ),
+        )
+    return MetricSchema(
+        keys=keys,
+        metrics=(
+            MetricColumn("trials", dtype="int", aggregate="sum"),
+            MetricColumn("coverage"),
+            MetricColumn("silent_corruption_rate", label="silent corruption rate"),
+        ),
+        views=views,
     )
+
+
+def _faults_samples(
+    request: SpecRequest, jobs: Sequence[ExperimentJob], results: JobResults
+) -> Iterator[FrameSample]:
+    """Per-seed coverage samples, derived across each seed's trial cells.
+
+    A campaign cell is one (configuration, site, seed, chunk) chunk of trial
+    records; coverage is only meaningful per seed-share of the campaign, so
+    the samples are the per-seed merged reports -- the ``mean_ci``
+    aggregation over them is exactly the legacy across-seed interval."""
+    sweeping = _faults_sweeping(request)
+    seeds = tuple(request.settings.seeds)
+    for rate in _faults_rates(request):
+        rate_jobs = [job for job in jobs if job.param("fault_rate") == float(rate)]
+        merged, per_seed = assemble_campaign_reports(rate_jobs, results)
+        for configuration in merged:
+            for seed in seeds:
+                report = per_seed[(configuration, seed)]
+                key: Tuple[object, ...] = (
+                    (float(rate), configuration) if sweeping else (configuration,)
+                )
+                yield key, {
+                    "trials": report.total,
+                    "coverage": report.coverage,
+                    "silent_corruption_rate": report.silent_corruption_rate,
+                }
 
 
 register_experiment(
@@ -818,8 +1216,8 @@ register_experiment(
         family="faults",
         grid=_faults_grid,
         enumerate_jobs=_faults_jobs,
-        assemble=_assemble_faults,
-        tables=lambda result: [result.format_table()],
+        schema=_faults_schema,
+        cell_samples=_faults_samples,
         options=(
             SpecOption(
                 name="trials",

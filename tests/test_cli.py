@@ -170,8 +170,10 @@ def test_json_output_is_the_spec_document(capsys):
     assert main(
         ["figure5", "--quick", "--workloads", "apache", "--no-cache", "--json"]
     ) == 0
-    out = capsys.readouterr().out
-    document = json.loads(out.split("\n\nexperiment engine:")[0])
+    captured = capsys.readouterr()
+    # stdout is a clean, redirectable document; engine stats go to stderr.
+    document = json.loads(captured.out)
+    assert "experiment engine:" in captured.err
     assert document["experiment"] == "figure5"
     assert document["grid"]["workload"] == ["apache"]
     assert document["result"]["rows"][0]["workload"] == "apache"
@@ -195,6 +197,24 @@ def test_cache_stats_and_clear_by_kind(capsys, isolated_cache):
     capsys.readouterr()
     assert main(["cache", "stats"]) == 0
     assert "no entries" in capsys.readouterr().out
+
+
+def test_cache_stats_reports_schema_version_breakdown(capsys, isolated_cache):
+    import json
+
+    assert main(["figure5", "--quick", "--workloads", "apache"]) == 0
+    # Plant a pre-redesign (version 1) entry next to the fresh ones: it
+    # must show up in the breakdown even though loads treat it as a miss.
+    stale = isolated_cache / "figure5" / "deadbeef.json"
+    stale.write_text(
+        json.dumps({"schema": 1, "key": "deadbeef", "metrics": {"user_ipc": 1.0}}),
+        encoding="utf-8",
+    )
+    capsys.readouterr()
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "versions" in out
+    assert "v1:1" in out and "v2:3" in out
 
 
 def test_faults_subcommand(capsys):

@@ -1,0 +1,498 @@
+"""Tests for the schema-driven results layer (:mod:`repro.sim.frames`).
+
+Five contracts:
+
+* **assembly** -- the generic fold groups samples per key tuple and applies
+  each metric column's aggregation rule (``mean_ci``/``mean``/``sum``/
+  ``last``/``derive``), merging partial samples;
+* **serialization** -- ``to_json`` -> ``from_json`` round trips
+  byte-identically, and ``to_csv`` matches a golden rendering;
+* **schema/grid consistency** -- every registered spec declares a
+  ``MetricSchema`` whose key axes are grid axes;
+* **parity** -- the legacy ``run_*`` wrappers (dataclass views) agree
+  numerically with the spec's frame, family by family;
+* **diffing** -- identical runs diff clean, perturbed metrics are flagged,
+  and the ``repro diff`` CLI exits non-zero on drift.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.common.stats import ConfidenceInterval
+from repro.errors import ExperimentError
+from repro.sim.experiments import (
+    ExperimentSettings,
+    collect_frames,
+    run_dmr_overhead_experiment,
+    run_degradation_experiment,
+    run_fault_coverage_experiment,
+    run_mixed_mode_experiment,
+    run_pab_latency_study,
+    run_switch_frequency_experiment,
+    run_switch_overhead_experiment,
+    run_window_ablation,
+)
+from repro.sim.frames import (
+    FRAME_SCHEMA_VERSION,
+    FrameView,
+    MetricColumn,
+    MetricSchema,
+    ResultFrame,
+    diff_documents,
+    diff_frames,
+    document_frames,
+    frames_document,
+    frames_to_csv,
+)
+from repro.sim.runner import ExperimentRunner
+from repro.sim.specs import EXPERIMENTS
+
+QUICK = ExperimentSettings.quick().with_workloads(("apache",))
+
+
+def unit_frame() -> ResultFrame:
+    schema = MetricSchema(
+        keys=("workload", "config"),
+        metrics=(
+            MetricColumn("ipc", unit="instr/cycle"),
+            MetricColumn("cycles", dtype="int", aggregate="sum"),
+            MetricColumn("note", dtype="str", aggregate="last"),
+        ),
+    )
+    samples = [
+        (("apache", "a"), {"ipc": 1.0, "cycles": 10, "note": "x"}),
+        (("apache", "a"), {"ipc": 3.0, "cycles": 5, "note": "y"}),
+        (("apache", "b"), {"ipc": 2.0, "cycles": 7, "note": "z"}),
+    ]
+    return ResultFrame.assemble(schema, samples, name="unit", title="unit frame")
+
+
+class TestAssembly:
+    def test_aggregation_rules(self):
+        frame = unit_frame()
+        cell = frame.value("ipc", workload="apache", config="a")
+        assert isinstance(cell, ConfidenceInterval)
+        assert cell.mean == 2.0 and cell.count == 2
+        assert frame.value("cycles", workload="apache", config="a") == 15
+        assert frame.value("note", workload="apache", config="a") == "y"  # last
+        single = frame.value("ipc", workload="apache", config="b")
+        assert single.count == 1 and single.half_width == 0.0
+
+    def test_row_order_is_first_seen_sample_order(self):
+        frame = unit_frame()
+        assert [frame.key_of(row) for row in frame.rows] == [
+            ("apache", "a"),
+            ("apache", "b"),
+        ]
+        assert frame.axis_values("config") == ("a", "b")
+
+    def test_partial_samples_merge_and_derive(self):
+        schema = MetricSchema(
+            keys=("w",),
+            metrics=(
+                MetricColumn("left", aggregate="last"),
+                MetricColumn("right", aggregate="last"),
+                MetricColumn(
+                    "total",
+                    aggregate="derive",
+                    derive=lambda row: row["left"] + row["right"],
+                ),
+            ),
+        )
+        frame = ResultFrame.assemble(
+            schema,
+            [(("x",), {"left": 2.0}), (("x",), {"right": 3.0})],
+            name="merge",
+        )
+        (row,) = frame.rows
+        assert row["total"] == 5.0
+
+    def test_key_arity_mismatch_is_rejected(self):
+        schema = MetricSchema(keys=("a", "b"), metrics=(MetricColumn("m"),))
+        with pytest.raises(ExperimentError, match="does not match schema keys"):
+            ResultFrame.assemble(schema, [(("only-one",), {"m": 1.0})], name="bad")
+
+    def test_value_rejects_unknown_metric_with_experiment_error(self):
+        with pytest.raises(ExperimentError, match="no metric column"):
+            unit_frame().value("ipcs", workload="apache", config="a")
+
+    def test_schema_validation(self):
+        with pytest.raises(ExperimentError, match="both key and metric"):
+            MetricSchema(keys=("m",), metrics=(MetricColumn("m"),))
+        with pytest.raises(ExperimentError, match="unknown aggregate"):
+            MetricColumn("m", aggregate="median")
+        with pytest.raises(ExperimentError, match="unknown metrics"):
+            MetricSchema(
+                keys=("k",),
+                metrics=(MetricColumn("m"),),
+                views=(FrameView(title="t", metrics=("nope",)),),
+            )
+
+
+class TestPivotRendering:
+    def test_missing_baseline_is_announced_not_silently_raw(self):
+        schema = MetricSchema(
+            keys=("w", "c"),
+            metrics=(MetricColumn("m"),),
+            views=(
+                FrameView(
+                    title="normalised view", metrics=("m",), pivot="c",
+                    normalize_to="base",
+                ),
+            ),
+        )
+        samples = [(("x", "base"), {"m": 2.0}), (("x", "other"), {"m": 4.0})]
+        frame = ResultFrame.assemble(schema, samples, name="p")
+        assert "2.000" in frame.to_table()  # 4.0 / 2.0 baseline
+        assert "NOT normalised" not in frame.to_table()
+        # Without the baseline pivot value, raw numbers must not pose as
+        # normalised ratios: the title says so.
+        restricted = ResultFrame.assemble(
+            schema, [(("x", "other"), {"m": 4.0})], name="p"
+        )
+        rendered = restricted.to_table()
+        assert "NOT normalised" in rendered and "base" in rendered
+        assert "x *" in rendered  # the raw row itself is marked
+
+    def test_missing_metric_renders_dash_not_zero(self):
+        schema = MetricSchema(
+            keys=("w", "c"),
+            metrics=(MetricColumn("m", aggregate="last"),),
+            views=(FrameView(title="t", metrics=("m",), pivot="c"),),
+        )
+        frame = ResultFrame.assemble(
+            schema, [(("x", "a"), {"m": 1.5}), (("x", "b"), {})], name="p"
+        )
+        lines = frame.to_table().splitlines()
+        assert lines[-1].split()[-1] == "-"
+
+
+class TestSerialization:
+    def test_json_round_trip_is_byte_identical(self):
+        frame = unit_frame()
+        document = frame.to_json()
+        rebuilt = ResultFrame.from_json(json.loads(json.dumps(document)))
+        assert json.dumps(document, sort_keys=True) == json.dumps(
+            rebuilt.to_json(), sort_keys=True
+        )
+        # And the round-tripped frame is queryable like the original.
+        assert rebuilt.value("cycles", workload="apache", config="a") == 15
+
+    def test_simulated_frame_round_trips(self, tmp_path):
+        frame = EXPERIMENTS["figure5"].run(
+            QUICK, runner=ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        )
+        document = json.loads(json.dumps(frame.to_json(), sort_keys=True))
+        rebuilt = ResultFrame.from_json(document)
+        assert json.dumps(frame.to_json(), sort_keys=True) == json.dumps(
+            rebuilt.to_json(), sort_keys=True
+        )
+
+    def test_unsupported_version_is_rejected(self):
+        payload = unit_frame().to_json()
+        payload["frame_version"] = FRAME_SCHEMA_VERSION + 1
+        with pytest.raises(ExperimentError, match="unsupported frame version"):
+            ResultFrame.from_json(payload)
+
+    def test_csv_golden(self):
+        assert unit_frame().to_csv() == (
+            "workload,config,ipc_mean,ipc_ci95,ipc_n,cycles,note\n"
+            "apache,a,2.0,12.706,2,15,y\n"
+            "apache,b,2.0,0.0,1,7,z\n"
+        )
+
+    def test_tidy_csv_is_uniform_across_frames(self):
+        text = frames_to_csv({"unit": unit_frame()})
+        lines = text.splitlines()
+        assert lines[0] == "experiment,key,metric,unit,aggregate,value,ci95,n"
+        assert "unit,workload=apache;config=a,ipc,instr/cycle,mean_ci,2.0,12.706,2" in lines
+        assert "unit,workload=apache;config=a,cycles,,sum,15,," in lines
+
+
+class TestSchemaGridConsistency:
+    def test_every_registered_spec_declares_a_schema(self):
+        for name, spec in EXPERIMENTS.items():
+            assert spec.schema is not None, name
+
+    def test_schema_keys_are_grid_axes(self):
+        for name, spec in EXPERIMENTS.items():
+            request = spec.request(QUICK)
+            schema = spec.metric_schema(request)
+            grid_names = spec.grid(request).names()
+            for key in schema.keys:
+                assert key in grid_names, (name, key)
+            # Seeds are aggregated over, never a frame axis.
+            assert "seed" not in schema.keys, name
+
+    def test_faults_sweep_gains_the_rate_axis(self):
+        spec = EXPERIMENTS["faults"]
+        request = spec.request(QUICK, sweep_rates=(0.5, 1.0), trials=2)
+        schema = spec.metric_schema(request)
+        assert schema.keys == ("rate", "configuration")
+        assert "rate" in spec.grid(request).names()
+
+
+class TestSpecVsLegacyWrapperParity:
+    """The wrappers' dataclass views agree numerically with the frames.
+
+    Spec and wrapper runs share one on-disk cache, so each family's cells
+    simulate exactly once."""
+
+    @pytest.fixture(scope="class")
+    def cache_dir(self, tmp_path_factory):
+        return tmp_path_factory.mktemp("parity-cache")
+
+    def engine(self, cache_dir) -> ExperimentRunner:
+        return ExperimentRunner(jobs=1, cache_dir=cache_dir)
+
+    def test_figure5(self, cache_dir):
+        frame = EXPERIMENTS["figure5"].run(QUICK, runner=self.engine(cache_dir))
+        legacy = run_dmr_overhead_experiment(QUICK, runner=self.engine(cache_dir))
+        for row in legacy.rows:
+            for configuration in row.per_thread_ipc:
+                assert row.per_thread_ipc[configuration] == frame.value(
+                    "user_ipc", workload=row.workload, configuration=configuration
+                )
+                assert row.throughput[configuration] == frame.value(
+                    "throughput", workload=row.workload, configuration=configuration
+                )
+
+    def test_figure6(self, cache_dir):
+        frame = EXPERIMENTS["figure6"].run(QUICK, runner=self.engine(cache_dir))
+        legacy = run_mixed_mode_experiment(QUICK, runner=self.engine(cache_dir))
+        for row in legacy.rows:
+            for configuration in row.overall_throughput:
+                assert row.overall_throughput[configuration] == frame.value(
+                    "overall_throughput",
+                    workload=row.workload,
+                    configuration=configuration,
+                )
+                assert row.reliable_ipc[configuration] == frame.value(
+                    "reliable_ipc", workload=row.workload, configuration=configuration
+                )
+
+    def test_pab(self, cache_dir):
+        frame = EXPERIMENTS["pab"].run(QUICK, runner=self.engine(cache_dir))
+        legacy = run_pab_latency_study(QUICK, runner=self.engine(cache_dir))
+        (row,) = legacy.rows
+        assert row.parallel_ipc == frame.value(
+            "performance_ipc", workload=row.workload, lookup="parallel"
+        )
+        assert row.serial_ipc == frame.value(
+            "performance_ipc", workload=row.workload, lookup="serial"
+        )
+        assert row.reliable_serial_ipc == frame.value(
+            "reliable_ipc", workload=row.workload, lookup="serial"
+        )
+
+    def test_tables_and_derived_overhead(self, cache_dir):
+        table1 = run_switch_overhead_experiment(
+            workloads=("apache",), transitions_to_measure=2, warmup_cycles=2_000,
+            runner=self.engine(cache_dir),
+        )
+        table2 = run_switch_frequency_experiment(
+            workloads=("apache",), phases_to_measure=1, measurement_phase_scale=0.02,
+            runner=self.engine(cache_dir),
+        )
+        settings = ExperimentSettings().with_workloads(("apache",)).with_seeds((0,))
+        frame1 = EXPERIMENTS["table1"].run(
+            settings, runner=self.engine(cache_dir), explicit_workloads=True,
+            transitions_to_measure=2, warmup_cycles=2_000,
+        )
+        frame2 = EXPERIMENTS["table2"].run(
+            settings, runner=self.engine(cache_dir), explicit_workloads=True,
+            phases_to_measure=1, measurement_phase_scale=0.02,
+        )
+        assert table1.row("apache").enter_dmr_cycles == frame1.value(
+            "enter_dmr_cycles", workload="apache"
+        )
+        assert table2.row("apache").user_cycles == frame2.value(
+            "user_cycles", workload="apache"
+        )
+        # single-os: the derive column equals the dataclass property.
+        frame = EXPERIMENTS["single-os"].run(
+            settings, runner=self.engine(cache_dir), explicit_workloads=True,
+            transitions_to_measure=2, warmup_cycles=2_000,
+            phases_to_measure=1, measurement_phase_scale=0.02,
+        )
+        (row,) = frame.rows
+        switch = table1.row("apache").enter_dmr_cycles + table1.row("apache").leave_dmr_cycles
+        round_trip = table2.row("apache").round_trip_cycles
+        assert row["switch_cycles"] == switch
+        assert row["overhead_percent"] == pytest.approx(
+            switch / (switch + round_trip) * 100.0
+        )
+
+    def test_ablation(self, cache_dir):
+        frame = EXPERIMENTS["ablation"].run(QUICK, runner=self.engine(cache_dir))
+        legacy = run_window_ablation(QUICK, runner=self.engine(cache_dir))
+        for row in legacy.rows:
+            for variant, ipc in row.ipc_by_variant.items():
+                assert ipc == frame.value(
+                    "user_ipc", workload=row.workload, variant=variant
+                )
+
+    def test_degradation(self, cache_dir):
+        frame = EXPERIMENTS["degradation"].run(QUICK, runner=self.engine(cache_dir))
+        legacy = run_degradation_experiment(QUICK, runner=self.engine(cache_dir))
+        for row in legacy.rows:
+            for failed, interval in row.throughput.items():
+                assert interval == frame.value(
+                    "throughput", workload=row.workload, failed_cores=failed
+                )
+
+    def test_faults(self, cache_dir):
+        settings = ExperimentSettings().with_seeds((0, 1))
+        frame = EXPERIMENTS["faults"].run(
+            settings, runner=self.engine(cache_dir), trials=4
+        )
+        legacy = run_fault_coverage_experiment(
+            trials_per_site=4, seeds=(0, 1), runner=self.engine(cache_dir)
+        )
+        for row in legacy.rows:
+            assert frame.value("trials", configuration=row.configuration) == (
+                row.report.total
+            )
+            cell = frame.value("coverage", configuration=row.configuration)
+            assert cell == row.coverage_interval
+            # Equal per-seed shares: the across-seed mean equals the merged
+            # ratio the legacy row reports.
+            assert cell.mean == pytest.approx(row.coverage)
+
+
+class TestDiff:
+    def test_identical_frames_diff_clean(self):
+        assert diff_frames(unit_frame(), unit_frame()) == []
+
+    def test_value_drift_is_flagged_and_tolerance_respected(self):
+        baseline, current = unit_frame(), unit_frame()
+        cell = current.rows[0]["ipc"]
+        current.rows[0]["ipc"] = ConfidenceInterval(
+            mean=cell.mean * 1.001, half_width=cell.half_width, count=cell.count
+        )
+        drifts = diff_frames(baseline, current)
+        assert len(drifts) == 1
+        assert drifts[0].kind == "value-drift" and "ipc" in drifts[0].detail
+        # A 0.1% drift passes under a 1% relative tolerance.
+        assert diff_frames(baseline, current, rel_tol=0.01) == []
+
+    def test_missing_and_extra_rows_and_frames(self):
+        baseline, current = unit_frame(), unit_frame()
+        current.rows.pop()
+        kinds = {d.kind for d in diff_frames(baseline, current)}
+        assert kinds == {"missing-row"}
+        documents = diff_documents({"a": unit_frame()}, {"b": unit_frame()})
+        assert {d.kind for d in documents} == {"missing-frame", "extra-frame"}
+
+    def test_document_round_trip_diffs_clean(self, tmp_path):
+        frames = collect_frames(
+            QUICK, ["figure5", "pab"], runner=ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        )
+        document = json.loads(
+            json.dumps(frames_document(frames, settings=None), sort_keys=True)
+        )
+        assert diff_documents(document_frames(document), frames) == []
+
+
+class TestCliExportAndDiff:
+    @pytest.fixture(autouse=True)
+    def isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        return tmp_path
+
+    BASELINE_ARGV = [
+        "run-all", "--quick", "--workloads", "apache",
+        "--skip-switching", "--skip-ablation", "--skip-faults", "--json",
+    ]
+
+    def test_diff_passes_on_identical_run_and_flags_drift(self, capsys, tmp_path):
+        assert main(self.BASELINE_ARGV) == 0
+        document = json.loads(capsys.readouterr().out)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(document), encoding="utf-8")
+
+        # Identical re-run (warm cache): diff is clean and exits 0.
+        assert main(["diff", str(baseline)]) == 0
+        assert "results match" in capsys.readouterr().out
+
+        # Injected metric drift: non-zero exit naming the drifted cell.
+        drifted = document["frames"]["figure5"]["rows"][0]
+        drifted["user_ipc"]["mean"] *= 1.5
+        baseline.write_text(json.dumps(document), encoding="utf-8")
+        assert main(["diff", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "value-drift" in out and "user_ipc" in out
+
+    def test_diff_rejects_garbage(self, capsys, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{\"format\": \"something-else\"}", encoding="utf-8")
+        assert main(["diff", str(bogus)]) == 2
+        assert main(["diff", str(tmp_path / "missing.json")]) == 2
+        # Structurally malformed frames are bad input (2), not drift (1).
+        malformed = tmp_path / "malformed.json"
+        malformed.write_text(
+            json.dumps(
+                {"format": "repro-results", "frames": {"figure5": {"frame_version": 1}}}
+            ),
+            encoding="utf-8",
+        )
+        assert main(["diff", str(malformed)]) == 2
+
+    def test_export_rejects_unknown_experiments_cleanly(self, capsys):
+        assert main(["export", "--experiments", "nope"]) == 2
+
+    def test_diff_fails_when_a_baseline_experiment_vanished(self, capsys, tmp_path):
+        # A baseline frame whose spec no longer exists is drift (the gate
+        # must not silently pass a vanished experiment), not a skip.
+        document = frames_document({"retired-experiment": unit_frame()}, settings=None)
+        baseline = tmp_path / "vanished.json"
+        baseline.write_text(json.dumps(document), encoding="utf-8")
+        assert main(["diff", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "missing-frame" in out and "retired-experiment" in out
+
+    def test_diff_rejects_malformed_settings(self, capsys, tmp_path):
+        document = frames_document({}, settings=None)
+        document["settings"] = ["not", "an", "object"]
+        baseline = tmp_path / "badsettings.json"
+        baseline.write_text(json.dumps(document), encoding="utf-8")
+        assert main(["diff", str(baseline)]) == 2
+        assert "malformed settings" in capsys.readouterr().err
+
+    def test_export_csv_parses_and_matches_frames(self, capsys):
+        import csv as csv_module
+
+        assert main(
+            ["export", "--quick", "--workloads", "apache", "--format", "csv",
+             "--experiments", "figure5", "pab"]
+        ) == 0
+        rows = list(csv_module.reader(capsys.readouterr().out.splitlines()))
+        assert rows[0] == [
+            "experiment", "key", "metric", "unit", "aggregate", "value", "ci95", "n",
+        ]
+        experiments = {row[0] for row in rows[1:]}
+        assert experiments == {"figure5", "pab"}
+
+    def test_export_single_experiment_is_wide_csv(self, capsys):
+        assert main(
+            ["export", "--quick", "--workloads", "apache", "--format", "csv",
+             "--experiments", "figure5"]
+        ) == 0
+        header = capsys.readouterr().out.splitlines()[0]
+        assert header.startswith("workload,configuration,user_ipc_mean")
+
+    def test_export_json_is_a_valid_baseline(self, capsys, tmp_path):
+        assert main(
+            ["export", "--quick", "--workloads", "apache", "--format", "json",
+             "--experiments", "figure5"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        frames = document_frames(document)
+        assert set(frames) == {"figure5"}
+        baseline = tmp_path / "export.json"
+        baseline.write_text(json.dumps(document), encoding="utf-8")
+        assert main(["diff", str(baseline)]) == 0

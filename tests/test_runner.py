@@ -528,4 +528,4 @@ class TestRunAllParity:
             assert marker in report
         assert result.single_os is not None and result.ablation is not None
         assert result.faults is not None
-        assert result.faults.row("always-dmr").coverage == 1.0
+        assert result.faults.value("coverage", configuration="always-dmr").mean == 1.0

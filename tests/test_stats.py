@@ -39,6 +39,14 @@ class TestConfidenceInterval:
     def test_str_mentions_count(self):
         assert "n=3" in str(confidence_interval_95([1, 2, 3]))
 
+    def test_str_single_sample_says_so_instead_of_plus_minus_zero(self):
+        rendered = str(confidence_interval_95([3.5]))
+        assert rendered == "3.5 (single seed)"
+        assert "±" not in rendered
+
+    def test_str_empty_sequence_says_no_data(self):
+        assert str(confidence_interval_95([])) == "(no data)"
+
     def test_bounds_are_symmetric(self):
         ci = ConfidenceInterval(mean=10.0, half_width=2.0, count=5)
         assert ci.low == 8.0

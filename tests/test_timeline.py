@@ -571,8 +571,8 @@ class TestTimelineDeterminism:
             include_ablation=False,
             include_faults=False,
         )
-        assert "degradation" in everything.extras
-        assert "consolidation-churn" in everything.extras
+        assert "degradation" in everything.frames
+        assert "consolidation-churn" in everything.frames
         rendered = everything.render()
         assert "Graceful degradation" in rendered
         assert "Consolidation churn" in rendered

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""End-to-end hot-path benchmark: ``run-all --quick`` wall-clock per tier.
+
+Runs the whole quick evaluation through the CLI in a subprocess -- the same
+command the tentpole speedup was measured with -- and emits a
+machine-readable ``BENCH_hotpath.json``:
+
+* **cold**: fresh cache directory, every cell simulated;
+* **warm**: second run against the same cache, zero cells simulated (this
+  times the engine/cache overhead floor);
+* once per fidelity tier (``accurate`` and ``fast``), serial backend, so
+  the numbers isolate the execute-phase hot path from worker parallelism.
+
+Usage::
+
+    python benchmarks/bench_hotpath.py [--repeat N] [--output PATH] [--full]
+
+``--repeat`` records N cold/warm pairs per tier (fresh cache each repeat)
+and reports the best, which is what a tracked trajectory should plot.
+``--full`` drops ``--quick`` for a paper-sized grid (slow; not for CI).
+
+Unlike the ``bench_*`` pytest modules this is a plain script: it exists to
+leave an artefact (``BENCH_hotpath.json``) that CI and the BENCH trajectory
+can track across commits, not to print paper tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TIERS = ("accurate", "fast")
+
+
+def _run_all_once(tier: str, cache_dir: Path, quick: bool) -> float:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    command = [
+        sys.executable, "-m", "repro", "run-all",
+        "--backend", "serial",
+        "--cache-dir", str(cache_dir),
+        "--fidelity", tier,
+    ]
+    if quick:
+        command.insert(4, "--quick")
+    start = time.perf_counter()
+    subprocess.run(
+        command,
+        check=True,
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    return time.perf_counter() - start
+
+
+def measure(repeat: int, quick: bool) -> dict:
+    tiers: dict = {}
+    for tier in TIERS:
+        cold, warm = [], []
+        for _ in range(repeat):
+            with tempfile.TemporaryDirectory(prefix="bench-hotpath-") as cache:
+                cold.append(_run_all_once(tier, Path(cache), quick))
+                warm.append(_run_all_once(tier, Path(cache), quick))
+        tiers[tier] = {
+            "cold_s": [round(s, 3) for s in cold],
+            "warm_s": [round(s, 3) for s in warm],
+            "cold_best_s": round(min(cold), 3),
+            "warm_best_s": round(min(warm), 3),
+        }
+    return {
+        "benchmark": "hotpath",
+        "command": "run-all %s--backend serial" % ("--quick " if quick else ""),
+        "backend": "serial",
+        "repeat": repeat,
+        "python": sys.version.split()[0],
+        "tiers": tiers,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="cold/warm pairs per tier (best is reported)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_hotpath.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-sized grid instead of --quick (slow)")
+    args = parser.parse_args(argv)
+
+    report = measure(max(1, args.repeat), quick=not args.full)
+    args.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    accurate = report["tiers"]["accurate"]
+    fast = report["tiers"]["fast"]
+    print(f"wrote {args.output}")
+    print(f"accurate: cold {accurate['cold_best_s']}s warm {accurate['warm_best_s']}s")
+    print(f"fast:     cold {fast['cold_best_s']}s warm {fast['warm_best_s']}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,11 +29,23 @@ class DeterministicRng:
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
         self._random = random.Random(seed)
+        # Bound once for the hot address-sampling path below.
+        self._randbelow = self._random._randbelow
 
     @property
     def seed(self) -> int:
         """The seed this generator was created with."""
         return self._seed
+
+    @property
+    def raw(self) -> random.Random:
+        """The underlying :class:`random.Random`.
+
+        Hot paths bind its bound methods directly (``rng.raw.random``,
+        ``rng.raw.randint``) to skip the wrapper call; the value stream is
+        identical to going through the helpers on this class.
+        """
+        return self._random
 
     def fork(self, label: str) -> "DeterministicRng":
         """Return an independent generator derived from this seed and ``label``.
@@ -101,7 +113,10 @@ class DeterministicRng:
         """Uniform address in ``[base, base + span)`` aligned to ``alignment``."""
         if span <= 0:
             return base
-        offset = self._random.randrange(0, span)
+        # Equivalent to ``self._random.randrange(0, span)`` (which reduces to
+        # ``_randbelow(span)``) without the argument-checking overhead; the
+        # underlying bit stream consumed is identical.
+        offset = self._randbelow(span)
         if alignment > 1:
             offset -= offset % alignment
         return base + offset

@@ -10,6 +10,7 @@ C2C transfers, window-full cycles, PAB violations, ...).
 from __future__ import annotations
 
 import math
+from collections import defaultdict
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Iterable, Mapping
@@ -177,11 +178,30 @@ class StatSet:
     """
 
     def __init__(self, initial: Mapping[str, float] | None = None) -> None:
-        self._counters: Dict[str, float] = dict(initial or {})
+        # A defaultdict so that hot paths holding :attr:`counters` can write
+        # ``counts[name] += 1`` without a ``get`` call per event; absent
+        # counters still read as 0 through :meth:`get`, matching the previous
+        # plain-dict behaviour (the int default also keeps pure-integer
+        # counters integral, as before).
+        self._counters: Dict[str, float] = defaultdict(int)
+        if initial:
+            self._counters.update(initial)
 
     def add(self, name: str, amount: float = 1) -> None:
         """Increment counter ``name`` by ``amount`` (creating it at zero)."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        self._counters[name] += amount
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        """The live counter dictionary (a ``defaultdict(int)``).
+
+        Hot paths (the cache and TLB lookup loops) bind this once and bump
+        entries directly (``counts[name] += 1``) instead of paying a method
+        call per event; mutating it is equivalent to calling
+        :meth:`add`/:meth:`set`.  Note that *reading* an absent key through
+        ``[]`` creates it at 0 -- use :meth:`get` for reads.
+        """
+        return self._counters
 
     def set(self, name: str, value: float) -> None:
         """Overwrite counter ``name``."""

@@ -1,0 +1,257 @@
+"""Calibrated analytical fast tier for the quantum timing model.
+
+:class:`FastTimingModel` wraps a :class:`~repro.cpu.timing.CoreTimingModel`
+and trades cycle-accuracy for speed.  Quanta are grouped into *execution
+contexts* -- a (workload profile, execution mode, active-core count)
+combination, i.e. everything that changes per-cycle behaviour -- and only a
+duty-cycled fraction (one in :data:`SAMPLE_EVERY`) of each context's quanta
+is simulated accurately.  Every accurate quantum feeds the context's running
+*calibration aggregate* (total cycles, instructions, user/OS split, stall
+breakdown); the remaining quanta are synthesised by scaling the aggregate's
+per-cycle rates to the requested cycle budget instead of simulating every
+dynamic instruction, which is where the speedup comes from.
+
+Three properties of the scheme matter for fidelity:
+
+* sampling is coordinated per VM, not per VCPU: a VM's quanta are grouped
+  into *rounds* by their start cycle (all placements of one of its
+  timeslices share it), and one round in :data:`SAMPLE_EVERY` runs
+  accurate for **every** sibling VCPU at once, so sampled quanta contend
+  against genuinely executing neighbours.  Per-VCPU duty-cycling instead
+  samples each VCPU against synthesised (silent) neighbours, which
+  under-pressures the shared cache levels and biases the calibrated rates
+  optimistic.  Rounds are counted per VM because consolidated VMs
+  time-multiplex the machine: sampling on a machine-wide round counter
+  keeps re-sampling whichever VM owns the matching timeslices while the
+  others extrapolate their earliest (phase-biased) quanta forever;
+* samples are whole quanta run in place against the warmed memory system,
+  so the calibrated rates reflect steady-state cache pressure (a
+  truncated-probe scheme under-pressures the shared levels even within one
+  quantum);
+* the aggregate pools samples across *all* VCPUs running the same profile
+  in the same mode, and keeps growing as the run proceeds.  Individual
+  quanta swing wildly with the user/OS phase the VCPU happens to occupy
+  (an OS-heavy quantum can commit zero user instructions); pooling averages
+  that phase noise with ~(VCPUs x duty-cycle) samples per context, and the
+  periodic accurate rounds keep feeding behavioural drift back in.
+
+Skipped rounds do not advance the synthetic address streams, but those
+streams are stationary by construction, so re-entering a sampled round at
+the old stream state is statistically equivalent to having executed the
+gap -- the classic functional-warming requirement of sampled simulation
+does not bite here.
+
+Calls the analytical model cannot represent faithfully -- fine-grained runs
+that stop on OS entry/exit, instruction-limited runs, or any run under
+fault injection -- are delegated to the wrapped accurate model unchanged, so
+measurement-style experiments return identical results under either tier.
+
+The fast tier is selected per experiment via
+``ExperimentSettings(fidelity="fast")`` (CLI: ``--fidelity fast``); its
+deviation from the accurate tier is bounded by the parity test suite
+(``tests/test_fidelity_parity.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.common.stats import StatSet
+from repro.cpu.timing import (
+    CoreAssignment,
+    CoreTimingModel,
+    QuantumResult,
+    StopReason,
+)
+from repro.workloads.generator import SyntheticWorkload
+
+#: One round (timeslice) in this many runs fully accurate -- for every
+#: VCPU at once, so sampled quanta see true contention -- and feeds the
+#: calibration aggregates; the rest are synthesised.  The asymptotic
+#: speedup of the tier on steady phases is bounded by this number.
+SAMPLE_EVERY = 4
+
+#: Accurate samples a context must accumulate before any quantum of it is
+#: synthesised.  Keeps short-lived contexts (a placement that exists only
+#: briefly after a core failure, the tail of a churn burst) essentially
+#: accurate instead of extrapolating from one noisy sample.
+MIN_SAMPLES = 3
+
+#: A VM's first rounds all run accurate.  Every VCPU starts its synthetic
+#: stream at the beginning of a user phase, so the earliest rounds are
+#: systematically user-heavy and settle towards the steady phase mix over
+#: the first few timeslices; extrapolating that transient forward is the
+#: largest single error source of round sampling.  Simulating the
+#: transient accurately means synthesis only ever extrapolates from
+#: post-transient rounds.
+MIN_ROUNDS = 3
+
+#: Per-sample-round decay of the calibration aggregate.  The synthetic
+#: workloads drift (the user/OS phase mix in particular is not stationary
+#: over a run), so synthesising from the all-time mean anchors every
+#: prediction to the earliest samples; decaying the aggregate whenever a
+#: new sample round begins weights the calibration towards recent rounds
+#: while still averaging several rounds' sibling quanta against phase
+#: noise.  Swept over {0.3, 0.5, 0.7} on the quick parity grid: stronger
+#: decay tracks drift better but amplifies single-round phase noise, and
+#: 0.7 minimises the worst-case residual across the registered specs.
+ROUND_DECAY = 0.7
+
+
+class _Calibration:
+    """Decayed aggregate of one context's accurately simulated quanta.
+
+    ``samples`` counts raw (undecayed) samples for the :data:`MIN_SAMPLES`
+    gate; the rate totals decay by :data:`ROUND_DECAY` per sample round so
+    synthesis tracks recent behaviour.
+    """
+
+    __slots__ = ("cycles", "instructions", "user_instructions", "stats", "samples", "round")
+
+    def __init__(self) -> None:
+        self.cycles = 0.0
+        self.instructions = 0.0
+        self.user_instructions = 0.0
+        self.stats = StatSet()
+        self.samples = 0
+        self.round = -1
+
+    def add(self, result: QuantumResult, sample_round: int) -> None:
+        if sample_round != self.round:
+            self.round = sample_round
+            self.cycles *= ROUND_DECAY
+            self.instructions *= ROUND_DECAY
+            self.user_instructions *= ROUND_DECAY
+            self.stats = self.stats.scaled(ROUND_DECAY)
+        self.cycles += result.cycles
+        self.instructions += result.instructions
+        self.user_instructions += result.user_instructions
+        self.stats.merge(result.stats)
+        self.samples += 1
+
+
+class FastTimingModel:
+    """Sample-and-extrapolate wrapper around the accurate timing model.
+
+    Drop-in for :class:`~repro.cpu.timing.CoreTimingModel` at the
+    ``run_quantum`` interface; every other attribute (hierarchy, TLBs,
+    violation log, ...) is forwarded to the wrapped model, so machine and
+    simulator code observes a single coherent timing model.
+    """
+
+    def __init__(self, accurate: CoreTimingModel) -> None:
+        self._accurate = accurate
+        self._calibrations: Dict[Tuple, _Calibration] = {}
+        # Per-VM sampling round: all of a VM's quanta sharing a start cycle
+        # belong to one round, and the sample/synthesise decision is made
+        # per round so sibling VCPUs sample (and skip) together.  Rounds are
+        # counted per VM, not machine-wide: consolidated VMs time-multiplex
+        # the machine, and a global round counter would keep sampling
+        # whichever VM happens to own the matching timeslices while the
+        # others extrapolate their earliest quanta forever.
+        self._vm_rounds: Dict[int, list] = {}
+
+    def __getattr__(self, name: str):
+        return getattr(self._accurate, name)
+
+    @property
+    def accurate_model(self) -> CoreTimingModel:
+        """The wrapped cycle-accurate model (the calibration reference)."""
+        return self._accurate
+
+    def run_quantum(
+        self,
+        workload: SyntheticWorkload,
+        assignment: CoreAssignment,
+        cycle_budget: int,
+        start_cycle: int = 0,
+        vcpu_id: Optional[int] = None,
+        stop_on_os_entry: bool = False,
+        stop_on_os_exit: bool = False,
+        max_instructions: Optional[int] = None,
+        active_cores: Optional[int] = None,
+    ) -> QuantumResult:
+        accurate = self._accurate
+        if (
+            stop_on_os_entry
+            or stop_on_os_exit
+            or max_instructions is not None
+            or accurate.fault_hook is not None
+        ):
+            # Fine-grained stop conditions and fault injection depend on the
+            # exact dynamic instruction sequence; extrapolation cannot
+            # represent them, so these calls run fully accurate.
+            return accurate.run_quantum(
+                workload,
+                assignment,
+                cycle_budget,
+                start_cycle=start_cycle,
+                vcpu_id=vcpu_id,
+                stop_on_os_entry=stop_on_os_entry,
+                stop_on_os_exit=stop_on_os_exit,
+                max_instructions=max_instructions,
+                active_cores=active_cores,
+            )
+
+        round_state = self._vm_rounds.get(workload.vm_id)
+        if round_state is None:
+            round_state = self._vm_rounds[workload.vm_id] = [start_cycle, 0]
+        elif start_cycle != round_state[0]:
+            round_state[0] = start_cycle
+            round_state[1] += 1
+
+        # The context pools sibling VCPUs of the same VM: per-quantum
+        # behaviour varies far more with the user/OS phase a VCPU happens to
+        # occupy than between siblings, so pooling averages the phase noise.
+        # It deliberately excludes the concrete core IDs (policies that
+        # rotate placements would otherwise never revisit a context,
+        # degenerating the fast tier to the accurate one) but keeps the VM:
+        # two VMs can run the same profile in the same mode with different
+        # consolidation ratios, and pooling across them would drag both
+        # towards the pooled mean.
+        key = (workload.vm_id, workload.profile.name, assignment.mode, active_cores)
+        calibration = self._calibrations.get(key)
+        if calibration is None:
+            calibration = self._calibrations[key] = _Calibration()
+        if (
+            round_state[1] < MIN_ROUNDS
+            or round_state[1] % SAMPLE_EVERY == 0
+            or calibration.samples < MIN_SAMPLES
+        ):
+            result = accurate.run_quantum(
+                workload,
+                assignment,
+                cycle_budget,
+                start_cycle=start_cycle,
+                vcpu_id=vcpu_id,
+                active_cores=active_cores,
+            )
+            if result.stop_reason is StopReason.BUDGET_EXHAUSTED and result.cycles > 0:
+                calibration.add(result, round_state[1])
+            return result
+        return self._synthesize(calibration, cycle_budget)
+
+    def _synthesize(self, calibration: _Calibration, cycle_budget: int) -> QuantumResult:
+        """Scale the calibration aggregate's rates to the requested budget.
+
+        Synthesised quanta touch no machine state at all -- because whole
+        rounds are skipped machine-wide, the memory system simply freezes
+        across the gap instead of decaying towards an under-contended
+        state, and the next sampled round resumes against a representative
+        hierarchy.
+        """
+        factor = cycle_budget / calibration.cycles
+        instructions = int(round(calibration.instructions * factor))
+        user = int(round(calibration.user_instructions * factor))
+        return QuantumResult(
+            cycles=cycle_budget,
+            instructions=instructions,
+            user_instructions=user,
+            os_instructions=max(0, instructions - user),
+            stop_reason=StopReason.BUDGET_EXHAUSTED,
+            stats=calibration.stats.scaled(factor),
+            # Protection violations are point events tied to specific dynamic
+            # instructions; the accurate sample quanta already logged theirs,
+            # and synthesised quanta execute none.
+            violations=[],
+        )

@@ -41,7 +41,7 @@ from repro.cpu.serializing import SerializingInstructionModel
 from repro.cpu.window import InstructionWindowModel
 from repro.dmr.reunion import ReunionPair
 from repro.errors import SimulationError
-from repro.isa.instructions import Instruction, PrivilegeLevel
+from repro.isa.instructions import Instruction, InstructionClass, PrivilegeLevel
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.protection.pab import ProtectionAssistanceBuffer
 from repro.protection.violations import (
@@ -49,7 +49,7 @@ from repro.protection.violations import (
     ViolationKind,
     ViolationLog,
 )
-from repro.tlb.tlb import TranslationLookasideBuffer
+from repro.tlb.tlb import _PRIVILEGED_ONLY, _USER_WRITE, TranslationLookasideBuffer
 from repro.workloads.generator import SyntheticWorkload
 
 
@@ -235,6 +235,542 @@ class CoreTimingModel:
         ``active_cores`` is the number of physical cores concurrently doing
         work this quantum (including this VCPU's own cores); it drives the
         shared-resource contention term applied to off-core access latencies.
+
+        This is the batched hot-path implementation: it consumes raw
+        instruction tuples from the workload, hoists every per-quantum
+        constant (icache cost per privilege level, serialising-instruction
+        cost, per-level load exposures, the branch threshold) out of the
+        loop, and accumulates statistics in locals that are flushed into the
+        result's :class:`StatSet` once at the end.  The float operations on
+        the cycle accumulator are performed in exactly the same order as
+        :meth:`run_quantum_reference`, so the two implementations return
+        bit-identical results (guarded by the exact-parity test suite).
+        """
+        if cycle_budget <= 0:
+            raise SimulationError(f"cycle budget must be positive, got {cycle_budget}")
+        dmr = assignment.mode is ExecutionMode.DMR
+        performance_mode = assignment.mode is ExecutionMode.PERFORMANCE
+        mode = assignment.mode
+        core_id = assignment.primary_core
+        mute_id = assignment.secondary_core
+        pair = assignment.reunion_pair
+        tlb = self.tlbs[core_id]
+        pab = (
+            self.pabs[core_id]
+            if performance_mode and self.pabs is not None
+            else None
+        )
+        fault_hook = self.fault_hook
+
+        core_config = self.config.core
+        issue_cost = 1.0 / core_config.issue_width
+        dmr_check_cost = 0.0
+        if dmr:
+            dmr_check_cost = (
+                self.config.interconnect.fingerprint_latency
+                / self.config.reunion.fingerprint_interval
+            ) * self.parameters.dmr_check_utilisation
+        store_exposure = self.lsq_model.store_exposure(dmr)
+        load_pressure = self.lsq_model.load_queue_pressure()
+        if active_cores is None:
+            active_cores = len(assignment.cores)
+        contention = 1.0
+        if self.config.num_cores > 1:
+            contention += self.parameters.shared_resource_contention * (
+                max(0, min(active_cores, self.config.num_cores) - 1)
+                / (self.config.num_cores - 1)
+            )
+
+        # Per-quantum constants the reference loop recomputes per instruction.
+        # Each is a pure function of the configuration (and the DMR flag), so
+        # hoisting preserves the exact float values the loop accumulates.
+        icache_miss_latency = self.config.l2.hit_latency * self.parameters.icache_exposure
+        profile = workload.profile
+        icache_user = (profile.user_icache_mpki / 1000.0) * icache_miss_latency
+        icache_os = (profile.os_icache_mpki / 1000.0) * icache_miss_latency
+        branch_threshold = int(core_config.branch_mispredict_rate * 256)
+        branch_penalty = float(core_config.branch_penalty_cycles)
+        si_total = self.si_model.cost(dmr).total
+        window_model = self.window_model
+        load_exposures = {
+            level: window_model.exposure_for_level(level, dmr)
+            for level in ("l1", "l2", "l3", "c2c", "memory")
+        }
+
+        # Hot bindings.  The hierarchy's internal access paths are bound
+        # directly (the core-id validation that access_raw would repeat per
+        # access is done once here; physical addresses produced by the TLB
+        # are never negative).
+        hierarchy = self.hierarchy
+        hierarchy._check_core(core_id)
+        if mute_id is not None:
+            hierarchy._check_core(mute_id)
+        next_raw = workload.next_raw
+        translate_raw = tlb.translate_raw
+        coherent_load = hierarchy._coherent_load
+        coherent_store = hierarchy._coherent_store
+        mute_access = hierarchy._mute_access
+        # Workload internals for the inlined common-path instruction
+        # synthesis (the phase-boundary path still delegates to next_raw).
+        # Mutable generator state is mirrored in locals and written back in
+        # the finally block below.
+        wl = workload
+        wl_r01 = wl._random01
+        wl_grb = wl._getrandbits
+        wl_next_address = wl._next_address
+        wl_user_thresholds = wl._user_thresholds
+        wl_os_thresholds = wl._os_thresholds
+        os_privilege = wl._os_privilege
+        wl_seq = wl._seq
+        wl_remaining = wl._remaining_in_phase
+        wl_in_os = wl._in_os_phase
+        wl_user_emitted = 0
+        wl_os_emitted = 0
+        # TLB internals for the inlined translation hit path (misses and
+        # non-power-of-two page sizes delegate to translate_raw).
+        tlb_entries = tlb._entries
+        tlb_counts = tlb._counts
+        tlb_page_shift = tlb._page_shift
+        tlb_page_mask = tlb._page_mask
+        # L1 internals for the inlined load hit path.
+        l1 = hierarchy.l1d[core_id]
+        l1_lines = l1._lines
+        l1_counts = l1._counts
+        h_counts = hierarchy._counts
+        l1_hit_latency = hierarchy._l1d_hit_latency
+        line_neg_mask = hierarchy._line_neg_mask
+        pab_check = pab.check_store if pab is not None else None
+        dmr_pair = pair if dmr and pair is not None else None
+        dmr_mute = dmr and mute_id is not None
+        pair_sync = dmr_pair.synchronize if dmr_pair is not None else None
+        # Inline bindings for the per-instruction fingerprint-token path
+        # (observe_commit_token's body, unrolled below).  flush() clears the
+        # pending lists in place, so the list bindings stay valid across
+        # interval emissions and synchronize() calls.
+        if dmr_pair is not None:
+            vocal_unit = dmr_pair.vocal_unit
+            mute_unit = dmr_pair.mute_unit
+            vocal_pending = vocal_unit._pending
+            mute_pending = mute_unit._pending
+            fp_interval = vocal_unit.interval
+            pair_compare = dmr_pair._compare
+        check_stops = stop_on_os_entry or stop_on_os_exit
+        limited = max_instructions is not None
+
+        USER_LEVEL = PrivilegeLevel.USER
+        ALU_CLASS = InstructionClass.ALU
+        LOAD_CLASS = InstructionClass.LOAD
+        STORE_CLASS = InstructionClass.STORE
+        BRANCH_CLASS = InstructionClass.BRANCH
+        NOP_CLASS = InstructionClass.NOP
+        ENTRY_CLASS = InstructionClass.SYSCALL_ENTRY
+        EXIT_CLASS = InstructionClass.SYSCALL_EXIT
+        SERIALIZING_CLASS = InstructionClass.SERIALIZING
+        PRIVILEGED_CLASS = InstructionClass.PRIVILEGED
+        OFFCORE_LEVELS = ("l3", "c2c", "memory")
+        MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+        cycles = 0.0
+        instructions = 0
+        user_instructions = 0
+        os_instructions = 0
+        violations: List[ProtectionViolation] = []
+        stop_reason = StopReason.BUDGET_EXHAUSTED
+
+        # Local stat accumulators (flushed into a StatSet once at the end).
+        issue_cycles_total = 0
+        dmr_check_total = 0
+        n_branch_penalties = 0
+        branch_penalty_total = 0
+        n_si = 0
+        si_stall_total = 0
+        n_tlb_misses = 0
+        tlb_miss_total = 0
+        n_tlb_denials = 0
+        n_pab_stalls = 0
+        pab_stall_total = 0
+        n_pab_checks = 0
+        n_pab_violations = 0
+        n_c2c = 0
+        n_mute_c2c = 0
+        n_store_accesses = 0
+        store_stall_total = 0
+        n_load_accesses = 0
+        load_stall_total = 0
+        n_recoveries = 0
+        recovery_cycles_total = 0
+        n_corruptions = 0
+        acc_counts = {"l1": 0, "l2": 0, "l3": 0, "c2c": 0, "memory": 0}
+
+        try:
+          while cycles < cycle_budget:
+            if limited and instructions >= max_instructions:
+                stop_reason = StopReason.INSTRUCTION_LIMIT
+                break
+            if wl_remaining <= 0:
+                # Rare phase boundary: delegate to the generator (it samples
+                # the next phase length and emits the SYSCALL instruction)
+                # after syncing the mirrored state both ways.
+                wl._seq = wl_seq
+                wl._remaining_in_phase = wl_remaining
+                wl._in_os_phase = wl_in_os
+                seq, iclass, privilege, address, result, is_shared = next_raw()
+                wl_seq = wl._seq
+                wl_remaining = wl._remaining_in_phase
+                wl_in_os = wl._in_os_phase
+            else:
+                # Inline of next_raw's common path: identical draw order and
+                # bit stream (guarded by the exact-parity suite).
+                wl_remaining -= 1
+                if wl_in_os:
+                    privilege = os_privilege
+                    t_si, t_load, t_store, t_branch = wl_os_thresholds
+                else:
+                    privilege = USER_LEVEL
+                    t_si, t_load, t_store, t_branch = wl_user_thresholds
+                roll = wl_r01()
+                address = None
+                is_shared = False
+                if roll >= t_si:
+                    if roll < t_load:
+                        iclass = LOAD_CLASS
+                        address, is_shared = wl_next_address(privilege, False)
+                    elif roll < t_store:
+                        iclass = STORE_CLASS
+                        address, is_shared = wl_next_address(privilege, True)
+                    elif roll < t_branch:
+                        iclass = BRANCH_CLASS
+                    else:
+                        iclass = ALU_CLASS
+                elif wl_in_os:
+                    iclass = (
+                        PRIVILEGED_CLASS if wl_r01() < 0.5 else SERIALIZING_CLASS
+                    )
+                else:
+                    iclass = SERIALIZING_CLASS
+                # Exact inline of randint(0, 0xFFFF) -- see next_raw.
+                result = wl_grb(17)
+                while result >= 65536:
+                    result = wl_grb(17)
+                seq = wl_seq
+                wl_seq = seq + 1
+                if wl_in_os:
+                    wl_os_emitted += 1
+                else:
+                    wl_user_emitted += 1
+            instructions += 1
+            if privilege is USER_LEVEL:
+                user_instructions += 1
+                cycles += issue_cost
+                cycles += icache_user
+            else:
+                os_instructions += 1
+                cycles += issue_cost
+                cycles += icache_os
+            issue_cycles_total += issue_cost
+            if dmr:
+                cycles += dmr_check_cost
+                dmr_check_total += dmr_check_cost
+
+            if iclass is ALU_CLASS:
+                pass
+            elif iclass is LOAD_CLASS or iclass is STORE_CLASS:
+                if address is not None:
+                    is_store_op = iclass is STORE_CLASS
+                    t_entry = (
+                        tlb_entries.get(address >> tlb_page_shift)
+                        if tlb_page_shift is not None
+                        else None
+                    )
+                    if t_entry is not None:
+                        # Inline of translate_raw's hit path.
+                        tlb._touch = tlb_touch = tlb._touch + 1
+                        t_entry.last_touch = tlb_touch
+                        tlb_counts["hits"] += 1
+                        t_latency = 0
+                        permitted = True
+                        if privilege is USER_LEVEL:
+                            flag_bits = t_entry.flags._value_
+                            if is_store_op and not (flag_bits & _USER_WRITE):
+                                permitted = False
+                            if flag_bits & _PRIVILEGED_ONLY:
+                                permitted = False
+                            if not permitted:
+                                tlb_counts["permission_denials"] += 1
+                        physical = (t_entry.physical_page << tlb_page_shift) + (
+                            address & tlb_page_mask
+                        )
+                    else:
+                        physical, _flags, _domain, _hit, t_latency, permitted = translate_raw(
+                            address, is_store_op, privilege is not USER_LEVEL
+                        )
+                    if t_latency:
+                        exposed_tlb = t_latency * 0.7
+                        cycles += exposed_tlb
+                        tlb_miss_total += exposed_tlb
+                        n_tlb_misses += 1
+                    if not permitted:
+                        # The TLB's own check caught the access (fault-free path).
+                        self._record_violation(
+                            ViolationKind.TLB_DENIED,
+                            start_cycle + int(cycles),
+                            core_id,
+                            vcpu_id,
+                            physical,
+                            "TLB permission check denied a store",
+                            violations,
+                        )
+                        n_tlb_denials += 1
+                        continue
+
+                    if is_store_op and fault_hook is not None:
+                        physical = fault_hook.perturb_store_address(
+                            core_id, mode, physical
+                        )
+
+                    if pab_check is not None and is_store_op:
+                        check = pab_check(physical)
+                        check_latency = check.latency
+                        if check_latency:
+                            # A serialised lookup delays the write-through
+                            # itself, so its latency is exposed in full;
+                            # PAT-fill latency behaves like any other
+                            # store-completion latency.
+                            exposed_pab = check_latency * (
+                                1.0 if check.serialized else store_exposure
+                            )
+                            cycles += exposed_pab
+                            pab_stall_total += exposed_pab
+                            n_pab_stalls += 1
+                        n_pab_checks += 1
+                        if not check.allowed:
+                            self._record_violation(
+                                ViolationKind.PAB_BLOCKED,
+                                start_cycle + int(cycles),
+                                core_id,
+                                vcpu_id,
+                                physical,
+                                "PAB blocked a store to a reliable-only page",
+                                violations,
+                            )
+                            n_pab_violations += 1
+                            continue
+
+                    if is_store_op:
+                        latency, level, c2c, _offchip, _inv = coherent_store(
+                            core_id, physical
+                        )
+                        if c2c:
+                            n_c2c += 1
+                    else:
+                        # Inline of _coherent_load's L1-hit path.
+                        line = l1_lines.get(physical & line_neg_mask)
+                        if line is not None:
+                            l1._touch_counter = l1_touch = l1._touch_counter + 1
+                            line.last_touch = l1_touch
+                            l1_counts["hits"] += 1
+                            h_counts["l1d.hits"] += 1
+                            latency = l1_hit_latency
+                            level = "l1"
+                        else:
+                            latency, level, c2c, _offchip, _inv = coherent_load(
+                                core_id, physical
+                            )
+                            if c2c:
+                                n_c2c += 1
+                    if dmr_mute:
+                        m_latency, m_level, m_c2c, _mo, _mi = mute_access(
+                            mute_id, physical, is_store_op
+                        )
+                        if m_c2c:
+                            n_mute_c2c += 1
+                        if m_latency > latency:
+                            latency = m_latency
+                            level = m_level
+
+                    if level in OFFCORE_LEVELS:
+                        # Shared-resource queueing: more active cores stretch
+                        # the effective latency of off-core accesses.
+                        latency = latency * contention
+                    if is_store_op:
+                        exposed = latency * store_exposure
+                        store_stall_total += exposed
+                        n_store_accesses += 1
+                    else:
+                        exposed = latency * load_exposures[level] * load_pressure
+                        load_stall_total += exposed
+                        n_load_accesses += 1
+                    cycles += exposed
+                    acc_counts[level] += 1
+            elif iclass is BRANCH_CLASS:
+                # Deterministic pseudo-random misprediction decision derived
+                # from the instruction's synthetic result, reproducible runs.
+                if (result & 0xFF) < branch_threshold and branch_penalty:
+                    cycles += branch_penalty
+                    branch_penalty_total += branch_penalty
+                    n_branch_penalties += 1
+            elif iclass is not NOP_CLASS:
+                # Serialising classes (SERIALIZING, PRIVILEGED, SYSCALL_*).
+                cycles += si_total
+                n_si += 1
+                si_stall_total += si_total
+                if dmr_pair is not None:
+                    # The pair must agree on architected state before the SI.
+                    outcome = pair_sync()
+                    if outcome is not None and not outcome.matched:
+                        penalty = outcome.penalty_cycles
+                        cycles += penalty
+                        n_recoveries += 1
+                        recovery_cycles_total += penalty
+
+            if dmr_pair is not None:
+                icv = iclass._value_
+                saddr = address if (iclass is STORE_CLASS and address) else 0
+                if fault_hook is not None and fault_hook.corrupt_execution(core_id, mode):
+                    vocal_token = (
+                        icv * 0x9E3779B1 ^ result * 0x85EBCA77 ^ saddr
+                    ) & MASK64
+                    mute_token = (
+                        icv * 0x9E3779B1 ^ (result ^ 0x1) * 0x85EBCA77 ^ saddr
+                    ) & MASK64
+                    if vocal_unit._first_seq is None:
+                        vocal_unit._first_seq = seq
+                    vocal_unit._last_seq = seq
+                    vocal_pending.append(vocal_token)
+                    if mute_unit._first_seq is None:
+                        mute_unit._first_seq = seq
+                    mute_unit._last_seq = seq
+                    mute_pending.append(mute_token)
+                    if len(vocal_pending) >= fp_interval:
+                        outcome = pair_compare(vocal_unit.flush(), mute_unit.flush())
+                    else:
+                        outcome = None
+                    n_corruptions += 1
+                    if outcome is not None and not outcome.matched:
+                        penalty = outcome.penalty_cycles
+                        cycles += penalty
+                        n_recoveries += 1
+                        recovery_cycles_total += penalty
+                        self._record_violation(
+                            ViolationKind.DMR_DETECTED,
+                            start_cycle + int(cycles),
+                            core_id,
+                            vcpu_id,
+                            address,
+                            "fingerprint mismatch detected an injected fault",
+                            violations,
+                        )
+                else:
+                    token = (
+                        icv * 0x9E3779B1 ^ result * 0x85EBCA77 ^ saddr
+                    ) & MASK64
+                    if vocal_unit._first_seq is None:
+                        vocal_unit._first_seq = seq
+                    vocal_unit._last_seq = seq
+                    vocal_pending.append(token)
+                    if mute_unit._first_seq is None:
+                        mute_unit._first_seq = seq
+                    mute_unit._last_seq = seq
+                    mute_pending.append(token)
+                    if len(vocal_pending) >= fp_interval:
+                        outcome = pair_compare(vocal_unit.flush(), mute_unit.flush())
+                    else:
+                        outcome = None
+                    if outcome is not None and not outcome.matched:
+                        penalty = outcome.penalty_cycles
+                        cycles += penalty
+                        n_recoveries += 1
+                        recovery_cycles_total += penalty
+
+            if check_stops:
+                if stop_on_os_entry and iclass is ENTRY_CLASS:
+                    stop_reason = StopReason.OS_ENTRY
+                    break
+                if stop_on_os_exit and iclass is EXIT_CLASS:
+                    stop_reason = StopReason.OS_EXIT
+                    break
+        finally:
+            # Write the mirrored generator state back so the workload resumes
+            # exactly where the quantum stopped.
+            wl._seq = wl_seq
+            wl._remaining_in_phase = wl_remaining
+            wl._in_os_phase = wl_in_os
+            if wl_user_emitted:
+                wl.user_instructions_emitted += wl_user_emitted
+            if wl_os_emitted:
+                wl.os_instructions_emitted += wl_os_emitted
+
+        # Flush the local accumulators into a StatSet, creating exactly the
+        # keys the reference implementation's per-instruction adds create.
+        counters: dict = {}
+        if instructions:
+            counters["issue_cycles"] = issue_cycles_total
+            if dmr:
+                counters["dmr_check_cycles"] = dmr_check_total
+        if n_branch_penalties:
+            counters["branch_penalty_cycles"] = branch_penalty_total
+        if n_si:
+            counters["si_count"] = n_si
+            counters["si_stall_cycles"] = si_stall_total
+        if n_tlb_misses:
+            counters["tlb_miss_cycles"] = tlb_miss_total
+        if n_tlb_denials:
+            counters["tlb_denials"] = n_tlb_denials
+        if n_pab_stalls:
+            counters["pab_stall_cycles"] = pab_stall_total
+        if n_pab_checks:
+            counters["pab_checks"] = n_pab_checks
+        if n_pab_violations:
+            counters["pab_violations"] = n_pab_violations
+        if n_c2c:
+            counters["c2c_transfers"] = n_c2c
+        if n_mute_c2c:
+            counters["mute_c2c_transfers"] = n_mute_c2c
+        if n_store_accesses:
+            counters["store_stall_cycles"] = store_stall_total
+        if n_load_accesses:
+            counters["load_stall_cycles"] = load_stall_total
+        for level, count in acc_counts.items():
+            if count:
+                counters[f"accesses.{level}"] = count
+        if n_recoveries:
+            counters["dmr_recoveries"] = n_recoveries
+            counters["dmr_recovery_cycles"] = recovery_cycles_total
+        if n_corruptions:
+            counters["dmr_corruptions_injected"] = n_corruptions
+
+        total_cycles = max(1, int(round(cycles)))
+        counters["cycles"] = total_cycles
+        counters["instructions"] = instructions
+        return QuantumResult(
+            cycles=total_cycles,
+            instructions=instructions,
+            user_instructions=user_instructions,
+            os_instructions=os_instructions,
+            stop_reason=stop_reason,
+            stats=StatSet(counters),
+            violations=violations,
+        )
+
+    def run_quantum_reference(
+        self,
+        workload: SyntheticWorkload,
+        assignment: CoreAssignment,
+        cycle_budget: int,
+        start_cycle: int = 0,
+        vcpu_id: Optional[int] = None,
+        stop_on_os_entry: bool = False,
+        stop_on_os_exit: bool = False,
+        max_instructions: Optional[int] = None,
+        active_cores: Optional[int] = None,
+    ) -> QuantumResult:
+        """Reference implementation of :meth:`run_quantum`.
+
+        One straightforward pass over :class:`Instruction` objects with a
+        StatSet update per event.  Kept as the executable specification of
+        the per-instruction cost model: the batched :meth:`run_quantum` must
+        return bit-identical results (``tests/test_hotpath_parity.py``), and
+        the fast-fidelity tier is calibrated against it.
         """
         if cycle_budget <= 0:
             raise SimulationError(f"cycle budget must be positive, got {cycle_budget}")

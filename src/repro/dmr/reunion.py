@@ -102,6 +102,33 @@ class ReunionPair:
             mute_fp = mute_fp or self.mute_unit.flush()
         return self._compare(vocal_fp, mute_fp)
 
+    def observe_commit_token(
+        self, seq: int, vocal_token: int, mute_token: int
+    ) -> Optional[CheckOutcome]:
+        """Feed one committed instruction as precomputed fingerprint tokens.
+
+        The timing model's hot loop computes the vocal/mute tokens inline
+        (via :func:`repro.isa.fingerprints.instruction_token`; the tokens
+        differ only when the fault injector corrupted one side) and avoids
+        the per-instruction :class:`Instruction` allocation that
+        :meth:`observe_commit` requires.  Unit state, comparisons and
+        statistics evolve exactly as with :meth:`observe_commit`.
+        """
+        vocal_unit = self.vocal_unit
+        mute_unit = self.mute_unit
+        if vocal_unit._first_seq is None:
+            vocal_unit._first_seq = seq
+        vocal_unit._last_seq = seq
+        pending = vocal_unit._pending
+        pending.append(vocal_token)
+        if mute_unit._first_seq is None:
+            mute_unit._first_seq = seq
+        mute_unit._last_seq = seq
+        mute_unit._pending.append(mute_token)
+        if len(pending) >= vocal_unit.interval:
+            return self._compare(vocal_unit.flush(), mute_unit.flush())
+        return None
+
     def synchronize(self) -> Optional[CheckOutcome]:
         """Force a fingerprint comparison for any partial interval.
 

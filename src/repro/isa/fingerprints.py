@@ -30,6 +30,21 @@ def fingerprint_of(values: List[int]) -> int:
     return acc
 
 
+def instruction_token(iclass_value: int, result: int, store_address: int) -> int:
+    """The per-instruction fingerprint input token.
+
+    A stable mix of the instruction class, result value, and store address --
+    the same outputs the paper says a fingerprint captures ("all outputs,
+    branch targets, and store addresses and values").  ``store_address`` must
+    be 0 for anything that is not a store with a data address.  (Python's
+    hash of small ints is deterministic, so no per-process salting can creep
+    in here.)
+    """
+    return (
+        iclass_value * 0x9E3779B1 ^ result * 0x85EBCA77 ^ store_address
+    ) & _MASK64
+
+
 @dataclass
 class Fingerprint:
     """One emitted fingerprint covering ``count`` instructions."""
@@ -62,20 +77,25 @@ class FingerprintUnit:
         """Record one committed instruction; return a fingerprint if due.
 
         The fingerprint input mixes the instruction class, result value, and
-        store address -- the same outputs the paper says a fingerprint
-        captures ("all outputs, branch targets, and store addresses and
-        values").
+        store address -- see :func:`instruction_token`.
+        """
+        token = instruction_token(
+            instruction.iclass.value,
+            instruction.result,
+            instruction.address if instruction.is_store and instruction.address else 0,
+        )
+        return self.observe_token(instruction.seq, token)
+
+    def observe_token(self, seq: int, token: int) -> Optional[Fingerprint]:
+        """Record one committed instruction given its precomputed token.
+
+        The hot path computes tokens inline (via :func:`instruction_token`)
+        and feeds them here, avoiding an :class:`Instruction` allocation per
+        dynamic instruction; state evolution is identical to :meth:`observe`.
         """
         if self._first_seq is None:
-            self._first_seq = instruction.seq
-        self._last_seq = instruction.seq
-        # A stable per-instruction token (Python's hash of small ints is
-        # deterministic, so no per-process salting can creep in here).
-        token = (
-            instruction.iclass.value * 0x9E3779B1
-            ^ instruction.result * 0x85EBCA77
-            ^ (instruction.address if instruction.is_store and instruction.address else 0)
-        ) & _MASK64
+            self._first_seq = seq
+        self._last_seq = seq
         self._pending.append(token)
         if len(self._pending) >= self.interval:
             return self.flush()

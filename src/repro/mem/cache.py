@@ -8,12 +8,15 @@ which owns the caches and orchestrates accesses between them.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.common.stats import StatSet
 from repro.config.system import CacheConfig
 from repro.errors import MemorySystemError
 from repro.mem.lines import CacheLine, LineState
+
+_BY_LAST_TOUCH = attrgetter("last_touch")
 
 
 class SetAssociativeCache:
@@ -25,9 +28,29 @@ class SetAssociativeCache:
         self._num_sets = config.num_sets
         self._associativity = config.associativity
         self._line_bytes = config.line_bytes
+        # The line size is validated to be a power of two, so line alignment
+        # and set indexing reduce to bit operations on the (non-negative)
+        # physical address.
+        self._line_neg_mask = -config.line_bytes
+        self._line_shift = config.line_bytes.bit_length() - 1
+        # When the set count is also a power of two (every standard geometry)
+        # the modulo reduces to a mask.
+        if config.num_sets & (config.num_sets - 1) == 0:
+            self._set_mask: Optional[int] = config.num_sets - 1
+        else:
+            self._set_mask = None
         self._sets: Dict[int, Dict[int, CacheLine]] = {}
+        # Flat line-address -> line map mirroring ``_sets``.  Lookups and
+        # touches -- by far the most frequent operations -- hit this single
+        # dictionary instead of computing a set index and chasing two levels;
+        # insert/invalidate keep both structures in sync.
+        self._lines: Dict[int, CacheLine] = {}
         self._touch_counter = 0
         self.stats = StatSet()
+        # The lookup/touch/insert loops below are the hottest code in the
+        # whole simulator; they bump the counter dict directly instead of
+        # paying a StatSet.add call per access.
+        self._counts = self.stats.counters
 
     # ------------------------------------------------------------------ #
     # Address helpers
@@ -35,10 +58,13 @@ class SetAssociativeCache:
 
     def line_address(self, address: int) -> int:
         """Line-aligned address containing ``address``."""
-        return address - (address % self._line_bytes)
+        return address & self._line_neg_mask
 
     def _set_index(self, line_addr: int) -> int:
-        return (line_addr // self._line_bytes) % self._num_sets
+        tag = line_addr >> self._line_shift
+        if self._set_mask is not None:
+            return tag & self._set_mask
+        return tag % self._num_sets
 
     def _set_for(self, line_addr: int) -> Dict[int, CacheLine]:
         return self._sets.setdefault(self._set_index(line_addr), {})
@@ -49,18 +75,17 @@ class SetAssociativeCache:
 
     def lookup(self, address: int) -> Optional[CacheLine]:
         """Return the line containing ``address`` without updating LRU state."""
-        line_addr = self.line_address(address)
-        return self._set_for(line_addr).get(line_addr)
+        return self._lines.get(address & self._line_neg_mask)
 
     def touch(self, address: int) -> Optional[CacheLine]:
         """Return the line containing ``address`` and mark it most recently used."""
-        line = self.lookup(address)
+        line = self._lines.get(address & self._line_neg_mask)
         if line is not None:
-            self._touch_counter += 1
-            line.last_touch = self._touch_counter
-            self.stats.add("hits")
+            self._touch_counter = counter = self._touch_counter + 1
+            line.last_touch = counter
+            self._counts["hits"] += 1
         else:
-            self.stats.add("misses")
+            self._counts["misses"] += 1
         return line
 
     def insert(
@@ -79,38 +104,91 @@ class SetAssociativeCache:
         """
         if state is LineState.INVALID:
             raise MemorySystemError("cannot insert a line in the INVALID state")
-        line_addr = self.line_address(address)
-        cache_set = self._set_for(line_addr)
-        self._touch_counter += 1
-        existing = cache_set.get(line_addr)
+        line_addr = address & self._line_neg_mask
+        self._touch_counter = counter = self._touch_counter + 1
+        existing = self._lines.get(line_addr)
         if existing is not None:
             existing.state = state
             existing.dirty = existing.dirty or dirty
             existing.coherent = coherent
-            existing.last_touch = self._touch_counter
+            existing.last_touch = counter
             return None
+        tag = line_addr >> self._line_shift
+        index = tag & self._set_mask if self._set_mask is not None else tag % self._num_sets
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = {}
+        counts = self._counts
         victim: Optional[CacheLine] = None
         if len(cache_set) >= self._associativity:
-            victim_addr = min(cache_set, key=lambda addr: cache_set[addr].last_touch)
-            victim = cache_set.pop(victim_addr)
-            self.stats.add("evictions")
-        cache_set[line_addr] = CacheLine(
-            line_addr=line_addr,
-            state=state,
-            dirty=dirty,
-            coherent=coherent,
-            last_touch=self._touch_counter,
+            victim = min(cache_set.values(), key=_BY_LAST_TOUCH)
+            del cache_set[victim.line_addr]
+            del self._lines[victim.line_addr]
+            counts["evictions"] += 1
+        cache_set[line_addr] = self._lines[line_addr] = CacheLine(
+            line_addr, state, dirty, coherent, counter
         )
-        self.stats.add("fills")
+        counts["fills"] += 1
         return victim
+
+    def fill_shared(self, address: int, coherent: bool = True) -> None:
+        """Insert a clean SHARED line, dropping any victim.
+
+        Specialised for the write-through L1s, whose victims never need a
+        writeback: this behaves exactly like ``insert(address,
+        LineState.SHARED, dirty=False, coherent=coherent)`` with the returned
+        victim discarded, but recycles the evicted line object instead of
+        allocating a new one (the victim is unreachable once evicted, so the
+        reuse is unobservable).
+        """
+        line_addr = address & self._line_neg_mask
+        self._touch_counter = counter = self._touch_counter + 1
+        lines = self._lines
+        existing = lines.get(line_addr)
+        if existing is not None:
+            # Same field updates as insert() with dirty=False: the existing
+            # dirty bit is left alone.
+            existing.state = LineState.SHARED
+            existing.coherent = coherent
+            existing.last_touch = counter
+            return
+        tag = line_addr >> self._line_shift
+        index = tag & self._set_mask if self._set_mask is not None else tag % self._num_sets
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = {}
+        counts = self._counts
+        if len(cache_set) >= self._associativity:
+            if len(cache_set) == 2:
+                # Two-way sets (the L1 geometry): direct compare beats min().
+                first, second = cache_set.values()
+                victim = second if second.last_touch < first.last_touch else first
+            else:
+                victim = min(cache_set.values(), key=_BY_LAST_TOUCH)
+            del cache_set[victim.line_addr]
+            del lines[victim.line_addr]
+            counts["evictions"] += 1
+            victim.line_addr = line_addr
+            victim.state = LineState.SHARED
+            victim.dirty = False
+            victim.coherent = coherent
+            victim.last_touch = counter
+            cache_set[line_addr] = lines[line_addr] = victim
+        else:
+            cache_set[line_addr] = lines[line_addr] = CacheLine(
+                line_addr, LineState.SHARED, False, coherent, counter
+            )
+        counts["fills"] += 1
 
     def invalidate(self, address: int) -> Optional[CacheLine]:
         """Remove the line containing ``address`` and return it (or ``None``)."""
-        line_addr = self.line_address(address)
-        cache_set = self._set_for(line_addr)
-        line = cache_set.pop(line_addr, None)
+        line_addr = address & self._line_neg_mask
+        line = self._lines.pop(line_addr, None)
         if line is not None:
-            self.stats.add("invalidations")
+            tag = line_addr >> self._line_shift
+            index = tag & self._set_mask if self._set_mask is not None else tag % self._num_sets
+            del self._sets[index][line_addr]
+            self._counts["invalidations"] += 1
         return line
 
     def mark_dirty(self, address: int) -> None:
@@ -126,8 +204,9 @@ class SetAssociativeCache:
 
     def clear(self) -> int:
         """Drop every line; return the number of lines dropped."""
-        dropped = sum(len(s) for s in self._sets.values())
+        dropped = len(self._lines)
         self._sets.clear()
+        self._lines.clear()
         return dropped
 
     # ------------------------------------------------------------------ #
@@ -146,7 +225,7 @@ class SetAssociativeCache:
     @property
     def occupancy(self) -> int:
         """Number of valid lines currently resident."""
-        return sum(len(s) for s in self._sets.values())
+        return len(self._lines)
 
     @property
     def capacity_lines(self) -> int:

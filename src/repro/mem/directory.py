@@ -46,19 +46,35 @@ class Directory:
 
     def __init__(self, line_bytes: int = 64) -> None:
         self._line_bytes = line_bytes
+        # Line alignment is a bit operation when the line size is a power of
+        # two (the hierarchy always configures one); fall back to the modulo
+        # form otherwise.
+        self._line_neg_mask = -line_bytes if line_bytes & (line_bytes - 1) == 0 else None
         self._entries: Dict[int, DirectoryEntry] = {}
         self.stats = StatSet()
+        # Hot-path binding: the record_* methods below bump counters directly
+        # instead of calling StatSet.add once or more per coherence event.
+        self._counts = self.stats.counters
 
     def _line(self, address: int) -> int:
+        if self._line_neg_mask is not None:
+            return address & self._line_neg_mask
         return address - (address % self._line_bytes)
 
     def entry(self, address: int) -> DirectoryEntry:
         """Return (creating if needed) the entry for the line of ``address``."""
-        return self._entries.setdefault(self._line(address), DirectoryEntry())
+        mask = self._line_neg_mask
+        line = address & mask if mask is not None else address - address % self._line_bytes
+        entry = self._entries.get(line)
+        if entry is None:
+            entry = self._entries[line] = DirectoryEntry()
+        return entry
 
     def peek(self, address: int) -> Optional[DirectoryEntry]:
         """Return the entry for the line of ``address`` without creating it."""
-        return self._entries.get(self._line(address))
+        mask = self._line_neg_mask
+        line = address & mask if mask is not None else address - address % self._line_bytes
+        return self._entries.get(line)
 
     def owner_of(self, address: int) -> Optional[int]:
         """Core currently owning the line (M or O state), or ``None``."""
@@ -79,7 +95,8 @@ class Directory:
         entry = self.entry(address)
         if entry.owner != core_id:
             entry.sharers.add(core_id)
-        self.stats.add("shared_fetches")
+        counts = self._counts
+        counts["shared_fetches"] += 1
 
     def record_exclusive_fetch(self, address: int, core_id: int) -> Set[int]:
         """Core ``core_id`` fetched the line for writing.
@@ -89,13 +106,19 @@ class Directory:
         invalidations).
         """
         entry = self.entry(address)
-        to_invalidate = entry.holders() - {core_id}
+        to_invalidate = set(entry.sharers)
+        if entry.owner is not None:
+            to_invalidate.add(entry.owner)
+        to_invalidate.discard(core_id)
         entry.owner = core_id
         entry.sharers.clear()
-        self.stats.add("exclusive_fetches")
+        counts = self._counts
+        counts["exclusive_fetches"] += 1
         if to_invalidate:
-            self.stats.add("invalidation_rounds")
-            self.stats.add("invalidations_sent", len(to_invalidate))
+            counts["invalidation_rounds"] += 1
+            counts["invalidations_sent"] += len(
+                to_invalidate
+            )
         return to_invalidate
 
     def record_downgrade(self, address: int, core_id: int) -> None:
@@ -108,13 +131,16 @@ class Directory:
 
     def record_eviction(self, address: int, core_id: int) -> None:
         """Core ``core_id`` no longer holds the line."""
-        entry = self.peek(address)
+        mask = self._line_neg_mask
+        line = address & mask if mask is not None else address - address % self._line_bytes
+        entry = self._entries.get(line)
         if entry is None:
             return
         if entry.owner == core_id:
             entry.owner = None
         entry.sharers.discard(core_id)
-        self.stats.add("evictions")
+        counts = self._counts
+        counts["evictions"] += 1
 
     def drop_core(self, core_id: int) -> int:
         """Remove ``core_id`` from every entry (used when flushing a core).

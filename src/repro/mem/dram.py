@@ -17,15 +17,21 @@ class MainMemory:
     def __init__(self, config: MemoryConfig) -> None:
         self.config = config
         self.stats = StatSet()
+        # Hot-path bindings: access_latency runs once per off-chip access and
+        # bumps the counter dict directly instead of calling StatSet.add.
+        self._counts = self.stats.counters
+        self._load_to_use = config.load_to_use_latency
 
     def access_latency(self, contention_factor: float = 1.0) -> int:
         """Latency of one memory access under the given contention factor."""
-        factor = max(1.0, contention_factor)
-        latency = int(round(self.config.load_to_use_latency * factor))
-        self.stats.add("accesses")
-        self.stats.add("total_latency", latency)
-        if factor > 1.0:
-            self.stats.add("contended_accesses")
+        counts = self._counts
+        if contention_factor <= 1.0:
+            latency = self._load_to_use
+        else:
+            latency = int(round(self._load_to_use * contention_factor))
+            counts["contended_accesses"] += 1
+        counts["accesses"] += 1
+        counts["total_latency"] += latency
         return latency
 
     def writeback_latency(self, contention_factor: float = 1.0) -> int:

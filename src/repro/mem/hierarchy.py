@@ -91,6 +91,25 @@ class MemoryHierarchy:
         )
         self.memory = MainMemory(config.memory)
         self.stats = StatSet()
+        # Hot-path binding: the access paths below bump counters directly
+        # rather than calling StatSet.add once or more per data access.
+        self._counts = self.stats.counters
+        # Per-access constants hoisted out of the access paths: the line size
+        # is a validated power of two, and the config is immutable.
+        self._line_neg_mask = -self.line_bytes
+        # The directory's entry map is created once and only ever mutated in
+        # place, so the miss paths can consult it directly (addresses reaching
+        # them are already line-aligned, making peek()'s alignment a no-op).
+        self._dir_entries = self.directory._entries
+        self._l1d_hit_latency = config.l1d.hit_latency
+        self._l2_hit_latency = config.l2.hit_latency
+        self._l3_hit_latency = config.l3.hit_latency
+        # Interconnect latencies are pure functions of the immutable config;
+        # the miss paths use the precomputed values.
+        self._c2c_latency = self.interconnect.cache_to_cache_latency(
+            self._l3_hit_latency, self._l2_hit_latency
+        )
+        self._inv_latency = self.interconnect.invalidation_latency(1)
 
     # ------------------------------------------------------------------ #
     # Window management (bandwidth accounting)
@@ -111,13 +130,14 @@ class MemoryHierarchy:
             )
 
     def _line(self, address: int) -> int:
-        return address - (address % self.line_bytes)
+        return address & self._line_neg_mask
 
     def _victimise_l2_line(self, core_id: int, victim) -> None:
         """Handle an L2 eviction: victim goes to the exclusive L3 if coherent."""
+        counts = self._counts
         self.directory.record_eviction(victim.line_addr, core_id)
         if not victim.coherent:
-            self.stats.add("l2.incoherent_victims_dropped")
+            counts["l2.incoherent_victims_dropped"] += 1
             return
         l3_victim = self.l3.insert(
             victim.line_addr,
@@ -125,16 +145,16 @@ class MemoryHierarchy:
             dirty=victim.dirty,
             coherent=True,
         )
-        self.stats.add("l2.victims_to_l3")
+        counts["l2.victims_to_l3"] += 1
         if l3_victim is not None and l3_victim.needs_writeback:
             self.interconnect.record_offchip_transfer()
             self.memory.writeback_latency(self.interconnect.offchip_contention_factor())
-            self.stats.add("l3.writebacks")
+            counts["l3.writebacks"] += 1
 
     def _fill_l2(
         self, core_id: int, line_addr: int, state: LineState, dirty: bool, coherent: bool
     ) -> None:
-        victim = self.l2[core_id].insert(line_addr, state=state, dirty=dirty, coherent=coherent)
+        victim = self.l2[core_id].insert(line_addr, state, dirty, coherent)
         if victim is not None:
             # Keep the L1 consistent with the L2 (inclusive L1/L2 assumption).
             self.l1d[core_id].invalidate(victim.line_addr)
@@ -142,15 +162,17 @@ class MemoryHierarchy:
             self._victimise_l2_line(core_id, victim)
 
     def _fill_l1(self, core_id: int, line_addr: int, coherent: bool) -> None:
-        # The write-through L1 never holds dirty data, so victims are dropped.
-        self.l1d[core_id].insert(line_addr, state=LineState.SHARED, dirty=False, coherent=coherent)
+        # The write-through L1 never holds dirty data, so victims are dropped
+        # (and their line objects recycled by the specialised fill).
+        self.l1d[core_id].fill_shared(line_addr, coherent)
 
     def _invalidate_remote_copies(self, line_addr: int, cores: set[int]) -> None:
+        counts = self._counts
         for other in cores:
             self.l1d[other].invalidate(line_addr)
             self.l1i[other].invalidate(line_addr)
             self.l2[other].invalidate(line_addr)
-            self.stats.add("remote_invalidations")
+            counts["remote_invalidations"] += 1
 
     # ------------------------------------------------------------------ #
     # Coherent access path (normal and vocal cores)
@@ -165,65 +187,69 @@ class MemoryHierarchy:
         (a clean cache-to-cache transfer).  The owner is preferred when there
         is one (dirty cache-to-cache transfer).
         """
-        entry = self.directory.peek(line_addr)
+        entry = self._dir_entries.get(line_addr)
         if entry is None:
             return None
         owner = entry.owner
-        if owner is not None and owner != requester and self.l2[owner].contains(line_addr):
+        if owner is not None and owner != requester and line_addr in self.l2[owner]._lines:
             return owner
         for sharer in sorted(entry.sharers):
-            if sharer != requester and self.l2[sharer].contains(line_addr):
+            if sharer != requester and line_addr in self.l2[sharer]._lines:
                 return sharer
         return None
 
-    def _coherent_miss_fill(
-        self, core_id: int, line_addr: int, is_store: bool
-    ) -> AccessResult:
-        """Serve an L2 miss coherently from a remote L2, the L3, or memory."""
-        l2_latency = self.config.l2.hit_latency
-        l3_latency = self.config.l3.hit_latency
+    def _coherent_miss_fill(self, core_id: int, line_addr: int, is_store: bool):
+        """Serve an L2 miss coherently from a remote L2, the L3, or memory.
+
+        Returns ``(latency, level, c2c, offchip, invalidations)``; the public
+        :meth:`access` wraps the tuple into an :class:`AccessResult`.
+        """
+        counts = self._counts
+        l3_latency = self._l3_hit_latency
         owner = self._remote_holder(line_addr, core_id)
         invalidations = 0
 
         if owner is not None:
             # 3-hop dirty cache-to-cache transfer from the owning L2.
-            latency = self.interconnect.cache_to_cache_latency(l3_latency, l2_latency)
-            self.stats.add("c2c_transfers")
+            latency = self._c2c_latency
+            counts["c2c_transfers"] += 1
             if is_store:
                 targets = self.directory.record_exclusive_fetch(line_addr, core_id)
                 invalidations = len(targets)
-                latency += self.interconnect.invalidation_latency(invalidations)
+                if invalidations:
+                    latency += self._inv_latency
                 self._invalidate_remote_copies(line_addr, targets)
                 self._fill_l2(core_id, line_addr, LineState.MODIFIED, dirty=True, coherent=True)
             else:
                 self.directory.record_downgrade(line_addr, owner)
                 self.directory.record_shared_fetch(line_addr, core_id)
                 self._fill_l2(core_id, line_addr, LineState.SHARED, dirty=False, coherent=True)
-            self._fill_l1(core_id, line_addr, coherent=True)
-            return AccessResult(latency=latency, level="c2c", c2c=True, invalidations=invalidations)
+            self.l1d[core_id].fill_shared(line_addr, True)
+            return (latency, "c2c", True, False, invalidations)
 
         l3_line = self.l3.touch(line_addr)
         if l3_line is not None:
             # Exclusive L3: the line moves from the L3 into the requester's L2.
-            latency = self.interconnect.l3_access_latency(l3_latency)
+            latency = l3_latency
             dirty = l3_line.dirty
             self.l3.invalidate(line_addr)
-            self.stats.add("l3.hits")
+            counts["l3.hits"] += 1
             if is_store:
                 targets = self.directory.record_exclusive_fetch(line_addr, core_id)
                 invalidations = len(targets)
-                latency += self.interconnect.invalidation_latency(invalidations)
+                if invalidations:
+                    latency += self._inv_latency
                 self._invalidate_remote_copies(line_addr, targets)
                 self._fill_l2(core_id, line_addr, LineState.MODIFIED, dirty=True, coherent=True)
             else:
                 self.directory.record_shared_fetch(line_addr, core_id)
                 state = LineState.OWNED if dirty else LineState.SHARED
                 self._fill_l2(core_id, line_addr, state, dirty=dirty, coherent=True)
-            self._fill_l1(core_id, line_addr, coherent=True)
-            return AccessResult(latency=latency, level="l3", invalidations=invalidations)
+            self.l1d[core_id].fill_shared(line_addr, True)
+            return (latency, "l3", False, False, invalidations)
 
         # Off-chip access.
-        self.stats.add("l3.misses")
+        counts["l3.misses"] += 1
         self.interconnect.record_offchip_transfer()
         latency = l3_latency + self.memory.access_latency(
             self.interconnect.offchip_contention_factor()
@@ -231,94 +257,130 @@ class MemoryHierarchy:
         if is_store:
             targets = self.directory.record_exclusive_fetch(line_addr, core_id)
             invalidations = len(targets)
-            latency += self.interconnect.invalidation_latency(invalidations)
+            if invalidations:
+                latency += self._inv_latency
             self._invalidate_remote_copies(line_addr, targets)
             self._fill_l2(core_id, line_addr, LineState.MODIFIED, dirty=True, coherent=True)
         else:
             self.directory.record_shared_fetch(line_addr, core_id)
             self._fill_l2(core_id, line_addr, LineState.SHARED, dirty=False, coherent=True)
-        self._fill_l1(core_id, line_addr, coherent=True)
-        return AccessResult(
-            latency=latency, level="memory", offchip=True, invalidations=invalidations
-        )
+        self.l1d[core_id].fill_shared(line_addr, True)
+        return (latency, "memory", False, True, invalidations)
 
-    def _coherent_load(self, core_id: int, address: int) -> AccessResult:
-        line_addr = self._line(address)
-        if self.l1d[core_id].touch(line_addr) is not None:
-            self.stats.add("l1d.hits")
-            return AccessResult(latency=self.config.l1d.hit_latency, level="l1")
-        self.stats.add("l1d.misses")
-        l2_line = self.l2[core_id].touch(line_addr)
+    def _coherent_load(self, core_id: int, address: int):
+        # The L1/L2 hit checks inline SetAssociativeCache.touch (flat-map get
+        # plus LRU stamp plus hit/miss counters) -- this is the single most
+        # frequent operation in the whole simulator, and the method call per
+        # level is measurable.  Statistics evolve exactly as through touch().
+        line_addr = address & self._line_neg_mask
+        counts = self._counts
+        l1 = self.l1d[core_id]
+        line = l1._lines.get(line_addr)
+        if line is not None:
+            l1._touch_counter = counter = l1._touch_counter + 1
+            line.last_touch = counter
+            l1._counts["hits"] += 1
+            counts["l1d.hits"] += 1
+            return (self._l1d_hit_latency, "l1", False, False, 0)
+        l1._counts["misses"] += 1
+        counts["l1d.misses"] += 1
+        l2 = self.l2[core_id]
+        l2_line = l2._lines.get(line_addr)
         if l2_line is not None:
-            self._fill_l1(core_id, line_addr, coherent=l2_line.coherent)
-            self.stats.add("l2.hits")
-            return AccessResult(latency=self.config.l2.hit_latency, level="l2")
-        self.stats.add("l2.misses")
+            l2._touch_counter = counter = l2._touch_counter + 1
+            l2_line.last_touch = counter
+            l2._counts["hits"] += 1
+            l1.fill_shared(line_addr, l2_line.coherent)
+            counts["l2.hits"] += 1
+            return (self._l2_hit_latency, "l2", False, False, 0)
+        l2._counts["misses"] += 1
+        counts["l2.misses"] += 1
         return self._coherent_miss_fill(core_id, line_addr, is_store=False)
 
-    def _coherent_store(self, core_id: int, address: int) -> AccessResult:
-        line_addr = self._line(address)
+    def _coherent_store(self, core_id: int, address: int):
+        line_addr = address & self._line_neg_mask
+        counts = self._counts
         # The write-through L1 forwards every store to the L2; the L1 copy (if
-        # any) is simply kept up to date at no extra cost.
-        l2_line = self.l2[core_id].touch(line_addr)
+        # any) is simply kept up to date at no extra cost.  The L2 hit check
+        # inlines touch() like the load path above.
+        l2 = self.l2[core_id]
+        l2_line = l2._lines.get(line_addr)
         if l2_line is not None:
-            self.stats.add("l2.hits")
-            latency = self.config.l2.hit_latency
+            l2._touch_counter = counter = l2._touch_counter + 1
+            l2_line.last_touch = counter
+            l2._counts["hits"] += 1
+            counts["l2.hits"] += 1
+            latency = self._l2_hit_latency
             invalidations = 0
             if l2_line.state in (LineState.SHARED, LineState.OWNED):
                 targets = self.directory.record_exclusive_fetch(line_addr, core_id)
                 targets.discard(core_id)
                 invalidations = len(targets)
-                latency += self.interconnect.invalidation_latency(invalidations)
+                if invalidations:
+                    latency += self._inv_latency
                 self._invalidate_remote_copies(line_addr, targets)
             l2_line.state = LineState.MODIFIED
             l2_line.dirty = True
-            if self.directory.owner_of(line_addr) != core_id:
+            dir_entry = self._dir_entries.get(line_addr)
+            if (dir_entry.owner if dir_entry is not None else None) != core_id:
                 self.directory.record_exclusive_fetch(line_addr, core_id)
-            return AccessResult(latency=latency, level="l2", invalidations=invalidations)
-        self.stats.add("l2.misses")
+            return (latency, "l2", False, False, invalidations)
+        l2._counts["misses"] += 1
+        counts["l2.misses"] += 1
         return self._coherent_miss_fill(core_id, line_addr, is_store=True)
 
     # ------------------------------------------------------------------ #
     # Incoherent (mute) access path
     # ------------------------------------------------------------------ #
 
-    def _mute_access(self, core_id: int, address: int, is_store: bool) -> AccessResult:
-        line_addr = self._line(address)
-        if self.l1d[core_id].touch(line_addr) is not None:
-            self.stats.add("mute.l1d.hits")
+    def _mute_access(self, core_id: int, address: int, is_store: bool):
+        # L1/L2 hit checks inline touch(), as in the coherent paths.
+        line_addr = address & self._line_neg_mask
+        counts = self._counts
+        l1 = self.l1d[core_id]
+        l2 = self.l2[core_id]
+        line = l1._lines.get(line_addr)
+        if line is not None:
+            l1._touch_counter = counter = l1._touch_counter + 1
+            line.last_touch = counter
+            l1._counts["hits"] += 1
+            counts["mute.l1d.hits"] += 1
             if is_store:
-                l2_line = self.l2[core_id].lookup(line_addr)
+                l2_line = l2._lines.get(line_addr)
                 if l2_line is not None:
                     l2_line.dirty = True
                     l2_line.coherent = False
-            return AccessResult(latency=self.config.l1d.hit_latency, level="l1")
-        l2_line = self.l2[core_id].touch(line_addr)
+            return (self._l1d_hit_latency, "l1", False, False, 0)
+        l1._counts["misses"] += 1
+        l2_line = l2._lines.get(line_addr)
         if l2_line is not None:
-            self.stats.add("mute.l2.hits")
+            l2._touch_counter = counter = l2._touch_counter + 1
+            l2_line.last_touch = counter
+            l2._counts["hits"] += 1
+            counts["mute.l2.hits"] += 1
             if is_store:
                 l2_line.dirty = True
                 l2_line.coherent = False
-            return AccessResult(latency=self.config.l2.hit_latency, level="l2")
+            return (self._l2_hit_latency, "l2", False, False, 0)
+        l2._counts["misses"] += 1
 
         # Best-effort fill without changing global state.
-        self.stats.add("mute.l2.misses")
-        l2_latency = self.config.l2.hit_latency
-        l3_latency = self.config.l3.hit_latency
+        counts["mute.l2.misses"] += 1
+        l3_latency = self._l3_hit_latency
         holder = self._remote_holder(line_addr, core_id)
         if holder is not None:
-            latency = self.interconnect.cache_to_cache_latency(l3_latency, l2_latency)
+            latency = self._c2c_latency
             level = "c2c"
             c2c = True
             offchip = False
-            self.stats.add("c2c_transfers")
-            self.stats.add("mute.c2c_transfers")
+            counts["c2c_transfers"] += 1
+            counts["mute.c2c_transfers"] += 1
         elif self.l3.lookup(line_addr) is not None:
-            latency = self.interconnect.l3_access_latency(l3_latency)
+            latency = l3_latency
             level = "l3"
             c2c = False
             offchip = False
-            self.stats.add("mute.l3_hits")
+            counts["mute.l3_hits"] += 1
         else:
             self.interconnect.record_offchip_transfer()
             latency = l3_latency + self.memory.access_latency(
@@ -327,7 +389,7 @@ class MemoryHierarchy:
             level = "memory"
             c2c = False
             offchip = True
-            self.stats.add("mute.memory_accesses")
+            counts["mute.memory_accesses"] += 1
         self._fill_l2(
             core_id,
             line_addr,
@@ -335,17 +397,20 @@ class MemoryHierarchy:
             dirty=is_store,
             coherent=False,
         )
-        self._fill_l1(core_id, line_addr, coherent=False)
-        return AccessResult(latency=latency, level=level, c2c=c2c, offchip=offchip)
+        l1.fill_shared(line_addr, False)
+        return (latency, level, c2c, offchip, 0)
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
 
-    def access(
-        self, core_id: int, address: int, is_store: bool, coherent: bool = True
-    ) -> AccessResult:
-        """Perform one data access and return its latency and classification."""
+    def access_raw(self, core_id: int, address: int, is_store: bool, coherent: bool = True):
+        """Perform one data access without building an :class:`AccessResult`.
+
+        Returns ``(latency, level, c2c, offchip, invalidations)``.  This is
+        the form the core timing model's hot loop consumes; behaviour and
+        statistics are identical to :meth:`access`.
+        """
         self._check_core(core_id)
         if address < 0:
             raise MemorySystemError(f"negative physical address {address}")
@@ -354,6 +419,80 @@ class MemoryHierarchy:
                 return self._coherent_store(core_id, address)
             return self._coherent_load(core_id, address)
         return self._mute_access(core_id, address, is_store)
+
+    def access(
+        self, core_id: int, address: int, is_store: bool, coherent: bool = True
+    ) -> AccessResult:
+        """Perform one data access and return its latency and classification."""
+        latency, level, c2c, offchip, invalidations = self.access_raw(
+            core_id, address, is_store, coherent
+        )
+        return AccessResult(
+            latency=latency,
+            level=level,
+            c2c=c2c,
+            offchip=offchip,
+            invalidations=invalidations,
+        )
+
+    def warm(self, core_id: int, addresses, secondary_core: Optional[int] = None) -> int:
+        """Functionally warm caches by touching ``addresses`` with loads.
+
+        Each address is loaded coherently on ``core_id`` and, when a
+        ``secondary_core`` is given (a DMR mute), incoherently on that core --
+        exactly the access sequence the simulator's per-address warming loop
+        used to issue, without the per-access wrapper overhead.  Returns the
+        number of addresses touched.
+        """
+        self._check_core(core_id)
+        if secondary_core is not None:
+            self._check_core(secondary_core)
+        coherent_load = self._coherent_load
+        mute_access = self._mute_access
+        # Re-warming after a VM switch mostly re-touches resident lines, so
+        # the L1-hit path of _coherent_load (and of the mute load) is inlined
+        # here; misses take the full access path.  Counters evolve exactly as
+        # through the out-of-line calls.
+        neg_mask = self._line_neg_mask
+        counts = self._counts
+        l1 = self.l1d[core_id]
+        l1_lines = l1._lines
+        l1_counts = l1._counts
+        count = 0
+        if secondary_core is None:
+            for address in addresses:
+                line = l1_lines.get(address & neg_mask)
+                if line is not None:
+                    l1._touch_counter = counter = l1._touch_counter + 1
+                    line.last_touch = counter
+                    l1_counts["hits"] += 1
+                    counts["l1d.hits"] += 1
+                else:
+                    coherent_load(core_id, address)
+                count += 1
+            return count
+        m_l1 = self.l1d[secondary_core]
+        m_lines = m_l1._lines
+        m_counts = m_l1._counts
+        for address in addresses:
+            line = l1_lines.get(address & neg_mask)
+            if line is not None:
+                l1._touch_counter = counter = l1._touch_counter + 1
+                line.last_touch = counter
+                l1_counts["hits"] += 1
+                counts["l1d.hits"] += 1
+            else:
+                coherent_load(core_id, address)
+            m_line = m_lines.get(address & neg_mask)
+            if m_line is not None:
+                m_l1._touch_counter = counter = m_l1._touch_counter + 1
+                m_line.last_touch = counter
+                m_counts["hits"] += 1
+                counts["mute.l1d.hits"] += 1
+            else:
+                mute_access(secondary_core, address, False)
+            count += 1
+        return count
 
     def load(self, core_id: int, address: int, coherent: bool = True) -> AccessResult:
         """Convenience wrapper for a load access."""

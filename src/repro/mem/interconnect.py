@@ -31,11 +31,15 @@ class Interconnect:
         self.memory_config = memory_config
         self.line_bytes = line_bytes
         self.stats = StatSet()
+        # Hot-path binding: record_offchip_transfer runs once per off-chip
+        # access and bumps the counter dict directly.
+        self._counts = self.stats.counters
         # A generous default window so that users who never call
         # ``begin_window`` (unit tests, ad-hoc experiments) do not observe
         # spurious bandwidth saturation.
         self._window_cycles = 10_000
         self._window_offchip_bytes = 0
+        self._window_capacity = memory_config.bytes_per_cycle() * self._window_cycles
 
     # ------------------------------------------------------------------ #
     # Latency components
@@ -79,12 +83,14 @@ class Interconnect:
         """Start a new bandwidth accounting window of ``window_cycles`` cycles."""
         self._window_cycles = max(1, window_cycles)
         self._window_offchip_bytes = 0
+        self._window_capacity = self.memory_config.bytes_per_cycle() * self._window_cycles
 
     def record_offchip_transfer(self, bytes_moved: int | None = None) -> None:
         """Account one off-chip transfer (defaults to one cache line)."""
         moved = self.line_bytes if bytes_moved is None else bytes_moved
         self._window_offchip_bytes += moved
-        self.stats.add("offchip_bytes", moved)
+        counts = self._counts
+        counts["offchip_bytes"] += moved
 
     def offchip_contention_factor(self) -> float:
         """Multiplier applied to memory latency under bandwidth saturation.
@@ -92,7 +98,7 @@ class Interconnect:
         The factor is 1.0 while demand stays below the link capacity for the
         current window and grows linearly with over-subscription beyond it.
         """
-        capacity = self.memory_config.bytes_per_cycle() * self._window_cycles
+        capacity = self._window_capacity
         if capacity <= 0:
             return 1.0
         utilization = self._window_offchip_bytes / capacity

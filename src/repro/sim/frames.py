@@ -287,6 +287,12 @@ class ResultFrame:
     title: str
     schema: MetricSchema
     rows: List[Dict[str, CellValue]] = field(default_factory=list)
+    #: Fidelity tier the frame's cells were simulated at ("accurate" or
+    #: "fast"); ``None`` for frames predating the tier axis.  ``repro diff``
+    #: refuses to compare frames across tiers -- the fast tier is calibrated,
+    #: not bit-identical, so a cross-tier diff would report drift that is
+    #: really a tier mismatch.
+    fidelity: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Assembly (the one generic fold over runner output)
@@ -300,6 +306,7 @@ class ResultFrame:
         *,
         name: str,
         title: str = "",
+        fidelity: Optional[str] = None,
     ) -> "ResultFrame":
         """Fold ``(key tuple, values)`` samples into an aggregated frame.
 
@@ -326,7 +333,7 @@ class ResultFrame:
                 if metric in values:
                     group.setdefault(metric, []).append(values[metric])
 
-        frame = cls(name=name, title=title, schema=schema)
+        frame = cls(name=name, title=title, schema=schema, fidelity=fidelity)
         for key, batches in groups.items():
             row: Dict[str, CellValue] = dict(zip(schema.keys, key))
             derived: List[MetricColumn] = []
@@ -489,7 +496,7 @@ class ResultFrame:
         Byte-stable: ``ResultFrame.from_json(frame.to_json()).to_json()``
         serializes identically (asserted by the round-trip tests).
         """
-        return {
+        payload: Dict[str, object] = {
             "frame_version": FRAME_SCHEMA_VERSION,
             "name": self.name,
             "title": self.title,
@@ -502,6 +509,11 @@ class ResultFrame:
                 for row in self.rows
             ],
         }
+        # Absent (not null) when unset, so documents written before the
+        # fidelity axis serialize byte-identically.
+        if self.fidelity is not None:
+            payload["fidelity"] = self.fidelity
+        return payload
 
     @classmethod
     def from_json(cls, payload: Mapping[str, object]) -> "ResultFrame":
@@ -524,10 +536,12 @@ class ResultFrame:
             schema = MetricSchema.from_dict(schema_payload)
         except (KeyError, TypeError, ValueError) as error:
             raise ExperimentError(f"malformed frame schema: {error}") from None
+        fidelity = payload.get("fidelity")
         frame = cls(
             name=str(payload.get("name", "")),
             title=str(payload.get("title", "")),
             schema=schema,
+            fidelity=str(fidelity) if fidelity is not None else None,
         )
         rows_payload = payload.get("rows", ())
         if not isinstance(rows_payload, Sequence) or isinstance(rows_payload, (str, bytes)):
@@ -653,8 +667,8 @@ class FrameDrift:
     """One difference between a baseline frame and a current frame."""
 
     frame: str
-    kind: str  # missing-frame / extra-frame / schema-mismatch / missing-row
-    #           / extra-row / value-drift
+    kind: str  # missing-frame / extra-frame / schema-mismatch /
+    #           fidelity-mismatch / missing-row / extra-row / value-drift
     detail: str
 
     def __str__(self) -> str:
@@ -705,6 +719,26 @@ def diff_frames(
     Returns an empty list when the frames agree.
     """
     drifts: List[FrameDrift] = []
+    if (
+        baseline.fidelity is not None
+        and current.fidelity is not None
+        and baseline.fidelity != current.fidelity
+    ):
+        # Cross-tier numbers differ by design (the fast tier is calibrated,
+        # not exact); reporting them as value drift would be misleading.
+        drifts.append(
+            FrameDrift(
+                frame=baseline.name,
+                kind="fidelity-mismatch",
+                detail=(
+                    f"baseline simulated at fidelity={baseline.fidelity!r}, "
+                    f"current at fidelity={current.fidelity!r}; re-run with "
+                    f"--fidelity {baseline.fidelity} (or record a new baseline) "
+                    "instead of comparing across tiers"
+                ),
+            )
+        )
+        return drifts
     if baseline.schema.keys != current.schema.keys or set(
         baseline.schema.metric_names()
     ) != set(current.schema.metric_names()):

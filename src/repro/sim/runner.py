@@ -228,17 +228,22 @@ def _entry_schema_version(path: Path, size: int) -> str:
     Entries are dumped with ``sort_keys=True``, so the top-level ``schema``
     field is the *last* key in the file; reading a small tail and taking
     the last ``"schema": N`` match avoids deserializing the whole entry
-    (fault-campaign cells can be tens of kilobytes each).  Falls back to a
-    full parse for files that do not match (e.g. hand-edited entries), and
-    to ``"?"`` for unreadable ones -- which load as misses anyway.
+    (fault-campaign cells can be tens of kilobytes each).  The tail match
+    is only trusted when the tail also ends with the closing ``}`` of a
+    complete dump: a zero-byte or mid-write entry (a writer caught between
+    ``open`` and flush) must report ``"?"`` rather than whatever version
+    string happens to survive truncation.  Falls back to a full parse for
+    complete files that do not match (e.g. hand-edited entries), and to
+    ``"?"`` for unreadable ones -- which load as misses anyway.
     """
     try:
         with open(path, "rb") as handle:
             handle.seek(max(0, size - 256))
             tail = handle.read().decode("utf-8", errors="replace")
-        matches = re.findall(r'"schema":\s*(\d+)', tail)
-        if matches:
-            return matches[-1]
+        if tail.rstrip().endswith("}"):
+            matches = re.findall(r'"schema":\s*(\d+)', tail)
+            if matches:
+                return matches[-1]
         payload = json.loads(path.read_text(encoding="utf-8"))
         return str(payload.get("schema", "?"))
     except (OSError, ValueError, AttributeError):

@@ -345,12 +345,11 @@ class Simulator:
         machine = self.machine
         for placement in plan.placements:
             vcpu = machine.vcpus[placement.vcpu_id]
-            primary = placement.assignment.primary_core
-            secondary = placement.assignment.secondary_core
-            for address in vcpu.workload.address_model.warm_addresses():
-                machine.hierarchy.load(primary, address)
-                if secondary is not None:
-                    machine.hierarchy.load(secondary, address, coherent=False)
+            machine.hierarchy.warm(
+                placement.assignment.primary_core,
+                vcpu.workload.address_model.warm_addresses(),
+                secondary_core=placement.assignment.secondary_core,
+            )
 
     # ------------------------------------------------------------------ #
     # Quantum execution (the five composable phases)

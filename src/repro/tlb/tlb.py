@@ -20,6 +20,12 @@ from repro.config.system import TlbConfig
 from repro.errors import ProtectionError
 from repro.tlb.page_table import PageFlags, PageTable
 
+# Integer values of the permission bits consulted on every translation; doing
+# the permission arithmetic on plain ints avoids two Flag.__and__ enum
+# constructions per access.
+_USER_WRITE = PageFlags.USER_WRITE.value
+_PRIVILEGED_ONLY = PageFlags.PRIVILEGED_ONLY.value
+
 
 @dataclass(slots=True)
 class TlbEntry:
@@ -62,6 +68,21 @@ class TranslationLookasideBuffer:
         self._touch = 0
         self._demap_listener = demap_listener
         self.stats = StatSet()
+        # Hot-path binding: translate_raw bumps counters directly instead of
+        # calling StatSet.add once or twice per translation.
+        self._counts = self.stats.counters
+        self._page_size = page_table.page_size
+        self._fill_latency = config.fill_latency
+        # Page sizes are powers of two in every configuration, which turns
+        # the page/offset split into shifts and masks (identical results for
+        # the non-negative addresses the workloads generate); keep the
+        # division fallback for exotic page sizes.
+        if self._page_size & (self._page_size - 1) == 0:
+            self._page_shift: Optional[int] = self._page_size.bit_length() - 1
+            self._page_mask = self._page_size - 1
+        else:
+            self._page_shift = None
+            self._page_mask = 0
 
     @property
     def page_size(self) -> int:
@@ -105,36 +126,64 @@ class TranslationLookasideBuffer:
         self.stats.add("fills")
         return entry
 
+    def translate_raw(self, virtual_address: int, is_store: bool, privileged: bool):
+        """Translate without building a :class:`TranslationResult`.
+
+        Returns ``(physical_address, flags, domain, hit, latency,
+        permitted)``; the behaviour and statistics are identical to
+        :meth:`translate`, which wraps this.  The core timing model's hot
+        loop consumes the tuple directly.
+        """
+        page_shift = self._page_shift
+        if page_shift is not None:
+            virtual_page = virtual_address >> page_shift
+        else:
+            virtual_page = virtual_address // self._page_size
+        entry = self._entries.get(virtual_page)
+        counts = self._counts
+        if entry is None:
+            hit = False
+            latency = self._fill_latency
+            entry = self._fill(virtual_page)
+            counts["misses"] += 1
+        else:
+            hit = True
+            latency = 0
+            self._touch += 1
+            entry.last_touch = self._touch
+            counts["hits"] += 1
+
+        flags = entry.flags
+        permitted = True
+        if not privileged:
+            flag_bits = flags._value_
+            if is_store and not (flag_bits & _USER_WRITE):
+                permitted = False
+            if flag_bits & _PRIVILEGED_ONLY:
+                permitted = False
+            if not permitted:
+                counts["permission_denials"] += 1
+
+        if page_shift is not None:
+            physical = (entry.physical_page << page_shift) + (
+                virtual_address & self._page_mask
+            )
+        else:
+            page_size = self._page_size
+            physical = entry.physical_page * page_size + virtual_address % page_size
+        return (physical, flags, entry.domain, hit, latency, permitted)
+
     def translate(
         self, virtual_address: int, is_store: bool, privileged: bool
     ) -> TranslationResult:
         """Translate ``virtual_address`` and perform the permission check."""
-        virtual_page = virtual_address // self.page_size
-        offset = virtual_address % self.page_size
-        entry = self._entries.get(virtual_page)
-        hit = entry is not None
-        latency = 0
-        if entry is None:
-            latency = self.config.fill_latency
-            entry = self._fill(virtual_page)
-            self.stats.add("misses")
-        else:
-            self._touch += 1
-            entry.last_touch = self._touch
-            self.stats.add("hits")
-
-        permitted = True
-        if is_store and not privileged and not (entry.flags & PageFlags.USER_WRITE):
-            permitted = False
-        if not privileged and (entry.flags & PageFlags.PRIVILEGED_ONLY):
-            permitted = False
-        if not permitted:
-            self.stats.add("permission_denials")
-
+        physical, flags, domain, hit, latency, permitted = self.translate_raw(
+            virtual_address, is_store, privileged
+        )
         return TranslationResult(
-            physical_address=entry.physical_page * self.page_size + offset,
-            flags=entry.flags,
-            domain=entry.domain,
+            physical_address=physical,
+            flags=flags,
+            domain=domain,
             hit=hit,
             latency=latency,
             permitted=permitted,

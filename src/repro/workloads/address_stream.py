@@ -109,6 +109,29 @@ class AddressStreamModel:
 
         self._shared = _Window(shared_region.base, max(line_size, shared_region.size))
 
+        # Hot-path bindings: next_address runs once per memory instruction.
+        # The windows are frozen, so their fields are flattened to plain
+        # attributes and the RNG helpers are inlined in next_address (the
+        # draw order and bit stream are identical to the helper calls).
+        self._chance = rng.chance
+        self._sample_address = rng.sample_address
+        self._hot_cold_address = rng.hot_cold_address
+        self._shared_fraction = profile.shared_access_fraction
+        self._os_shared_fraction = profile.os_shared_access_fraction
+        self._hot_fraction = profile.hot_access_fraction
+        self._r01 = rng.raw.random
+        self._randbelow = rng.raw._randbelow
+        self._shared_base = self._shared.base
+        self._shared_span = self._shared.span
+        self._kernel_shared_base = self._kernel_shared.base
+        self._kernel_shared_span = self._kernel_shared.span
+        self._user_base = self._user_cold.base
+        self._user_hot_span = self._user_hot.span
+        self._user_cold_span = self._user_cold.span
+        self._kernel_base = self._kernel_cold.base
+        self._kernel_hot_span = self._kernel_hot.span
+        self._kernel_cold_span = self._kernel_cold.span
+
     @property
     def user_private_window(self) -> Tuple[int, int]:
         """``(base, span)`` of this VCPU's private user window (for tests)."""
@@ -147,11 +170,11 @@ class AddressStreamModel:
         return (self._shared.base, self._shared.span)
 
     def _pick(self, hot: _Window, cold: _Window) -> int:
-        return self._rng.hot_cold_address(
+        return self._hot_cold_address(
             base=cold.base,
             hot_span=hot.span,
             cold_span=cold.span,
-            hot_probability=self._profile.hot_access_fraction,
+            hot_probability=self._hot_fraction,
             alignment=self._line_size,
         )
 
@@ -165,22 +188,52 @@ class AddressStreamModel:
         memory hierarchy uses it only for statistics -- actual cache-to-cache
         behaviour emerges from the directory state.
         """
+        # This is a full inline of the chance / sample_address /
+        # hot_cold_address helper chain (one call per memory instruction):
+        # every random draw happens under the same condition and in the same
+        # order as the helpers would perform it, so the value stream is
+        # bit-identical.
+        r01 = self._r01
+        randbelow = self._randbelow
+        line = self._line_size
         if privilege is PrivilegeLevel.USER:
-            if self._rng.chance(self._profile.shared_access_fraction):
-                return (
-                    self._rng.sample_address(
-                        self._shared.base, self._shared.span, self._line_size
-                    ),
-                    True,
-                )
-            return (self._pick(self._user_hot, self._user_cold), False)
-
-        # OS / hypervisor accesses.
-        if self._rng.chance(self._profile.os_shared_access_fraction):
-            return (
-                self._rng.sample_address(
-                    self._kernel_shared.base, self._kernel_shared.span, self._line_size
-                ),
-                True,
-            )
-        return (self._pick(self._kernel_hot, self._kernel_cold), False)
+            p = self._shared_fraction
+            if (r01() < p) if 0.0 < p < 1.0 else p >= 1.0:
+                span = self._shared_span
+                if span <= 0:
+                    return (self._shared_base, True)
+                offset = randbelow(span)
+                if line > 1:
+                    offset -= offset % line
+                return (self._shared_base + offset, True)
+            base = self._user_base
+            hot_span = self._user_hot_span
+            cold_span = self._user_cold_span
+        else:
+            # OS / hypervisor accesses.
+            p = self._os_shared_fraction
+            if (r01() < p) if 0.0 < p < 1.0 else p >= 1.0:
+                span = self._kernel_shared_span
+                if span <= 0:
+                    return (self._kernel_shared_base, True)
+                offset = randbelow(span)
+                if line > 1:
+                    offset -= offset % line
+                return (self._kernel_shared_base + offset, True)
+            base = self._kernel_base
+            hot_span = self._kernel_hot_span
+            cold_span = self._kernel_cold_span
+        # Hot/cold pick: the hot-set chance is drawn *before* the span
+        # comparison, exactly as hot_cold_address does.
+        hp = self._hot_fraction
+        if ((r01() < hp) if 0.0 < hp < 1.0 else hp >= 1.0) or cold_span <= hot_span:
+            span = hot_span
+        else:
+            base += hot_span
+            span = cold_span - hot_span
+        if span <= 0:
+            return (base, False)
+        offset = randbelow(span)
+        if line > 1:
+            offset -= offset % line
+        return (base + offset, False)

@@ -19,7 +19,7 @@ it stopped.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.common.addresses import AddressSpaceLayout
 from repro.common.rng import DeterministicRng
@@ -83,11 +83,33 @@ class SyntheticWorkload:
         self._remaining_in_phase = self._sample_phase_length(user=True)
         self._iterator: Optional[Iterator[Instruction]] = None
 
+        # Hot-path bindings and per-privilege threshold tables.  The profile
+        # is immutable after construction, so the cumulative mix thresholds
+        # the per-instruction roll is compared against can be computed once;
+        # the sums are built left-to-right exactly as the per-instruction code
+        # used to, so the comparisons see bit-identical floats.
+        self._random01 = self._rng.raw.random
+        self._randint = self._rng.raw.randint
+        self._getrandbits = self._rng.raw.getrandbits
+        self._next_address = self._addresses.next_address
+        self._user_thresholds = self._mix_thresholds(PrivilegeLevel.USER)
+        self._os_thresholds = self._mix_thresholds(self._os_privilege)
+
         # Statistics the Table 2 experiment reads back.
         self.user_phases_completed = 0
         self.os_phases_completed = 0
         self.user_instructions_emitted = 0
         self.os_instructions_emitted = 0
+
+    def _mix_thresholds(
+        self, privilege: PrivilegeLevel
+    ) -> Tuple[float, float, float, float]:
+        load_frac, store_frac, branch_frac = self.profile.mix_for(privilege)
+        si_prob = self.profile.si_per_kilo_for(privilege) / 1000.0
+        t_load = si_prob + load_frac
+        t_store = t_load + store_frac
+        t_branch = t_store + branch_frac
+        return (si_prob, t_load, t_store, t_branch)
 
     # ------------------------------------------------------------------ #
     # Phase machinery
@@ -120,76 +142,99 @@ class SyntheticWorkload:
     # Instruction synthesis
     # ------------------------------------------------------------------ #
 
-    def _make_instruction(self, privilege: PrivilegeLevel) -> Instruction:
-        load_frac, store_frac, branch_frac = self.profile.mix_for(privilege)
-        si_prob = self.profile.si_per_kilo_for(privilege) / 1000.0
-        roll = self._rng.uniform(0.0, 1.0)
-        address = None
-        is_shared = False
-        if roll < si_prob:
-            iclass = (
-                InstructionClass.PRIVILEGED
-                if privilege is not PrivilegeLevel.USER and self._rng.chance(0.5)
-                else InstructionClass.SERIALIZING
-            )
-        elif roll < si_prob + load_frac:
-            iclass = InstructionClass.LOAD
-            address, is_shared = self._addresses.next_address(privilege, is_store=False)
-        elif roll < si_prob + load_frac + store_frac:
-            iclass = InstructionClass.STORE
-            address, is_shared = self._addresses.next_address(privilege, is_store=True)
-        elif roll < si_prob + load_frac + store_frac + branch_frac:
-            iclass = InstructionClass.BRANCH
-        else:
-            iclass = InstructionClass.ALU
-        instruction = Instruction(
-            seq=self._seq,
-            iclass=iclass,
-            privilege=privilege,
-            address=address,
-            result=self._rng.randint(0, 0xFFFF),
-            is_shared=is_shared,
-        )
-        self._seq += 1
-        return instruction
+    def next_raw(
+        self,
+    ) -> Tuple[int, InstructionClass, PrivilegeLevel, Optional[int], int, bool]:
+        """Return the next instruction as a raw field tuple.
 
-    def _boundary_instruction(self, entering_os: bool) -> Instruction:
-        iclass = (
-            InstructionClass.SYSCALL_ENTRY if entering_os else InstructionClass.SYSCALL_EXIT
-        )
-        # The trap itself executes at the privileged level it transfers to /
-        # from, which is what forces the mode transition in an MMM.
-        instruction = Instruction(
-            seq=self._seq,
-            iclass=iclass,
-            privilege=self._os_privilege,
-            address=None,
-            result=self._rng.randint(0, 0xFFFF),
-        )
-        self._seq += 1
-        return instruction
-
-    def next_instruction(self) -> Instruction:
-        """Return the next dynamic instruction of this VCPU's stream."""
+        This is the allocation-free form of :meth:`next_instruction` (which
+        wraps it): the core timing model's hot loop consumes these tuples
+        directly instead of building an :class:`Instruction` per dynamic
+        instruction.  The tuple is ``(seq, iclass, privilege, address,
+        result, is_shared)`` and the RNG consumption (draw order and count)
+        is identical to the historical per-instruction code.
+        """
         if self._remaining_in_phase <= 0:
             if self._in_os_phase:
                 self.os_phases_completed += 1
                 self._in_os_phase = False
                 self._remaining_in_phase = self._sample_phase_length(user=True)
-                return self._boundary_instruction(entering_os=False)
-            self.user_phases_completed += 1
-            self._in_os_phase = True
-            self._remaining_in_phase = self._sample_phase_length(user=False)
-            return self._boundary_instruction(entering_os=True)
+                iclass = InstructionClass.SYSCALL_EXIT
+            else:
+                self.user_phases_completed += 1
+                self._in_os_phase = True
+                self._remaining_in_phase = self._sample_phase_length(user=False)
+                iclass = InstructionClass.SYSCALL_ENTRY
+            seq = self._seq
+            self._seq = seq + 1
+            # Exact inline of ``randint(0, 0xFFFF)``: randrange reduces it to
+            # ``_randbelow(65536)``, which draws 17-bit chunks (65536 needs 17
+            # bits) until one lands below 65536 -- same bit stream, no
+            # argument-checking overhead.
+            getrandbits = self._getrandbits
+            result = getrandbits(17)
+            while result >= 65536:
+                result = getrandbits(17)
+            # The trap itself executes at the privileged level it transfers
+            # to / from, which is what forces the mode transition in an MMM.
+            return (seq, iclass, self._os_privilege, None, result, False)
 
         self._remaining_in_phase -= 1
-        privilege = self.current_privilege
-        instruction = self._make_instruction(privilege)
-        if privilege is PrivilegeLevel.USER:
+        if self._in_os_phase:
+            privilege = self._os_privilege
+            t_si, t_load, t_store, t_branch = self._os_thresholds
+            user = False
+        else:
+            privilege = PrivilegeLevel.USER
+            t_si, t_load, t_store, t_branch = self._user_thresholds
+            user = True
+
+        roll = self._random01()
+        address = None
+        is_shared = False
+        if roll >= t_si:
+            if roll < t_load:
+                iclass = InstructionClass.LOAD
+                address, is_shared = self._next_address(privilege, False)
+            elif roll < t_store:
+                iclass = InstructionClass.STORE
+                address, is_shared = self._next_address(privilege, True)
+            elif roll < t_branch:
+                iclass = InstructionClass.BRANCH
+            else:
+                iclass = InstructionClass.ALU
+        elif user:
+            iclass = InstructionClass.SERIALIZING
+        else:
+            iclass = (
+                InstructionClass.PRIVILEGED
+                if self._random01() < 0.5
+                else InstructionClass.SERIALIZING
+            )
+        # Exact inline of ``randint(0, 0xFFFF)`` -- see the boundary path.
+        getrandbits = self._getrandbits
+        result = getrandbits(17)
+        while result >= 65536:
+            result = getrandbits(17)
+        seq = self._seq
+        self._seq = seq + 1
+        if user:
             self.user_instructions_emitted += 1
         else:
             self.os_instructions_emitted += 1
-        return instruction
+        return (seq, iclass, privilege, address, result, is_shared)
+
+    def next_instruction(self) -> Instruction:
+        """Return the next dynamic instruction of this VCPU's stream."""
+        seq, iclass, privilege, address, result, is_shared = self.next_raw()
+        return Instruction(
+            seq=seq,
+            iclass=iclass,
+            privilege=privilege,
+            address=address,
+            result=result,
+            is_shared=is_shared,
+        )
 
     def stream(self) -> Iterator[Instruction]:
         """An infinite iterator over the VCPU's dynamic instruction stream."""

@@ -1,0 +1,167 @@
+"""Parity guard for the calibrated fast fidelity tier.
+
+Every registered experiment runs under both tiers on a reduced grid:
+
+* simulation specs must stay within the calibrated tolerances below --
+  the fast tier is an approximation, and these bounds are its contract;
+* measurement and fault specs must be *identical* -- their cells run
+  fine-grained stop conditions or fault hooks, which the fast tier
+  delegates to the accurate model unchanged;
+* every spec's cache keys must differ between tiers, so fast results can
+  never be served from (or poison) an accurate cache.
+
+The grid deliberately runs more, shorter timeslices than ``quick()``
+(``quick()`` has so few rounds per VM that the fast tier's MIN_ROUNDS
+warm-up would keep everything accurate and the parity test would guard
+nothing).  The tolerances were calibrated by sweeping this exact grid:
+per-cell residuals measured at most 36% (figure6 ``reliable_ipc``, two
+seeds), most specs under 15%, and mean residuals well under 10%.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cpu.fastpath import FastTimingModel
+from repro.errors import ExperimentError
+from repro.sim.frames import ConfidenceInterval
+from repro.sim.runner import ExperimentRunner
+from repro.sim.settings import ExperimentSettings
+from repro.sim.specs import EXPERIMENTS, experiment_names
+
+#: Upper bound on any single cell's relative deviation from the accurate
+#: tier (headroom over the 36% worst case measured on this grid).
+PARITY_RTOL = 0.50
+
+#: Upper bound on a frame's *mean* relative deviation: individual cells
+#: are phase-noisy, but the tier must not be systematically biased.
+MEAN_RTOL = 0.15
+
+#: The parity grid: quick-sized work, but with enough timeslice rounds
+#: per VM (~10) that synthesis actually engages past MIN_ROUNDS.
+PARITY_SETTINGS = dataclasses.replace(
+    ExperimentSettings.quick().with_workloads(("apache", "pmake")).with_seeds((0, 1)),
+    total_cycles=24_000,
+    warmup_cycles=4_000,
+    timeslice_cycles=2_000,
+)
+
+SIMULATION_SPECS = [
+    name for name in experiment_names() if EXPERIMENTS[name].family == "simulation"
+]
+DELEGATING_SPECS = [
+    name for name in experiment_names() if EXPERIMENTS[name].family != "simulation"
+]
+
+_frames = {}
+
+
+def frames_for(name: str, settings: ExperimentSettings):
+    """Both tiers' frames for one spec, computed once per test session."""
+    if name not in _frames:
+        spec = EXPERIMENTS[name]
+        _frames[name] = {
+            tier: spec.run(
+                runner=ExperimentRunner(jobs=1, use_cache=False),
+                settings=settings.with_fidelity(tier),
+            )
+            for tier in ("accurate", "fast")
+        }
+    return _frames[name]
+
+
+def numeric(value):
+    if isinstance(value, ConfidenceInterval):
+        return value.mean
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def paired_cells(accurate, fast):
+    """(metric, accurate value, fast value) for every comparable cell."""
+    keys = accurate.schema.keys
+    fast_rows = {tuple(row[k] for k in keys): row for row in fast.rows}
+    assert len(fast_rows) == len(fast.rows) == len(accurate.rows)
+    for row in accurate.rows:
+        fast_row = fast_rows[tuple(row[k] for k in keys)]
+        for metric in accurate.schema.metric_names():
+            yield metric, numeric(row.get(metric)), numeric(fast_row.get(metric))
+
+
+class TestSimulationParity:
+    @pytest.mark.parametrize("name", SIMULATION_SPECS)
+    def test_fast_tier_tracks_accurate(self, name):
+        frames = frames_for(name, PARITY_SETTINGS)
+        accurate, fast = frames["accurate"], frames["fast"]
+        assert accurate.fidelity == "accurate"
+        assert fast.fidelity == "fast"
+        residuals = []
+        for metric, acc, fst in paired_cells(accurate, fast):
+            if acc is None or abs(acc) < 1e-9:
+                continue
+            relative = abs(fst - acc) / abs(acc)
+            residuals.append(relative)
+            assert relative <= PARITY_RTOL, (
+                f"{name}: {metric} fast={fst:.5g} vs accurate={acc:.5g} "
+                f"({relative:.1%} > {PARITY_RTOL:.0%})"
+            )
+        assert residuals, f"{name}: no comparable numeric cells"
+        mean = sum(residuals) / len(residuals)
+        assert mean <= MEAN_RTOL, (
+            f"{name}: mean residual {mean:.1%} > {MEAN_RTOL:.0%} -- "
+            "the fast tier has drifted systematically"
+        )
+
+
+class TestDelegation:
+    @pytest.mark.parametrize("name", DELEGATING_SPECS)
+    def test_measurement_and_fault_specs_are_tier_exact(self, name):
+        # Fine-grained stop conditions and fault injection delegate to the
+        # accurate model, so these specs must not change at all.
+        frames = frames_for(name, ExperimentSettings.quick().with_workloads(("apache",)))
+        assert frames["accurate"].rows == frames["fast"].rows
+
+
+class TestCacheKeys:
+    @pytest.mark.parametrize("name", experiment_names())
+    def test_cache_keys_differ_by_tier(self, name):
+        spec = EXPERIMENTS[name]
+        keys = {}
+        for tier in ("accurate", "fast"):
+            request = spec.request(PARITY_SETTINGS.with_fidelity(tier))
+            keys[tier] = {job.cache_key() for job in spec.enumerate_jobs(request)}
+            assert keys[tier]
+        assert not keys["accurate"] & keys["fast"], (
+            f"{name}: a cached fast cell could be served as accurate"
+        )
+
+
+class TestTierSelection:
+    def test_unknown_tier_is_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentSettings(fidelity="turbo")
+
+    def test_fast_tier_actually_synthesizes(self, monkeypatch):
+        # The parity numbers above are only meaningful if synthesis really
+        # engages on the parity grid.
+        import repro.sim.jobs as jobs_mod
+        from repro.sim.jobs import ExperimentJob, simulate_cell
+
+        counts = {"synthesized": 0}
+
+        class Counting(FastTimingModel):
+            def _synthesize(self, calibration, cycle_budget):
+                counts["synthesized"] += 1
+                return super()._synthesize(calibration, cycle_budget)
+
+        monkeypatch.setattr(jobs_mod, "FastTimingModel", Counting)
+        job = ExperimentJob(
+            kind="figure5",
+            workload="apache",
+            variant="reunion",
+            seed=0,
+            settings=PARITY_SETTINGS.with_fidelity("fast").cell_settings(),
+        )
+        simulate_cell(job)
+        assert counts["synthesized"] > 0

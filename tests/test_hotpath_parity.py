@@ -1,0 +1,170 @@
+"""Exact-parity tests for the batched ``run_quantum`` hot path.
+
+``CoreTimingModel.run_quantum`` is a batched rewrite of the original
+per-instruction loop, which is retained as
+``CoreTimingModel.run_quantum_reference`` -- the executable specification.
+These tests build *two* machines from identical ``(config, vm_specs,
+policy, seed)`` tuples (machine construction is fully deterministic), drive
+one through the batched path and one through the reference path with the
+same arguments, and require bit-identical results: cycle counts, committed
+instruction counts, every statistic key and value, and every recorded
+violation.
+
+Bit-identity (not tolerance) is the contract: the batched loop performs
+its float additions on the cycle accumulator in the same order as the
+reference, draws from the shared RNG in the same order, and replicates the
+reference's stats key-presence rules exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import pytest
+
+from repro.config.presets import paper_system_config
+from repro.core.machine import MixedModeMachine, VmSpec
+from repro.cpu.timing import CoreAssignment, ExecutionMode
+from repro.faults.injector import FaultRates
+from repro.virt.vcpu import ReliabilityMode
+
+
+def _build_machine(seed: int, fault_rates: Optional[FaultRates] = None):
+    config = paper_system_config().validate()
+    specs = [
+        VmSpec(
+            name="reliable",
+            workload="oltp",
+            num_vcpus=2,
+            reliability=ReliabilityMode.RELIABLE,
+            phase_scale=0.02,
+        ),
+        VmSpec(
+            name="performance",
+            workload="apache",
+            num_vcpus=2,
+            reliability=ReliabilityMode.PERFORMANCE,
+            phase_scale=0.02,
+        ),
+    ]
+    return MixedModeMachine(
+        config=config,
+        vm_specs=specs,
+        policy="mmm-tp",
+        seed=seed,
+        fault_rates=fault_rates,
+    )
+
+
+def _assignment(machine, mode: ExecutionMode) -> CoreAssignment:
+    if mode is ExecutionMode.DMR:
+        return CoreAssignment(
+            mode=mode,
+            primary_core=0,
+            secondary_core=1,
+            reunion_pair=machine.pair_factory(0, 1),
+        )
+    return CoreAssignment(mode=mode, primary_core=0)
+
+
+def _run(machine, method_name: str, *, mode, vcpu_index, **kwargs):
+    vcpu = machine.vcpus[vcpu_index]
+    method = getattr(machine.timing_model, method_name)
+    return method(
+        workload=vcpu.workload,
+        assignment=_assignment(machine, mode),
+        vcpu_id=vcpu.vcpu_id,
+        **kwargs,
+    )
+
+
+def _assert_identical(batched, reference):
+    assert batched.cycles == reference.cycles
+    assert batched.instructions == reference.instructions
+    assert batched.user_instructions == reference.user_instructions
+    assert batched.os_instructions == reference.os_instructions
+    assert batched.stop_reason == reference.stop_reason
+    assert batched.stats.as_dict() == reference.stats.as_dict()
+    assert len(batched.violations) == len(reference.violations)
+    for got, want in zip(batched.violations, reference.violations):
+        assert got.kind == want.kind
+        assert got.cycle == want.cycle
+        assert got.core_id == want.core_id
+        assert got.vcpu_id == want.vcpu_id
+        assert got.physical_address == want.physical_address
+
+
+def _compare_quanta(seed, *, mode, vcpu_index, quanta, fault_rates=None, **kwargs):
+    """Run ``quanta`` consecutive quanta through both paths and compare."""
+    fast = _build_machine(seed, fault_rates=fault_rates)
+    slow = _build_machine(seed, fault_rates=fault_rates)
+    for index in range(quanta):
+        start = index * kwargs.get("cycle_budget", 0)
+        batched = _run(
+            fast, "run_quantum", mode=mode, vcpu_index=vcpu_index,
+            start_cycle=start, **kwargs,
+        )
+        reference = _run(
+            slow, "run_quantum_reference", mode=mode, vcpu_index=vcpu_index,
+            start_cycle=start, **kwargs,
+        )
+        _assert_identical(batched, reference)
+        assert batched.instructions > 0
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_parity_baseline_mode(seed):
+    _compare_quanta(seed, mode=ExecutionMode.BASELINE, vcpu_index=0,
+                    quanta=3, cycle_budget=20_000)
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_parity_dmr_mode(seed):
+    _compare_quanta(seed, mode=ExecutionMode.DMR, vcpu_index=0,
+                    quanta=3, cycle_budget=20_000)
+
+
+@pytest.mark.parametrize("seed", [0, 5])
+def test_parity_performance_mode_with_pab(seed):
+    # Performance-mode VCPUs (index 2/3) exercise the PAB check path.
+    _compare_quanta(seed, mode=ExecutionMode.PERFORMANCE, vcpu_index=2,
+                    quanta=3, cycle_budget=20_000)
+
+
+def test_parity_with_contention():
+    _compare_quanta(0, mode=ExecutionMode.PERFORMANCE, vcpu_index=2,
+                    quanta=2, cycle_budget=15_000, active_cores=6)
+
+
+def test_parity_stop_on_os_entry_and_exit():
+    _compare_quanta(0, mode=ExecutionMode.BASELINE, vcpu_index=0,
+                    quanta=4, cycle_budget=50_000, stop_on_os_entry=True)
+    _compare_quanta(1, mode=ExecutionMode.BASELINE, vcpu_index=0,
+                    quanta=4, cycle_budget=50_000, stop_on_os_exit=True)
+
+
+def test_parity_max_instructions():
+    _compare_quanta(0, mode=ExecutionMode.DMR, vcpu_index=0,
+                    quanta=2, cycle_budget=500_000, max_instructions=1_234)
+
+
+def test_parity_with_fault_hook():
+    # High execution-fault rate so DMR corruption/recovery paths fire, and a
+    # store-address rate so performance-mode redirection draws fire too.
+    rates = FaultRates(execution_result=0.002, store_address=0.001)
+    _compare_quanta(0, mode=ExecutionMode.DMR, vcpu_index=0,
+                    quanta=3, cycle_budget=20_000, fault_rates=rates)
+    _compare_quanta(2, mode=ExecutionMode.PERFORMANCE, vcpu_index=2,
+                    quanta=3, cycle_budget=20_000, fault_rates=rates)
+
+
+def test_parity_fault_recovery_observed():
+    """The fault-hook parity run above is only meaningful if recoveries
+    actually happened; assert the scenario exercises them."""
+    rates = FaultRates(execution_result=0.01)
+    machine = _build_machine(0, fault_rates=rates)
+    result = _run(
+        machine, "run_quantum", mode=ExecutionMode.DMR, vcpu_index=0,
+        cycle_budget=60_000,
+    )
+    assert result.stats.get("dmr_recoveries") > 0

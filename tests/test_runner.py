@@ -272,6 +272,38 @@ class TestResultCache:
         for kind_stats in stats.values():
             assert kind_stats.bytes > 0
 
+    def test_stats_reports_unknown_version_for_partial_entries(self, tmp_path):
+        # A zero-byte or mid-write entry must not be counted under a real
+        # schema version: the tail sniff is only trusted for complete dumps
+        # (ending in the closing brace), otherwise a writer caught between
+        # open and flush would inflate a version bucket with an entry that
+        # loads as a miss.
+        cache = ResultCache(tmp_path)
+        cache.store(quick_job(), {"a": 1.0})
+        kind_dir = cache.path_for(quick_job()).parent
+        (kind_dir / "zero.json").write_bytes(b"")
+        # Truncated mid-write, but the tail still contains a schema match.
+        (kind_dir / "partial.json").write_bytes(b'{"metrics": {"a": 1.0}, "schema": 3')
+        stats = cache.stats()["figure5"]
+        assert stats.entries == 3
+        assert stats.versions["?"] == 2
+        known = {v: n for v, n in stats.versions.items() if v != "?"}
+        assert sum(known.values()) == 1
+
+    def test_stats_full_parse_fallback_for_unsniffable_complete_entries(self, tmp_path):
+        # Hand-edited entries (schema not last, trailing whitespace) are
+        # complete files: they fall back to a full parse, not to "?".
+        cache = ResultCache(tmp_path)
+        job = quick_job()
+        path = cache.path_for(job)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        padding = " " * 512  # push the schema field out of the 256-byte tail
+        path.write_text(
+            '{"schema": 2, "pad": "' + padding + '"}\n', encoding="utf-8"
+        )
+        stats = cache.stats()["figure5"]
+        assert stats.versions == {"2": 1}
+
     def test_store_leaves_no_temporary_files(self, tmp_path):
         # The fsync-and-rename write must clean up after itself: only the
         # final entry remains, and it loads.

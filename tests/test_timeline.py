@@ -485,6 +485,51 @@ class TestPlanReuse:
             < without.quantum_stats["plan_reuses"]
         )
 
+    def test_policy_change_invalidates_cached_plans(self, small_config):
+        # Cycle 5000 sits inside a timeslice: without the event the plan
+        # would have been reused, so a policy hot-swap must cost reuses.
+        timeline = Timeline.of(PolicyChanged(cycle=5_000, policy="no-dmr"))
+        with_event = run_machine(
+            make_small_machine(small_config), timeline=timeline,
+            quantum_cycles=1_000,
+        )
+        without = run_machine(
+            make_small_machine(small_config), quantum_cycles=1_000
+        )
+        assert (
+            with_event.quantum_stats["plan_reuses"]
+            < without.quantum_stats["plan_reuses"]
+        )
+
+    def test_reliability_mode_change_replans_with_dmr_pairs(self, small_config):
+        # A cached plan must not survive a ReliabilityModeChanged event:
+        # the very next placement of the flipped VM has to carry DMR pairs.
+        machine = make_small_machine(small_config)
+        timeline = Timeline.of(
+            ReliabilityModeChanged(cycle=1_000, vm_name="performance",
+                                   mode="RELIABLE")
+        )
+        sim = Simulator(
+            machine,
+            SimulationOptions(total_cycles=8_000, warmup_cycles=2_000),
+            timeline=timeline,
+        )
+        vm = next(v for v in machine.active_vms if v.name == "performance")
+        plan, reused = sim._phase_place(vm)
+        assert not reused
+        assert all(
+            p.assignment.secondary_core is None for p in plan.placements
+        )
+        again, reused = sim._phase_place(vm)
+        assert reused and again is plan
+        sim._apply_due_events(1_000)
+        replanned, reused = sim._phase_place(vm)
+        assert not reused
+        assert all(
+            p.assignment.secondary_core is not None
+            for p in replanned.placements
+        )
+
     def test_fault_injected_machines_always_replan(self, small_config):
         # Reusing a plan would carry ReunionPair fingerprint state across
         # quanta, making fault-detection timing depend on cache hits.

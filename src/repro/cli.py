@@ -20,9 +20,13 @@ Three groups of subcommands:
   on metric drift beyond ``--rtol``/``--atol`` -- the regression check CI
   runs against a committed baseline;
 * housekeeping: ``list`` prints the spec registry, ``list-workloads`` the
-  calibrated workload profiles, and ``cache stats`` / ``cache clear`` inspect
-  and prune the on-disk result cache (including the cache schema-version
-  breakdown after a format bump).
+  calibrated workload profiles, and ``cache stats`` / ``cache clear`` /
+  ``cache prune`` inspect and garbage-collect the on-disk result cache
+  (including the cache schema-version breakdown after a format bump);
+* distributed runs: ``serve`` starts the HTTP coordinator, ``worker``
+  attaches a pull-based worker to it, and any experiment subcommand
+  distributes its cells with ``--backend distributed --coordinator URL``
+  (see :mod:`repro.sim.distributed`).
 
 The experiment subcommands share the experiment-engine flags: ``--jobs N``
 fans the experiment cells out over N workers, ``--backend`` picks the
@@ -87,19 +91,30 @@ from repro.workloads.profiles import PAPER_WORKLOAD_NAMES, PAPER_WORKLOADS
 
 def _runner_from_args(args: argparse.Namespace) -> ExperimentRunner:
     """Build the experiment runner the engine flags describe."""
+    backend: object = args.backend
+    coordinator = getattr(args, "coordinator", None)
+    if coordinator and backend in (None, "distributed"):
+        # --coordinator implies the distributed backend and pins its URL
+        # without going through the environment variable.
+        from repro.sim.distributed.backend import DistributedBackend
+
+        backend = DistributedBackend(coordinator)
     return ExperimentRunner(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
-        backend=args.backend,
+        backend=backend,
     )
 
 
 def _print_engine_stats(runner: ExperimentRunner, to_stderr: bool = False) -> None:
-    """One-line account of how the batch was served (cache effectiveness).
+    """Account for how the batch was served (cache effectiveness, timing).
 
-    Machine-readable invocations (``--json``, ``export``, ``diff``) route
-    the line to stderr so stdout stays a clean document for redirection.
+    Two lines: the human-readable summary (stderr when stdout carries a
+    machine-readable document, e.g. ``--json``/``export``/``diff``), and a
+    machine-readable ``engine-stats:`` JSON line that always goes to stderr
+    so scripts and benchmarks can scrape per-phase timing from any
+    invocation without disturbing redirected output.
     """
     stream = sys.stderr if to_stderr else sys.stdout
     print(file=stream)
@@ -108,6 +123,10 @@ def _print_engine_stats(runner: ExperimentRunner, to_stderr: bool = False) -> No
         f"(backend: {runner.backend.name}, workers: {runner.jobs})",
         file=stream,
     )
+    stats = runner.stats.to_dict()
+    stats["backend"] = runner.backend.name
+    stats["workers"] = runner.jobs
+    print(f"engine-stats: {json.dumps(stats, sort_keys=True)}", file=sys.stderr)
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -138,6 +157,15 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="DIR",
         help="result cache location (default: .repro-cache, or $REPRO_CACHE_DIR)",
+    )
+    parser.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help=(
+            "coordinator URL for the distributed backend (implies "
+            "--backend distributed; start one with `repro serve`)"
+        ),
     )
 
 
@@ -343,6 +371,108 @@ def _cmd_cache_clear(args: argparse.Namespace) -> int:
     removed = cache.clear(kind=args.kind)
     what = f"{args.kind!r} entries" if args.kind else "entries"
     print(f"removed {removed} cached {what} from {cache.directory}")
+    return 0
+
+
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+_SIZE_UNITS = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def parse_duration(value: str) -> float:
+    """``--max-age`` values: plain seconds or a suffixed ``30m``/``12h``/``7d``."""
+    text = value.strip().lower()
+    unit = 1.0
+    if text and text[-1] in _DURATION_UNITS:
+        unit = _DURATION_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        seconds = float(text) * unit
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a duration like '3600', '30m', '12h' or '7d'"
+        ) from None
+    if seconds < 0:
+        raise argparse.ArgumentTypeError("durations must be non-negative")
+    return seconds
+
+
+def parse_size(value: str) -> int:
+    """``--max-bytes`` values: plain bytes or a suffixed ``512k``/``100m``/``2g``."""
+    text = value.strip().lower()
+    unit = 1
+    if text and text[-1] in _SIZE_UNITS:
+        unit = _SIZE_UNITS[text[-1]]
+        text = text[:-1]
+    try:
+        size = int(float(text) * unit)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "expected a size like '1048576', '512k', '100m' or '2g'"
+        ) from None
+    if size < 0:
+        raise argparse.ArgumentTypeError("sizes must be non-negative")
+    return size
+
+
+def _cmd_cache_prune(args: argparse.Namespace) -> int:
+    """Garbage-collect the result cache by age and/or total size."""
+    if args.max_age is None and args.max_bytes is None:
+        print(
+            "cache prune needs at least one limit: --max-age and/or --max-bytes",
+            file=sys.stderr,
+        )
+        return 2
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    result = cache.prune(max_age_seconds=args.max_age, max_bytes=args.max_bytes)
+    print(f"result cache at {cache.directory}: {result.summary()}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the distributed coordinator daemon until interrupted."""
+    from repro.sim.distributed.coordinator import CoordinatorServer
+
+    cache_dir = None if args.no_cache else (args.cache_dir or default_cache_dir())
+    server = CoordinatorServer(
+        host=args.host,
+        port=args.port,
+        cache_dir=cache_dir,
+        lease_seconds=args.lease_seconds,
+        quiet=not args.verbose,
+    )
+    print(f"coordinator listening on {server.url}", flush=True)
+    print(
+        f"  shared cache: {cache_dir if cache_dir is not None else 'disabled'}; "
+        f"lease timeout: {args.lease_seconds:g}s",
+        flush=True,
+    )
+    print(
+        f"  attach workers with: repro worker --coordinator {server.url}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one pull-based worker loop against a coordinator."""
+    from repro.sim.distributed.worker import run_worker
+
+    stats = run_worker(
+        args.coordinator,
+        jobs=args.jobs,
+        worker_id=args.id,
+        poll_seconds=args.poll,
+        max_batches=args.max_batches,
+        max_idle_seconds=args.max_idle,
+        announce=lambda message: print(message, file=sys.stderr, flush=True),
+    )
+    print(f"worker finished: {stats.summary()}", file=sys.stderr)
     return 0
 
 
@@ -710,13 +840,125 @@ def build_parser() -> argparse.ArgumentParser:
         help="only clear this job kind's entries (default: everything)",
     )
     cache_clear.set_defaults(handler=_cmd_cache_clear)
-    for sub in (cache_stats, cache_clear):
+    cache_prune = cache_subparsers.add_parser(
+        "prune",
+        help=(
+            "garbage-collect the cache: drop entries older than --max-age, "
+            "then evict oldest-first until the cache fits --max-bytes"
+        ),
+    )
+    cache_prune.add_argument(
+        "--max-age",
+        type=parse_duration,
+        default=None,
+        metavar="AGE",
+        help="drop entries older than AGE (seconds, or suffixed: 30m, 12h, 7d)",
+    )
+    cache_prune.add_argument(
+        "--max-bytes",
+        type=parse_size,
+        default=None,
+        metavar="SIZE",
+        help="evict oldest entries until the cache fits SIZE (bytes, or 512k/100m/2g)",
+    )
+    cache_prune.set_defaults(handler=_cmd_cache_prune)
+    for sub in (cache_stats, cache_clear, cache_prune):
         sub.add_argument(
             "--cache-dir",
             default=None,
             metavar="DIR",
             help="result cache location (default: .repro-cache, or $REPRO_CACHE_DIR)",
         )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "run the distributed coordinator: queues submitted cells, leases "
+            "them to workers, and serves whole runs over its HTTP API"
+        ),
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", metavar="ADDR")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        metavar="PORT",
+        help="listening port (default: 8765; 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="re-queue a leased chunk after S seconds without a report (default: 60)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "shared result cache backing the coordinator's dedupe "
+            "(default: .repro-cache, or $REPRO_CACHE_DIR)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve without an on-disk cache (results live in memory only)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    worker_parser = subparsers.add_parser(
+        "worker",
+        help=(
+            "run a pull-based worker: lease cell chunks from a coordinator, "
+            "execute them locally, report metrics back"
+        ),
+    )
+    worker_parser.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="URL",
+        help="coordinator URL (printed by `repro serve`)",
+    )
+    worker_parser.add_argument(
+        "--jobs",
+        type=parse_positive_int,
+        default=1,
+        metavar="N",
+        help="local parallelism: execute each leased chunk across N processes",
+    )
+    worker_parser.add_argument(
+        "--id",
+        default=None,
+        metavar="NAME",
+        help="worker identity in coordinator stats (default: host:pid)",
+    )
+    worker_parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="seconds between lease polls when the queue is empty (default: 0.5)",
+    )
+    worker_parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        metavar="S",
+        help="exit after the queue stays empty for S seconds (default: poll forever)",
+    )
+    worker_parser.add_argument(
+        "--max-batches",
+        type=parse_positive_int,
+        default=None,
+        metavar="N",
+        help="exit after completing N leases (mostly for tests)",
+    )
+    worker_parser.set_defaults(handler=_cmd_worker)
 
     return parser
 
@@ -725,7 +967,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        # Long-lived subcommands (serve, worker) stop with Ctrl-C.
+        return 130
 
 
 if __name__ == "__main__":

@@ -1635,12 +1635,14 @@ def collect_frames(
                 f"experiment {name!r} declares no MetricSchema and cannot be framed"
             )
 
-    requests, jobs_by_spec, batch = _enumerate_spec_batch(settings, names)
+    with runner.stats.phase("enumerate"):
+        requests, jobs_by_spec, batch = _enumerate_spec_batch(settings, names)
     results = runner.run_jobs(batch)
-    return {
-        name: experiment(name).assemble_frame(requests[name], jobs_by_spec[name], results)
-        for name in requests
-    }
+    with runner.stats.phase("assemble"):
+        return {
+            name: experiment(name).assemble_frame(requests[name], jobs_by_spec[name], results)
+            for name in requests
+        }
 
 
 def run_all_experiments(
@@ -1676,17 +1678,19 @@ def run_all_experiments(
         if spec.run_all_group is None or included.get(spec.run_all_group, True)
     ]
 
-    requests, jobs_by_spec, batch = _enumerate_spec_batch(settings, names)
+    with runner.stats.phase("enumerate"):
+        requests, jobs_by_spec, batch = _enumerate_spec_batch(settings, names)
     results = runner.run_jobs(batch)
 
     frames: Dict[str, ResultFrame] = {}
     extras: Dict[str, object] = {}
-    for name, request in requests.items():
-        spec = EXPERIMENTS[name]
-        if spec.schema is not None:
-            frames[name] = spec.assemble_frame(request, jobs_by_spec[name], results)
-        else:
-            extras[name] = spec.assemble(request, jobs_by_spec[name], results)
+    with runner.stats.phase("assemble"):
+        for name, request in requests.items():
+            spec = EXPERIMENTS[name]
+            if spec.schema is not None:
+                frames[name] = spec.assemble_frame(request, jobs_by_spec[name], results)
+            else:
+                extras[name] = spec.assemble(request, jobs_by_spec[name], results)
 
     return AllExperimentsResult(
         settings=settings,

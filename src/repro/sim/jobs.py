@@ -33,11 +33,14 @@ a :class:`~repro.sim.runner.RunnerBackend`.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
+import typing
 from dataclasses import asdict, dataclass
+from enum import Enum
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 import repro
 from repro.common.stats import mean
@@ -169,6 +172,116 @@ class ExperimentJob:
         canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
         payload = code_fingerprint() + "\0" + canonical
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # Wire format (the distributed runner ships cells as JSON)
+    # ------------------------------------------------------------------ #
+
+    def to_wire(self) -> Dict[str, object]:
+        """A JSON-safe description that :meth:`from_wire` rebuilds exactly.
+
+        Unlike :meth:`to_dict` (whose ``params`` mapping loses pair order),
+        the wire form keeps ``params`` as an ordered list of pairs and
+        embeds the sender's :meth:`cache_key`, so a receiving worker can
+        verify that its rebuild -- and its *code* -- agree with the sender
+        before simulating anything.
+        """
+        payload = self.to_dict()
+        payload["params"] = [[name, value] for name, value in self.params]
+        payload["key"] = self.cache_key()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentJob":
+        """Rebuild a job from a :meth:`to_dict`/:meth:`to_wire` payload.
+
+        ``params`` may be the ordered pair list of the wire form or the
+        mapping of :meth:`to_dict` (rebuilt sorted -- the order every
+        built-in enumerator uses).  ``settings`` and ``config`` are
+        reconstructed into their dataclasses, enums included, so equality
+        and :meth:`cache_key` survive a JSON round trip.
+        """
+        raw_params = payload.get("params") or ()
+        if isinstance(raw_params, Mapping):
+            params = tuple(sorted(raw_params.items()))
+        else:
+            params = tuple((str(name), value) for name, value in raw_params)
+        settings = payload.get("settings")
+        config = payload.get("config")
+        return cls(
+            kind=str(payload["kind"]),
+            workload=str(payload["workload"]),
+            variant=str(payload.get("variant") or ""),
+            seed=int(payload.get("seed") or 0),
+            settings=(
+                ExperimentSettings.from_dict(settings)
+                if isinstance(settings, Mapping)
+                else None
+            ),
+            config=(
+                rebuild_dataclass(SystemConfig, config)
+                if isinstance(config, Mapping)
+                else None
+            ),
+            params=params,
+        )
+
+    @classmethod
+    def from_wire(
+        cls, payload: Mapping[str, object], verify_key: bool = True
+    ) -> "ExperimentJob":
+        """Rebuild a wire payload, verifying the embedded cache key.
+
+        A key mismatch means the rebuild is not the cell the sender
+        described -- most likely the two ends run *different code* (the
+        cache key digests the package sources), in which case executing
+        the cell would poison the shared cache with results the sender's
+        code never produced.
+        """
+        job = cls.from_dict(payload)
+        expected = payload.get("key")
+        if verify_key and expected is not None and job.cache_key() != expected:
+            raise ExperimentError(
+                f"wire cell {job.label} rebuilds with cache key "
+                f"{job.cache_key()[:12]}..., but the sender computed "
+                f"{str(expected)[:12]}...; the two ends are running "
+                "different repro code (or the payload was corrupted)"
+            )
+        return job
+
+
+def rebuild_dataclass(cls: type, payload: Mapping[str, object]) -> object:
+    """Rebuild a (possibly nested) plain-value dataclass from ``asdict`` output.
+
+    Field types are resolved via ``typing.get_type_hints``; nested
+    dataclasses recurse and ``Enum`` fields are rebuilt from their values
+    (the configuration enums are all value-based ``str`` enums).  Unknown
+    payload keys are ignored so newer senders stay readable.
+    """
+    hints = typing.get_type_hints(cls)
+    kwargs: Dict[str, object] = {}
+    for field in dataclasses.fields(cls):
+        if field.name not in payload:
+            continue
+        kwargs[field.name] = _rebuild_value(hints[field.name], payload[field.name])
+    return cls(**kwargs)
+
+
+def _rebuild_value(hint: object, value: object) -> object:
+    if value is None:
+        return None
+    origin = typing.get_origin(hint)
+    if origin is Union:
+        for arm in typing.get_args(hint):
+            if arm is type(None):
+                continue
+            return _rebuild_value(arm, value)
+    if isinstance(hint, type):
+        if dataclasses.is_dataclass(hint) and isinstance(value, Mapping):
+            return rebuild_dataclass(hint, value)
+        if issubclass(hint, Enum):
+            return hint(value)
+    return value
 
 
 # ===================================================================== #

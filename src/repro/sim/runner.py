@@ -42,8 +42,10 @@ caches; the warm-cache tests assert ``executed == 0`` on a second run.
 from __future__ import annotations
 
 import json
+import math
 import os
 import re
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from contextlib import contextmanager
 from dataclasses import dataclass, field as dataclass_field
@@ -85,7 +87,7 @@ def default_cache_dir() -> Path:
 
 @dataclass
 class RunnerStats:
-    """How a batch (or a runner lifetime) was served."""
+    """How a batch (or a runner lifetime) was served, and how long it took."""
 
     #: Cells actually simulated.
     executed: int = 0
@@ -93,18 +95,60 @@ class RunnerStats:
     cached: int = 0
     #: Cells served from the runner's in-memory memo (duplicates included).
     memoized: int = 0
+    #: Wall-clock seconds spent in timed engine phases (they are sequential,
+    #: so this is the engine's end-to-end wall time).
+    wall_seconds: float = 0.0
+    #: Per-phase wall-clock seconds, in first-entry order.  The standard
+    #: phases are ``enumerate`` (specs producing jobs), ``cache-hit`` (the
+    #: memo and on-disk cache probes), ``execute`` (the backend running
+    #: pending cells) and ``assemble`` (folding metrics into frames), so a
+    #: backend speedup -- or a cache regression -- is measurable from any
+    #: invocation's end-of-run summary.
+    phase_seconds: Dict[str, float] = dataclass_field(default_factory=dict)
 
     @property
     def total(self) -> int:
         """Total cell requests."""
         return self.executed + self.cached + self.memoized
 
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named engine phase (re-entry accumulates)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+            self.wall_seconds += elapsed
+
     def summary(self) -> str:
         """One-line human-readable account of the batch."""
-        return (
+        line = (
             f"{self.executed} executed, {self.cached} from cache, "
             f"{self.memoized} memoized"
         )
+        if self.phase_seconds:
+            phases = ", ".join(
+                f"{name} {seconds:.2f}s"
+                for name, seconds in self.phase_seconds.items()
+            )
+            line += f" | {self.wall_seconds:.2f}s wall ({phases})"
+        return line
+
+    def to_dict(self) -> Dict[str, object]:
+        """Machine-readable form (the CLI's stderr stats line)."""
+        return {
+            "executed": self.executed,
+            "cached": self.cached,
+            "memoized": self.memoized,
+            "total": self.total,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "phases": {
+                name: round(seconds, 6)
+                for name, seconds in self.phase_seconds.items()
+            },
+        }
 
 
 class ResultCache:
@@ -115,10 +159,23 @@ class ResultCache:
 
     def path_for(self, job: ExperimentJob) -> Path:
         """Where the given cell's result lives (whether or not it exists)."""
-        return self.directory / job.kind / f"{job.cache_key()}.json"
+        return self.path_for_key(job.kind, job.cache_key())
+
+    def path_for_key(self, kind: str, key: str) -> Path:
+        """Entry location for a ``(kind, cache_key)`` pair.
+
+        The key-level half of the cache API: the distributed coordinator
+        holds wire-format job descriptions, not :class:`ExperimentJob`
+        instances, and addresses the shared cache purely by content key.
+        """
+        return self.directory / kind / f"{key}.json"
 
     def load(self, job: ExperimentJob) -> Optional[Metrics]:
-        """Return the cached metrics for ``job``, or ``None`` on a miss.
+        """Return the cached metrics for ``job``, or ``None`` on a miss."""
+        return self.load_entry(job.kind, job.cache_key())
+
+    def load_entry(self, kind: str, key: str) -> Optional[Metrics]:
+        """Return the cached metrics under ``(kind, key)``, or ``None``.
 
         Corrupt or incompatible entries are treated as misses rather than
         errors -- a load never raises, and the subsequent :meth:`store`
@@ -126,7 +183,7 @@ class ResultCache:
         run killed mid-flight, non-JSON garbage, undecodable bytes, schema
         changes, and well-formed JSON that is not a result object at all.
         """
-        path = self.path_for(job)
+        path = self.path_for_key(kind, key)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
@@ -135,7 +192,7 @@ class ResultCache:
             return None
         if payload.get("schema") != CACHE_SCHEMA_VERSION:
             return None
-        if payload.get("key") != job.cache_key():
+        if payload.get("key") != key:
             return None
         metrics = payload.get("metrics")
         if not isinstance(metrics, dict):
@@ -143,7 +200,17 @@ class ResultCache:
         return metrics
 
     def store(self, job: ExperimentJob, metrics: Metrics) -> None:
-        """Persist one cell's metrics atomically (write, fsync, rename).
+        """Persist one cell's metrics atomically (write, fsync, rename)."""
+        self.store_entry(job.kind, job.cache_key(), job.to_dict(), metrics)
+
+    def store_entry(
+        self,
+        kind: str,
+        key: str,
+        job_description: Dict[str, object],
+        metrics: Metrics,
+    ) -> None:
+        """Persist one entry under ``(kind, key)`` atomically.
 
         The entry is written to a process-private temporary file, flushed to
         stable storage, and only then renamed into place, so a job killed at
@@ -151,12 +218,12 @@ class ResultCache:
         name (which would read as a miss -- and silently re-simulate -- on
         every subsequent run).
         """
-        path = self.path_for(job)
+        path = self.path_for_key(kind, key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": CACHE_SCHEMA_VERSION,
-            "key": job.cache_key(),
-            "job": job.to_dict(),
+            "key": key,
+            "job": job_description,
             "metrics": metrics,
         }
         # Process-private name: two concurrent runs storing the same cell
@@ -221,6 +288,75 @@ class ResultCache:
             removed += 1
         return removed
 
+    def prune(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> "CachePruneResult":
+        """Garbage-collect the cache by age and/or total size.
+
+        ``max_age_seconds`` removes every entry whose file modification time
+        is older than the horizon.  ``max_bytes`` then evicts the oldest
+        surviving entries until the total on-disk size fits the budget
+        (LRU-by-mtime: the cache touches entries only when storing, so age
+        approximates "least recently produced").  Either limit may be
+        ``None``; with both ``None`` this is a no-op inventory pass.  The
+        clock is injectable for tests.
+        """
+        result = CachePruneResult()
+        if not self.directory.is_dir():
+            return result
+        if now is None:
+            now = time.time()
+        entries: List[Tuple[float, int, Path]] = []
+        for path in self.directory.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+        survivors: List[Tuple[float, int, Path]] = []
+        for mtime, size, path in entries:
+            if max_age_seconds is not None and now - mtime > max_age_seconds:
+                path.unlink(missing_ok=True)
+                result.removed_entries += 1
+                result.removed_bytes += size
+            else:
+                survivors.append((mtime, size, path))
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in survivors)
+            index = 0
+            while total > max_bytes and index < len(survivors):
+                _, size, path = survivors[index]
+                path.unlink(missing_ok=True)
+                result.removed_entries += 1
+                result.removed_bytes += size
+                total -= size
+                index += 1
+            survivors = survivors[index:]
+        result.kept_entries = len(survivors)
+        result.kept_bytes = sum(size for _, size, _ in survivors)
+        return result
+
+
+@dataclass
+class CachePruneResult:
+    """What :meth:`ResultCache.prune` removed and what survived."""
+
+    removed_entries: int = 0
+    removed_bytes: int = 0
+    kept_entries: int = 0
+    kept_bytes: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable account of the GC pass."""
+        return (
+            f"pruned {self.removed_entries} entries ({self.removed_bytes} bytes); "
+            f"kept {self.kept_entries} entries ({self.kept_bytes} bytes)"
+        )
+
 
 def _entry_schema_version(path: Path, size: int) -> str:
     """The recorded ``schema`` version of one cache entry, cheaply.
@@ -274,6 +410,58 @@ class CacheKindStats:
 
 #: A cell executor: one job in, its metrics out.
 JobExecutor = Callable[[ExperimentJob], Metrics]
+
+#: Upper bound on jobs shipped per IPC round / distributed lease.  Large
+#: enough to amortise the per-round overhead on tiny quick-grid cells,
+#: small enough that one slow chunk cannot serialise the tail of a sweep.
+MAX_CHUNK_SIZE = 16
+
+#: How many chunks each worker should see on average.  Oversubscription
+#: keeps the pool load-balanced when cell costs vary (fault campaigns
+#: next to two-parameter sweep cells): a straggler holds back one small
+#: chunk, not a worker-sized share of the batch.
+CHUNK_OVERSUBSCRIPTION = 4
+
+
+def adaptive_chunk_size(
+    pending: int,
+    workers: int,
+    max_chunk: int = MAX_CHUNK_SIZE,
+    oversubscribe: int = CHUNK_OVERSUBSCRIPTION,
+) -> int:
+    """Jobs per IPC round (or per distributed lease) for a batch.
+
+    Scales the chunk with batch size so tiny cells amortise per-round
+    overhead, while keeping at least ``workers * oversubscribe`` chunks in
+    flight for load balancing.  Always at least 1.
+    """
+    if pending <= 0:
+        return 1
+    slots = max(1, workers) * max(1, oversubscribe)
+    return max(1, min(max_chunk, math.ceil(pending / slots)))
+
+
+def adaptive_chunks(
+    jobs: Sequence[ExperimentJob],
+    workers: int,
+    max_chunk: int = MAX_CHUNK_SIZE,
+    oversubscribe: int = CHUNK_OVERSUBSCRIPTION,
+) -> Iterator[List[ExperimentJob]]:
+    """Split a batch into adaptively sized contiguous chunks.
+
+    Shared between the ``process`` backend (one chunk per pool submit) and
+    the distributed coordinator (one chunk per worker lease).
+    """
+    size = adaptive_chunk_size(len(jobs), workers, max_chunk, oversubscribe)
+    for start in range(0, len(jobs), size):
+        yield list(jobs[start : start + size])
+
+
+def _execute_job_chunk(
+    executor: JobExecutor, jobs: Sequence[ExperimentJob]
+) -> List[Metrics]:
+    """Run one chunk of cells in order (module-level: must pickle)."""
+    return [executor(job) for job in jobs]
 
 
 class RunnerBackend:
@@ -341,10 +529,40 @@ class _PoolBackend(RunnerBackend):
 
 class ProcessBackend(_PoolBackend):
     """Fan cells out over worker processes (true CPU parallelism; jobs and
-    metrics cross the process boundary by pickling)."""
+    metrics cross the process boundary by pickling).
+
+    Cells are shipped in adaptive chunks -- one pickled round trip per
+    :func:`adaptive_chunks` slice rather than per cell -- so quick-grid
+    batches of tiny cells are not dominated by IPC overhead.  Results
+    still stream back per chunk as each completes, preserving the
+    record-as-you-go contract for interrupted sweeps.
+    """
 
     name = "process"
     pool_type = ProcessPoolExecutor
+
+    def execute(
+        self,
+        executor: JobExecutor,
+        pending: Sequence[ExperimentJob],
+        workers: int,
+    ) -> Iterable[Tuple[ExperimentJob, Metrics]]:
+        if len(pending) == 1:
+            # Local execution is always valid for a pool backend, and one
+            # cell is not worth the pool spin-up.
+            yield pending[0], executor(pending[0])
+            return
+        workers = max(1, min(workers, len(pending)))
+        chunks = list(adaptive_chunks(pending, workers))
+        with self.pool_type(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_execute_job_chunk, executor, chunk): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                chunk = futures[future]
+                for job, metrics in zip(chunk, future.result()):
+                    yield job, metrics
 
 
 class ThreadBackend(_PoolBackend):
@@ -384,9 +602,18 @@ def backend_by_name(name: str) -> RunnerBackend:
     return factory()
 
 
+def _distributed_backend_factory() -> RunnerBackend:
+    # Imported lazily: the distributed package imports this module for the
+    # chunker and cache, and most invocations never touch the backend.
+    from repro.sim.distributed.backend import DistributedBackend, coordinator_from_env
+
+    return DistributedBackend(coordinator_from_env())
+
+
 register_runner_backend("serial", SerialBackend)
 register_runner_backend("process", ProcessBackend)
 register_runner_backend("thread", ThreadBackend)
+register_runner_backend("distributed", _distributed_backend_factory)
 
 
 class ExperimentRunner:
@@ -439,31 +666,34 @@ class ExperimentRunner:
         """
         pending: List[ExperimentJob] = []
         seen: set = set()
-        for job in jobs:
-            if job in self._memo:
-                self.stats.memoized += 1
-                continue
-            if job in seen:
-                self.stats.memoized += 1
-                continue
-            if self.cache is not None:
-                hit = self.cache.load(job)
-                if hit is not None:
-                    self._memo[job] = hit
-                    self.stats.cached += 1
+        with self.stats.phase("cache-hit"):
+            for job in jobs:
+                if job in self._memo:
+                    self.stats.memoized += 1
                     continue
-            seen.add(job)
-            pending.append(job)
+                if job in seen:
+                    self.stats.memoized += 1
+                    continue
+                if self.cache is not None:
+                    hit = self.cache.load(job)
+                    if hit is not None:
+                        self._memo[job] = hit
+                        self.stats.cached += 1
+                        continue
+                seen.add(job)
+                pending.append(job)
 
         # Results are recorded (and written to the cache) as each cell
         # completes, not after the whole batch: an interrupted or partially
         # failed sweep keeps everything that finished, so the re-run only
         # executes the remaining cells.
-        for job, metrics in self._execute(pending):
-            self._memo[job] = metrics
-            if self.cache is not None:
-                self.cache.store(job, metrics)
-            self.stats.executed += 1
+        if pending:
+            with self.stats.phase("execute"):
+                for job, metrics in self._execute(pending):
+                    self._memo[job] = metrics
+                    if self.cache is not None:
+                        self.cache.store(job, metrics)
+                    self.stats.executed += 1
 
         return {job: self._memo[job] for job in jobs}
 

@@ -388,9 +388,12 @@ class ExperimentSpec:
         if request is None:
             request = self.request(settings, **options)
         runner = runner or default_runner()
-        jobs = self.enumerate_jobs(request)
+        with runner.stats.phase("enumerate"):
+            jobs = self.enumerate_jobs(request)
         results = runner.run_jobs(jobs)
-        return SpecRun(spec=self, request=request, jobs=jobs, results=results)
+        return SpecRun(
+            spec=self, request=request, jobs=jobs, results=results, runner=runner
+        )
 
     def run(
         self,
@@ -489,12 +492,23 @@ class SpecRun:
     request: SpecRequest
     jobs: List[ExperimentJob]
     results: JobResults
+    #: The runner that executed the request; set so lazy frame assembly can
+    #: charge its time to the runner's ``assemble`` phase.
+    runner: Optional[ExperimentRunner] = None
     _frame: Optional[ResultFrame] = None
 
     def frame(self) -> ResultFrame:
         """The schema-assembled frame (computed once per run)."""
         if self._frame is None:
-            self._frame = self.spec.assemble_frame(self.request, self.jobs, self.results)
+            if self.runner is not None:
+                with self.runner.stats.phase("assemble"):
+                    self._frame = self.spec.assemble_frame(
+                        self.request, self.jobs, self.results
+                    )
+            else:
+                self._frame = self.spec.assemble_frame(
+                    self.request, self.jobs, self.results
+                )
         return self._frame
 
     def result(self) -> object:

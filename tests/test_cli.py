@@ -291,3 +291,93 @@ def test_single_seed_measurements_announce_dropped_seeds(capsys):
     out = capsys.readouterr().out
     assert "note: this measurement uses a single seed; taking seed 5" in out
     assert "Table 2" in out
+
+
+def test_engine_stats_stderr_line_is_machine_readable(capsys, isolated_cache):
+    import json
+
+    assert main(["figure5", "--quick", "--workloads", "apache", "--seeds", "1"]) == 0
+    captured = capsys.readouterr()
+    stats_lines = [
+        line for line in captured.err.splitlines() if line.startswith("engine-stats: ")
+    ]
+    assert len(stats_lines) == 1
+    stats = json.loads(stats_lines[0][len("engine-stats: "):])
+    assert stats["executed"] > 0
+    assert stats["backend"] == "serial" and stats["workers"] == 1
+    assert stats["wall_seconds"] > 0
+    assert "execute" in stats["phases"] and "enumerate" in stats["phases"]
+    # The human summary carries the same timing suffix.
+    assert "s wall (" in captured.out
+
+
+def test_cache_prune_requires_a_limit(capsys, isolated_cache):
+    assert main(["cache", "prune"]) == 2
+    assert "--max-age" in capsys.readouterr().err
+
+
+def test_cache_prune_by_age_and_size(capsys, isolated_cache):
+    # Populate the cache, then prune with limits that keep everything...
+    assert main(["figure5", "--quick", "--workloads", "apache", "--seeds", "1"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "prune", "--max-age", "7d", "--max-bytes", "1g"]) == 0
+    out = capsys.readouterr().out
+    assert "pruned 0 entries" in out
+    # ...then with a zero age horizon that removes everything.
+    assert main(["cache", "prune", "--max-age", "0s"]) == 0
+    out = capsys.readouterr().out
+    assert "kept 0 entries" in out
+    # A warm re-run is gone: the next run executes again.
+    assert main(["figure5", "--quick", "--workloads", "apache", "--seeds", "1"]) == 0
+    assert "0 from cache" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "text,seconds",
+    [("45", 45.0), ("30m", 1800.0), ("12h", 43200.0), ("7d", 604800.0), ("1w", 604800.0)],
+)
+def test_parse_duration_forms(text, seconds):
+    from repro.cli import parse_duration
+
+    assert parse_duration(text) == seconds
+
+
+@pytest.mark.parametrize(
+    "text,size",
+    [("1048576", 1048576), ("512k", 524288), ("100m", 104857600), ("2g", 2147483648)],
+)
+def test_parse_size_forms(text, size):
+    from repro.cli import parse_size
+
+    assert parse_size(text) == size
+
+
+@pytest.mark.parametrize("bad", ["", "x", "3q", "-5"])
+def test_parse_duration_rejects_garbage(bad):
+    import argparse
+
+    from repro.cli import parse_duration
+
+    with pytest.raises(argparse.ArgumentTypeError):
+        parse_duration(bad)
+
+
+def test_serve_and_worker_subcommands_parse():
+    parser = build_parser()
+    serve = parser.parse_args(["serve", "--port", "0", "--lease-seconds", "30"])
+    assert serve.command == "serve" and serve.lease_seconds == 30.0
+    worker = parser.parse_args(
+        ["worker", "--coordinator", "http://127.0.0.1:1", "--jobs", "2"]
+    )
+    assert worker.command == "worker"
+    assert worker.coordinator == "http://127.0.0.1:1" and worker.jobs == 2
+
+
+def test_run_accepts_the_distributed_backend_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["run-all", "--quick", "--backend", "distributed",
+         "--coordinator", "http://127.0.0.1:1"]
+    )
+    assert args.backend == "distributed"
+    assert args.coordinator == "http://127.0.0.1:1"

@@ -561,3 +561,165 @@ class TestRunAllParity:
         assert result.single_os is not None and result.ablation is not None
         assert result.faults is not None
         assert result.faults.value("coverage", configuration="always-dmr").mean == 1.0
+
+
+class TestAdaptiveChunking:
+    """The chunker shared by the process backend and distributed leases."""
+
+    def test_small_batches_stay_fine_grained(self):
+        from repro.sim.runner import adaptive_chunk_size
+
+        # Few cells per worker slot: one cell per round, best load balance.
+        assert adaptive_chunk_size(1, 4) == 1
+        assert adaptive_chunk_size(8, 4) == 1
+        assert adaptive_chunk_size(0, 4) == 1
+
+    def test_large_batches_amortise_per_round_overhead(self):
+        from repro.sim.runner import MAX_CHUNK_SIZE, adaptive_chunk_size
+
+        assert adaptive_chunk_size(64, 4) == 4
+        # The cap bounds lease loss when a worker dies mid-chunk.
+        assert adaptive_chunk_size(10_000, 2) == MAX_CHUNK_SIZE
+        assert adaptive_chunk_size(100, 0) == MAX_CHUNK_SIZE
+
+    def test_chunks_cover_the_batch_in_order(self):
+        from repro.sim.runner import adaptive_chunks
+
+        batch = [quick_job(seed=seed) for seed in range(11)]
+        chunks = list(adaptive_chunks(batch, 2))
+        assert [job for chunk in chunks for job in chunk] == batch
+        assert all(chunks)  # no empty chunk
+        sizes = {len(chunk) for chunk in chunks}
+        assert len(sizes) <= 2  # equal-sized except possibly the tail
+
+    def test_chunked_process_pool_matches_serial(self, tmp_path):
+        batch = figure5_jobs(QUICK)
+        serial = ExperimentRunner(jobs=1).run_jobs(batch)
+        pooled = ExperimentRunner(jobs=2).run_jobs(batch)
+        assert json.dumps(
+            {job.cache_key(): serial[job] for job in batch}, sort_keys=True
+        ) == json.dumps(
+            {job.cache_key(): pooled[job] for job in batch}, sort_keys=True
+        )
+
+
+class TestRunnerStatsTiming:
+    """Per-phase wall-clock accounting on RunnerStats."""
+
+    def test_phases_accumulate_and_reenter(self):
+        from repro.sim.runner import RunnerStats
+
+        stats = RunnerStats()
+        with stats.phase("execute"):
+            pass
+        with stats.phase("execute"):
+            pass
+        with stats.phase("assemble"):
+            pass
+        assert set(stats.phase_seconds) == {"execute", "assemble"}
+        assert stats.wall_seconds == pytest.approx(
+            sum(stats.phase_seconds.values())
+        )
+
+    def test_summary_keeps_the_historical_prefix(self):
+        from repro.sim.runner import RunnerStats
+
+        stats = RunnerStats(executed=3, cached=1, memoized=2)
+        assert stats.summary() == "3 executed, 1 from cache, 2 memoized"
+        with stats.phase("execute"):
+            pass
+        timed = stats.summary()
+        assert timed.startswith("3 executed, 1 from cache, 2 memoized | ")
+        assert "wall (execute " in timed
+
+    def test_to_dict_is_json_safe(self):
+        from repro.sim.runner import RunnerStats
+
+        stats = RunnerStats(executed=2, cached=1)
+        with stats.phase("cache-hit"):
+            pass
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["executed"] == 2
+        assert payload["total"] == 3
+        assert "cache-hit" in payload["phases"]
+        assert payload["wall_seconds"] >= 0.0
+
+    def test_runner_records_the_standard_phases(self, tmp_path):
+        runner = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        runner.run_jobs([quick_job()])
+        assert "cache-hit" in runner.stats.phase_seconds
+        assert "execute" in runner.stats.phase_seconds
+        # A warm re-run probes the cache but executes nothing new.
+        warm = ExperimentRunner(jobs=1, cache_dir=tmp_path)
+        warm.run_jobs([quick_job()])
+        assert "execute" not in warm.stats.phase_seconds
+
+
+class TestKeyLevelCacheApi:
+    """The (kind, key) half of the cache API used by the coordinator."""
+
+    def test_entry_round_trip_matches_job_level_api(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = quick_job()
+        key = job.cache_key()
+        cache.store_entry(job.kind, key, job.to_dict(), {"metric": 1.5})
+        assert cache.load_entry(job.kind, key) == {"metric": 1.5}
+        assert cache.load(job) == {"metric": 1.5}
+        assert cache.path_for_key(job.kind, key) == cache.path_for(job)
+
+
+class TestCachePrune:
+    """`repro cache prune`: age- and size-bounded garbage collection."""
+
+    def _fill(self, cache, count):
+        for seed in range(count):
+            job = quick_job(seed=seed)
+            cache.store_entry(job.kind, job.cache_key(), job.to_dict(), {"m": seed})
+        return [quick_job(seed=seed) for seed in range(count)]
+
+    def test_age_limit_removes_only_stale_entries(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        jobs = self._fill(cache, 3)
+        now = time.time()
+        stale = cache.path_for(jobs[0])
+        os.utime(stale, (now - 7200, now - 7200))
+        result = cache.prune(max_age_seconds=3600, now=now)
+        assert result.removed_entries == 1
+        assert result.kept_entries == 2
+        assert cache.load(jobs[0]) is None
+        assert cache.load(jobs[1]) is not None
+
+    def test_size_limit_evicts_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        jobs = self._fill(cache, 4)
+        now = time.time()
+        # Make ages distinct and increasing with seed (seed 0 is oldest).
+        for index, job in enumerate(jobs):
+            stamp = now - (100 - index)
+            os.utime(cache.path_for(job), (stamp, stamp))
+        keep_two = sum(
+            cache.path_for(job).stat().st_size for job in jobs[2:]
+        )
+        result = cache.prune(max_bytes=keep_two, now=now)
+        assert result.removed_entries == 2
+        assert cache.load(jobs[0]) is None and cache.load(jobs[1]) is None
+        assert cache.load(jobs[2]) is not None and cache.load(jobs[3]) is not None
+        assert result.kept_bytes <= keep_two
+
+    def test_noop_pass_counts_the_inventory(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 2)
+        result = cache.prune()
+        assert result.removed_entries == 0
+        assert result.kept_entries == 2
+        assert "pruned 0 entries" in result.summary()
+
+    def test_pruning_a_missing_directory_is_a_noop(self, tmp_path):
+        result = ResultCache(tmp_path / "never-created").prune(max_age_seconds=1)
+        assert result.removed_entries == 0 and result.kept_entries == 0

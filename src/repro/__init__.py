@@ -35,6 +35,9 @@ from repro.workloads import PAPER_WORKLOAD_NAMES, PAPER_WORKLOADS, get_profile
 # unpickle engine jobs -- always see the registration.
 import repro.faults.cells  # noqa: E402  isort:skip
 
+# Same side effect for the fleet subsystem: registers the "fleet" job kind.
+import repro.sim.fleet.cells  # noqa: E402  isort:skip
+
 __version__ = "1.0.0"
 
 __all__ = [

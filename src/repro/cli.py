@@ -71,6 +71,7 @@ from repro.sim.frames import (
     frames_document,
     frames_to_csv,
 )
+from repro.sim.jobs import registered_job_kinds
 from repro.sim.reporting import full_report
 from repro.sim.runner import (
     CacheKindStats,
@@ -293,8 +294,32 @@ def _add_spec_subcommands(subparsers) -> None:
         sub.set_defaults(handler=lambda args, spec=spec: _run_spec(spec, args))
 
 
-def _cmd_list(_: argparse.Namespace) -> int:
+def _cmd_list(args: argparse.Namespace) -> int:
     """Print the experiment-spec registry (names, families, grids)."""
+    if getattr(args, "json", False):
+        document = {
+            "registered_job_kinds": list(registered_job_kinds()),
+            "specs": [
+                {
+                    "name": name,
+                    "title": spec.title,
+                    "family": spec.family,
+                    "axes": {
+                        axis: [jsonify(value) for value in values]
+                        for axis, values in spec.grid(spec.request()).axes
+                    },
+                    "cells": spec.grid(spec.request()).size(),
+                    "job_kinds": sorted(
+                        {job.kind for job in spec.enumerate_jobs(spec.request())}
+                    ),
+                    "options": [option.flag for option in spec.options],
+                    "run_all_group": spec.run_all_group,
+                }
+                for name, spec in EXPERIMENTS.items()
+            ],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
     table = TextTable(
         ["experiment", "family", "grid", "cells", "description"],
         title="Registered experiment specs (run with `repro <experiment>`)",
@@ -710,6 +735,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = subparsers.add_parser(
         "list", help="list the registered experiment specs"
+    )
+    list_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry as JSON (spec names, axes, job kinds)",
     )
     list_parser.set_defaults(handler=_cmd_list)
 

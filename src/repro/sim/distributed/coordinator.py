@@ -418,13 +418,29 @@ class Coordinator:
         return run
 
     def run_status(self, run_id: str) -> Dict[str, object]:
-        """``GET /runs/<id>``: per-state cell counts of one run."""
+        """``GET /runs/<id>``: per-state cell counts plus queue/lease counters.
+
+        The ``counters`` block is scoped to the run's own cells: how deep
+        the run still sits in the global queue, how many leases its cells
+        have consumed, and how many of those were requeues (expired leases
+        handed out again) -- the numbers a fleet-sized sweep is monitored
+        by.
+        """
         with self._lock:
             self._expire_leases(self.clock())
             run = self._run(run_id)
             counts = {"pending": 0, "leased": 0, "done": 0, "failed": 0}
+            lease_attempts = 0
+            requeues = 0
+            queued = set(self._queue)
+            queue_depth = 0
             for key in run.keys:
-                counts[self._records[key].status] += 1
+                record = self._records[key]
+                counts[record.status] += 1
+                lease_attempts += record.attempts
+                requeues += max(0, record.attempts - 1)
+                if key in queued:
+                    queue_depth += 1
         state = "done" if counts["pending"] == 0 and counts["leased"] == 0 else "running"
         if counts["failed"]:
             state = "failed" if state == "done" else state
@@ -434,6 +450,11 @@ class Coordinator:
             "state": state,
             "cells": len(run.keys),
             **counts,
+            "counters": {
+                "queue_depth": queue_depth,
+                "lease_attempts": lease_attempts,
+                "requeues": requeues,
+            },
         }
 
     def run_document(self, run_id: str) -> Dict[str, object]:

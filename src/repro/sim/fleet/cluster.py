@@ -1,0 +1,105 @@
+"""The fleet's physical layout: machines grouped into racks and power domains.
+
+A :class:`FleetTopology` is a plain value describing *where* machines sit,
+which is what scopes correlated failures: a failure storm strikes one rack
+(a shared switch, a cooling failure) or one power domain (adjacent rack
+pairs fed by the same distribution unit), and the scheduler evacuates
+across that boundary.  Machine names are deterministic (``r0m0``, ``r0m1``,
+... rack by rack), so scenario scripts, per-machine timelines and job cache
+keys are stable for a given (machines, racks) shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ExperimentError
+
+__all__ = ["FleetTopology", "MachineSite"]
+
+
+@dataclass(frozen=True)
+class MachineSite:
+    """One machine's slot in the fleet: its name and failure domains."""
+
+    #: Deterministic machine name, ``r<rack>m<slot>``.
+    name: str
+    #: Rack the machine is mounted in (``rack0``, ``rack1``, ...).
+    rack: str
+    #: Power domain feeding the rack; adjacent rack pairs share one.
+    power_domain: str
+    #: Fleet-wide machine index (placement tie-break order).
+    index: int
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """A fleet of machines, grouped into racks and power domains."""
+
+    sites: Tuple[MachineSite, ...]
+    num_racks: int
+
+    @classmethod
+    def build(cls, num_machines: int, num_racks: int) -> "FleetTopology":
+        """Lay out ``num_machines`` across ``num_racks`` contiguous racks.
+
+        Machines fill racks evenly (earlier racks take the remainder), each
+        rack is one failure scope, and rack pairs ``(0, 1)``, ``(2, 3)``, ...
+        share a power domain.
+        """
+        if num_machines < 1:
+            raise ExperimentError("a fleet needs at least one machine")
+        if num_racks < 1 or num_racks > num_machines:
+            raise ExperimentError(
+                f"cannot spread {num_machines} machine(s) over {num_racks} rack(s)"
+            )
+        per_rack, remainder = divmod(num_machines, num_racks)
+        sites = []
+        index = 0
+        for rack_index in range(num_racks):
+            slots = per_rack + (1 if rack_index < remainder else 0)
+            for slot in range(slots):
+                sites.append(
+                    MachineSite(
+                        name=f"r{rack_index}m{slot}",
+                        rack=f"rack{rack_index}",
+                        power_domain=f"pd{rack_index // 2}",
+                        index=index,
+                    )
+                )
+                index += 1
+        return cls(sites=tuple(sites), num_racks=num_racks)
+
+    def machines(self) -> Tuple[str, ...]:
+        """Every machine name, in fleet order."""
+        return tuple(site.name for site in self.sites)
+
+    def site(self, name: str) -> MachineSite:
+        """Look up one machine's site by name."""
+        for site in self.sites:
+            if site.name == name:
+                return site
+        raise ExperimentError(f"fleet has no machine named {name!r}")
+
+    def racks(self) -> Tuple[str, ...]:
+        """Every rack name, in order."""
+        seen: Dict[str, None] = {}
+        for site in self.sites:
+            seen.setdefault(site.rack, None)
+        return tuple(seen)
+
+    def power_domains(self) -> Tuple[str, ...]:
+        """Every power-domain name, in order."""
+        seen: Dict[str, None] = {}
+        for site in self.sites:
+            seen.setdefault(site.power_domain, None)
+        return tuple(seen)
+
+    def sites_in_rack(self, rack: str) -> Tuple[MachineSite, ...]:
+        """The machines mounted in one rack."""
+        return tuple(site for site in self.sites if site.rack == rack)
+
+    def sites_in_domain(self, power_domain: str) -> Tuple[MachineSite, ...]:
+        """The machines fed by one power domain."""
+        return tuple(site for site in self.sites if site.power_domain == power_domain)

@@ -1,0 +1,308 @@
+"""Seeded traffic models: what happens to the fleet, scripted ahead of time.
+
+Each scenario model turns ``(topology, settings, seed)`` into a
+:class:`FleetScript` -- an ordered schedule of *fleet-level* events (demand
+bursts, correlated core outages, rolling reliability upgrades).  The script
+is what the :class:`~repro.sim.fleet.scheduler.FleetScheduler` reacts to;
+the scheduler's output is one valid :class:`~repro.sim.timeline.Timeline`
+per machine, ready for the simulator.
+
+Determinism is the load-bearing property: all randomness flows through
+:class:`~repro.common.rng.DeterministicRng` (CRC-derived forks, stable
+across processes), and scripts sort canonically, so the same
+``(model, params, seed)`` always yields byte-identical per-machine timeline
+serializations -- which is what keeps fleet cells cacheable and the
+backends byte-identical.
+
+The four models mirror the traffic a production fleet actually sees:
+
+* :class:`DiurnalModel` -- the day curve: a morning ramp and an evening
+  peak of burst VMs that later drain;
+* :class:`FlashCrowdModel` -- one sudden fleet-wide demand spike;
+* :class:`FailureStormModel` -- a correlated outage scoped by the
+  topology: every machine in one victim rack (or power domain) loses half
+  its cores within a tight window, with repairs late in the run;
+* :class:`RollingUpgradeModel` -- a staggered reliability-policy rollout:
+  machine by machine, the reliable guest drops protection for an upgrade
+  window (its *exposure window*) before protection is restored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.common.rng import DeterministicRng
+from repro.errors import ExperimentError
+from repro.sim.fleet.cluster import FleetTopology
+from repro.sim.settings import ExperimentSettings
+
+__all__ = [
+    "BurstDemand",
+    "CoreOutage",
+    "DiurnalModel",
+    "FailureStormModel",
+    "FlashCrowdModel",
+    "FleetScript",
+    "ReliabilityUpgrade",
+    "RollingUpgradeModel",
+    "SCENARIO_NAMES",
+    "scenario_model",
+]
+
+
+# ===================================================================== #
+# Fleet-level events
+# ===================================================================== #
+
+
+@dataclass(frozen=True)
+class BurstDemand:
+    """``vms`` extra guest VMs worth of demand arrives at ``cycle``.
+
+    The scheduler decides placement (least-loaded machine with a free burst
+    slot); each placed VM departs ``duration`` cycles later.
+    """
+
+    cycle: int
+    vms: int
+    duration: int
+
+
+@dataclass(frozen=True)
+class CoreOutage:
+    """A permanent fault retires one core of one machine at ``cycle``."""
+
+    cycle: int
+    machine: str
+    core_id: int
+    #: Cycle at which the core returns to service, or ``None`` for never.
+    repair_cycle: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ReliabilityUpgrade:
+    """One machine's reliable guest runs unprotected for an upgrade window.
+
+    From ``cycle`` until ``cycle + duration`` the guest's reliability
+    registers read ``mode`` (the upgrade's exposure window); protection is
+    then restored.  ``PERFORMANCE`` is the mode fleet machines (MMM-TP)
+    support; ``PERFORMANCE_USER_ONLY`` needs the fine-grained MMM-IPC
+    policy.
+    """
+
+    cycle: int
+    machine: str
+    duration: int
+    mode: str = "PERFORMANCE"
+
+
+FleetEvent = Union[BurstDemand, CoreOutage, ReliabilityUpgrade]
+
+#: Tie-break order for same-cycle events: outages reshape capacity before
+#: demand is placed against it; upgrades are independent and go last.
+_EVENT_ORDER = {CoreOutage: 0, BurstDemand: 1, ReliabilityUpgrade: 2}
+
+
+def _event_sort_key(event: FleetEvent) -> Tuple[object, ...]:
+    return (
+        event.cycle,
+        _EVENT_ORDER[type(event)],
+        getattr(event, "machine", ""),
+        getattr(event, "core_id", -1),
+    )
+
+
+@dataclass(frozen=True)
+class FleetScript:
+    """An ordered, canonical schedule of fleet-level events."""
+
+    events: Tuple[FleetEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=_event_sort_key))
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @classmethod
+    def of(cls, *events: FleetEvent) -> "FleetScript":
+        """Build a script from the given events (sorted canonically)."""
+        return cls(events=tuple(events))
+
+
+# ===================================================================== #
+# Scenario models
+# ===================================================================== #
+
+
+def _window(settings: ExperimentSettings) -> Tuple[int, int]:
+    """The measurement window: (first measured cycle, window length)."""
+    return settings.warmup_cycles, settings.total_cycles
+
+
+@dataclass(frozen=True)
+class DiurnalModel:
+    """The day curve: a morning ramp and a taller evening peak."""
+
+    name: str = "diurnal"
+    #: Burst VMs per wave, as a fraction of the fleet size.
+    wave_scale: float = 0.5
+
+    def script(
+        self, topology: FleetTopology, settings: ExperimentSettings, seed: int
+    ) -> FleetScript:
+        rng = DeterministicRng(seed).fork(f"fleet:{self.name}")
+        start, window = _window(settings)
+        wave_vms = max(1, int(len(topology.sites) * self.wave_scale))
+        events: List[FleetEvent] = []
+        # Morning ramp: a modest wave early in the window.
+        morning = start + window // 6 + rng.randint(0, window // 12)
+        events.append(
+            BurstDemand(cycle=morning, vms=wave_vms, duration=window // 3)
+        )
+        # Evening peak: a taller wave past mid-window, draining before the end.
+        evening = start + window // 2 + rng.randint(0, window // 12)
+        events.append(
+            BurstDemand(
+                cycle=evening, vms=wave_vms + wave_vms // 2, duration=window // 4
+            )
+        )
+        return FleetScript.of(*events)
+
+
+@dataclass(frozen=True)
+class FlashCrowdModel:
+    """One sudden spike: the whole fleet's spare capacity is claimed at once."""
+
+    name: str = "flash-crowd"
+
+    def script(
+        self, topology: FleetTopology, settings: ExperimentSettings, seed: int
+    ) -> FleetScript:
+        rng = DeterministicRng(seed).fork(f"fleet:{self.name}")
+        start, window = _window(settings)
+        spike = start + window // 4 + rng.randint(0, window // 4)
+        # One burst VM per machine: the crowd saturates every burst slot's
+        # first tier and forces the scheduler to spread the load.
+        return FleetScript.of(
+            BurstDemand(cycle=spike, vms=len(topology.sites), duration=window // 4)
+        )
+
+
+@dataclass(frozen=True)
+class FailureStormModel:
+    """A correlated outage: one failure domain loses half its cores.
+
+    The victim rack (or power domain, with ``scope="power-domain"``) is
+    drawn from the seed; every machine in it loses ``num_cores // 2`` cores
+    at closely spaced cycles -- the correlated storm the scheduler must
+    evacuate -- and repairs land late in the window.  A background demand
+    wave lands *before* the storm, so the struck machines hold burst VMs
+    that genuinely have to migrate out.
+    """
+
+    name: str = "failure-storm"
+    scope: str = "rack"
+
+    def script(
+        self, topology: FleetTopology, settings: ExperimentSettings, seed: int
+    ) -> FleetScript:
+        rng = DeterministicRng(seed).fork(f"fleet:{self.name}")
+        start, window = _window(settings)
+        if self.scope == "rack":
+            victim = rng.choice(topology.racks())
+            struck = topology.sites_in_rack(victim)
+        elif self.scope == "power-domain":
+            victim = rng.choice(topology.power_domains())
+            struck = topology.sites_in_domain(victim)
+        else:
+            raise ExperimentError(f"unknown failure-storm scope {self.scope!r}")
+        num_cores = settings.config().num_cores
+        storm_start = start + window // 3
+        spread = max(1, window // 8)
+        repair = start + (7 * window) // 8
+        events: List[FleetEvent] = [
+            # Steady background load: one burst per machine, placed well
+            # before the storm and staying well past it.
+            BurstDemand(
+                cycle=start + window // 8,
+                vms=len(topology.sites),
+                duration=(window * 5) // 8,
+            )
+        ]
+        for site in struck:
+            site_rng = rng.fork(f"storm:{site.name}")
+            for count in range(num_cores // 2):
+                events.append(
+                    CoreOutage(
+                        cycle=storm_start + site_rng.randint(0, spread),
+                        machine=site.name,
+                        # Retire the highest-numbered cores first, like the
+                        # degradation schedule.
+                        core_id=num_cores - 1 - count,
+                        repair_cycle=repair,
+                    )
+                )
+        return FleetScript.of(*events)
+
+
+@dataclass(frozen=True)
+class RollingUpgradeModel:
+    """A staggered reliability-policy rollout across the fleet.
+
+    Machines upgrade one after another at evenly spaced cycles (with a
+    little seeded jitter); while a machine upgrades, its reliable guest
+    runs unprotected -- the *exposure window* the fleet metrics report.
+    """
+
+    name: str = "rolling-upgrade"
+    mode: str = "PERFORMANCE"
+
+    def script(
+        self, topology: FleetTopology, settings: ExperimentSettings, seed: int
+    ) -> FleetScript:
+        rng = DeterministicRng(seed).fork(f"fleet:{self.name}")
+        start, window = _window(settings)
+        machines = len(topology.sites)
+        duration = max(1, window // (machines + 2))
+        events: List[FleetEvent] = []
+        for position, site in enumerate(topology.sites):
+            jitter = rng.fork(f"upgrade:{site.name}").randint(0, duration // 4)
+            events.append(
+                ReliabilityUpgrade(
+                    cycle=start + (position * window) // (machines + 1) + jitter,
+                    machine=site.name,
+                    duration=duration,
+                    mode=self.mode,
+                )
+            )
+        return FleetScript.of(*events)
+
+
+#: Scenario name to model instance, in presentation order.
+_SCENARIOS: Dict[str, object] = {
+    model.name: model
+    for model in (
+        DiurnalModel(),
+        FlashCrowdModel(),
+        FailureStormModel(),
+        RollingUpgradeModel(),
+    )
+}
+
+#: The built-in scenario names, in presentation order.
+SCENARIO_NAMES: Tuple[str, ...] = tuple(_SCENARIOS)
+
+
+def scenario_model(name: str):
+    """Look up one built-in scenario model by name."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(SCENARIO_NAMES)
+        raise ExperimentError(
+            f"unknown fleet scenario {name!r} (known: {known})"
+        ) from None

@@ -72,6 +72,20 @@ class ExperimentSettings:
     #: Deferred guest VMs that arrive and depart mid-run in the
     #: consolidation-churn experiment.
     churn_extra_vms: int = 2
+    #: Machines in the fleet-scenario experiment (each machine is one
+    #: independent per-machine simulation cell).
+    fleet_machines: int = 8
+    #: Racks the fleet's machines are grouped into (correlated failure
+    #: storms strike whole racks; adjacent rack pairs share a power domain).
+    fleet_racks: int = 2
+    #: Traffic scenarios swept by the fleet experiment, in presentation
+    #: order (see :data:`repro.sim.fleet.traffic.SCENARIO_NAMES`).
+    fleet_scenarios: Tuple[str, ...] = (
+        "diurnal",
+        "flash-crowd",
+        "failure-storm",
+        "rolling-upgrade",
+    )
     #: Timing-model fidelity tier: ``"accurate"`` runs the cycle-accurate
     #: quantum model for every instruction; ``"fast"`` wraps it in the
     #: calibrated probe-and-extrapolate model of :mod:`repro.cpu.fastpath`
@@ -130,6 +144,11 @@ class ExperimentSettings:
             fault_trials_per_site=5,
             degradation_failed_cores=(0, 2),
             churn_extra_vms=1,
+            # Keep the full 8-machine / 2-rack fleet (a smaller fleet would
+            # not exercise rack-scoped storms), but only the storm scenario.
+            fleet_machines=8,
+            fleet_racks=2,
+            fleet_scenarios=("failure-storm",),
         )
 
     @classmethod
@@ -176,9 +195,10 @@ class ExperimentSettings:
         extended (a cached ``apache`` cell is reused whether the sweep ran
         two workloads or six).  ``fault_trials_per_site`` sizes the fault
         sweep, ``degradation_failed_cores`` and ``churn_extra_vms`` size the
-        dynamic-scenario sweeps -- none of them describes a simulation cell
-        (each cell carries its own failure count, VM roster and timeline in
-        its job params), so they are normalised away too.
+        dynamic-scenario sweeps, and the ``fleet_*`` knobs shape the fleet
+        sweep -- none of them describes a simulation cell (each cell carries
+        its own failure count, VM roster and timeline in its job params), so
+        they are normalised away too.
         """
         return replace(
             self,
@@ -187,4 +207,7 @@ class ExperimentSettings:
             fault_trials_per_site=0,
             degradation_failed_cores=(),
             churn_extra_vms=0,
+            fleet_machines=0,
+            fleet_racks=0,
+            fleet_scenarios=(),
         )

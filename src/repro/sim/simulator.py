@@ -477,6 +477,11 @@ class Simulator:
         self.quantum_stats.add(
             "core_cycles_capacity", self.machine.num_healthy_cores * budget
         )
+        # Nominal (no-failure) capacity: healthy / nominal is the machine's
+        # availability under failure timelines (the fleet SLO metric).
+        self.quantum_stats.add(
+            "core_cycles_nominal", self.machine.config.num_cores * budget
+        )
         self._previous_vm_id = vm.vm_id
         self._previous_vm_reliable = vm.is_reliable
         self._previous_plan = plan

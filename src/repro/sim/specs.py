@@ -80,6 +80,8 @@ from repro.sim.experiments import (
     switch_overhead_jobs,
     window_ablation_jobs,
 )
+from repro.sim.fleet.cells import fleet_jobs, fleet_samples, fleet_topology
+from repro.sim.fleet.traffic import SCENARIO_NAMES
 from repro.sim.frames import FrameView, MetricColumn, MetricSchema, ResultFrame
 from repro.sim.jobs import ExperimentJob
 from repro.sim.runner import ExperimentRunner, Metrics, default_runner
@@ -1285,5 +1287,138 @@ register_experiment(
             "run_fault_coverage_experiment",
             "run_fault_rate_sweep",
         ),
+    )
+)
+
+
+# ===================================================================== #
+# Fleet: a traffic-driven datacenter of mixed-mode machines
+# ===================================================================== #
+
+
+def parse_scenario_list(value: str) -> Tuple[str, ...]:
+    """A comma list of fleet scenario names, validated against the built-ins."""
+    names = tuple(
+        dict.fromkeys(part.strip() for part in value.split(",") if part.strip())
+    )
+    if not names:
+        raise argparse.ArgumentTypeError("needs at least one scenario name")
+    unknown = [name for name in names if name not in SCENARIO_NAMES]
+    if unknown:
+        known = ", ".join(SCENARIO_NAMES)
+        raise argparse.ArgumentTypeError(
+            f"unknown scenario(s) {', '.join(unknown)} (known: {known})"
+        )
+    return names
+
+
+def _fleet_settings(request: SpecRequest) -> ExperimentSettings:
+    """The request's settings with the fleet flags folded in.
+
+    With no explicit flags this is the settings object itself, which is what
+    lets ``run_all_experiments`` and the distributed coordinator size the
+    fleet purely through settings (the shared enumeration path passes no
+    per-spec options)."""
+    overrides: Dict[str, object] = {}
+    scenarios = request.option("scenarios")
+    if scenarios is not None:
+        overrides["fleet_scenarios"] = tuple(scenarios)
+    machines = request.option("machines")
+    if machines is not None:
+        overrides["fleet_machines"] = int(machines)
+    racks = request.option("racks")
+    if racks is not None:
+        overrides["fleet_racks"] = min(int(racks), int(machines or request.settings.fleet_machines))
+    settings = request.settings
+    return dataclasses.replace(settings, **overrides) if overrides else settings
+
+
+def _fleet_grid(request: SpecRequest) -> ParameterGrid:
+    settings = _fleet_settings(request)
+    return ParameterGrid.of(
+        ("scenario", settings.fleet_scenarios),
+        ("machine", fleet_topology(settings).machines()),
+        ("seed", settings.seeds),
+    )
+
+
+def _fleet_schema(request: SpecRequest) -> MetricSchema:
+    settings = _fleet_settings(request)
+    return MetricSchema(
+        keys=("scenario",),
+        metrics=(
+            _ipc_metric("fleet_throughput", "fleet throughput"),
+            _ipc_metric("p99_degraded_throughput", "p99 degraded throughput"),
+            MetricColumn("availability", label="availability", fmt="{:.4f}"),
+            MetricColumn("migrations", aggregate="mean", fmt="{:.1f}"),
+            MetricColumn(
+                "exposure_cycles", unit="cycles", aggregate="mean",
+                label="upgrade exposure", fmt="{:.0f}",
+            ),
+        ),
+        views=(
+            FrameView(
+                title=(
+                    f"Fleet SLOs: {settings.fleet_machines} machines / "
+                    f"{settings.fleet_racks} racks under scripted traffic "
+                    "(per-machine cells, MMM-TP)"
+                ),
+                metrics=(
+                    "fleet_throughput",
+                    "p99_degraded_throughput",
+                    "availability",
+                    "migrations",
+                    "exposure_cycles",
+                ),
+            ),
+        ),
+    )
+
+
+register_experiment(
+    ExperimentSpec(
+        name="fleet",
+        title="fleet scenarios: traffic-driven datacenter of mixed-mode machines",
+        description=(
+            "Seeded traffic models (diurnal waves, flash crowds, rack-scoped "
+            "failure storms, rolling reliability upgrades) drive a fleet of "
+            "consolidated MMM-TP servers; the scheduler places and migrates "
+            "burst VMs, and each machine runs as one cacheable engine cell. "
+            "Reports fleet SLOs: p99 degraded throughput, availability, "
+            "migrations and upgrade exposure."
+        ),
+        grid=_fleet_grid,
+        enumerate_jobs=lambda request: fleet_jobs(_fleet_settings(request)),
+        schema=_fleet_schema,
+        cell_samples=lambda request, jobs, results: fleet_samples(
+            request, jobs, results
+        ),
+        options=(
+            SpecOption(
+                name="scenarios",
+                flag="--scenarios",
+                parse=parse_scenario_list,
+                metavar="S1,S2,...",
+                help=(
+                    "fleet scenarios to run, e.g. 'failure-storm,diurnal' "
+                    "(default: the settings' scenario list)"
+                ),
+            ),
+            SpecOption(
+                name="machines",
+                flag="--machines",
+                parse=parse_positive_int,
+                metavar="N",
+                help="fleet size in machines (default: the settings' fleet size)",
+            ),
+            SpecOption(
+                name="racks",
+                flag="--racks",
+                parse=parse_positive_int,
+                metavar="N",
+                help="racks to spread the fleet over (default: the settings')",
+            ),
+        ),
+        workload_limit=2,
     )
 )

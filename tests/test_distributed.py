@@ -263,6 +263,37 @@ class TestCoordinator:
         done = coordinator.collect([job.cache_key()], timeout=0)
         assert done["failures"] == [{"key": job.cache_key(), "error": "boom"}]
 
+    def test_run_status_exposes_queue_and_lease_counters(self):
+        clock = FakeClock()
+        coordinator = Coordinator(lease_seconds=30.0, clock=clock)
+        reply = coordinator.submit_run(asdict(QUICK), experiments=["figure5"])
+        run_id, cells = reply["run"], reply["cells"]
+
+        counters = coordinator.run_status(run_id)["counters"]
+        assert counters == {
+            "queue_depth": cells,
+            "lease_attempts": 0,
+            "requeues": 0,
+        }
+
+        fingerprint = code_fingerprint()
+        leased = len(coordinator.lease("victim", fingerprint)["jobs"])
+        assert leased > 0
+        counters = coordinator.run_status(run_id)["counters"]
+        assert counters["lease_attempts"] == leased
+        assert counters["queue_depth"] == cells - leased
+        assert counters["requeues"] == 0
+
+        clock.advance(31.0)  # the victim is never heard from again
+        # The expiry is observed lazily: the status poll itself requeues.
+        counters = coordinator.run_status(run_id)["counters"]
+        assert counters["queue_depth"] == cells
+
+        coordinator.lease("survivor", fingerprint)
+        counters = coordinator.run_status(run_id)["counters"]
+        assert counters["requeues"] >= 1
+        assert counters["lease_attempts"] > leased
+
 
 # ===================================================================== #
 # HTTP end-to-end: parity, recovery, the run API

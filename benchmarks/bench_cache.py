@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Result-cache benchmark: packed segment store vs legacy per-file layout.
+
+Runs a synthetic sweep of ``--cells`` cells (default 1000) through an
+:class:`ExperimentRunner` with a trivial executor, so the timings isolate
+the cache itself -- store on the cold pass, probe on the warm pass -- from
+simulation cost.  Emits a machine-readable ``BENCH_cache.json``:
+
+* **cold**: fresh cache directory, every cell executed and stored;
+* **warm**: a fresh runner against the same directory, every cell served
+  from disk (the packed layout answers from one manifest load plus a few
+  segment reads; the legacy layout opens one JSON file per cell);
+* once per layout (``packed`` and ``legacy``), plus the on-disk footprint
+  (the packed layout also sheds the legacy layout's per-file indent).
+
+``warm_speedup`` is the headline number: legacy warm time over packed warm
+time, expected well above 2x at 1000 cells.
+
+Usage::
+
+    python benchmarks/bench_cache.py [--cells N] [--repeat N] [--output PATH]
+
+Like ``bench_hotpath.py`` this is a plain script, not a pytest module: it
+leaves an artefact CI can track across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim.jobs import ExperimentJob  # noqa: E402
+from repro.sim.runner import ExperimentRunner  # noqa: E402
+from repro.sim.store import CACHE_LAYOUTS, make_result_cache  # noqa: E402
+
+
+def synthetic_jobs(cells: int):
+    return [
+        ExperimentJob(kind="benchcache", workload=f"w{index:05d}", seed=index)
+        for index in range(cells)
+    ]
+
+
+def fake_executor(job: ExperimentJob):
+    base = float(job.seed)
+    return {
+        "user_ipc": base * 0.001,
+        "throughput": base * 0.002,
+        "dmr_overhead": 0.27,
+        "switch_latency_cycles": 1500.0 + base,
+        "coverage": 0.999,
+        "cycles": 8_000_000.0,
+    }
+
+
+def _sweep_once(layout: str, directory: Path, jobs) -> float:
+    cache = make_result_cache(directory, layout=layout)
+    runner = ExperimentRunner(jobs=1, cache=cache, executor=fake_executor)
+    start = time.perf_counter()
+    runner.run_jobs(jobs)
+    elapsed = time.perf_counter() - start
+    return elapsed, runner.stats
+
+
+def _disk_footprint(directory: Path):
+    files = [path for path in directory.rglob("*") if path.is_file()]
+    return len(files), sum(path.stat().st_size for path in files)
+
+
+def measure(cells: int, repeat: int) -> dict:
+    jobs = synthetic_jobs(cells)
+    layouts: dict = {}
+    for layout in CACHE_LAYOUTS:
+        cold, warm = [], []
+        file_count = disk_bytes = 0
+        for _ in range(repeat):
+            with tempfile.TemporaryDirectory(prefix="bench-cache-") as tmp:
+                directory = Path(tmp) / "cache"
+                elapsed, stats = _sweep_once(layout, directory, jobs)
+                assert stats.executed == cells, stats
+                cold.append(elapsed)
+                elapsed, stats = _sweep_once(layout, directory, jobs)
+                assert stats.cached == cells, stats
+                warm.append(elapsed)
+                file_count, disk_bytes = _disk_footprint(directory)
+        layouts[layout] = {
+            "cold_s": [round(s, 4) for s in cold],
+            "warm_s": [round(s, 4) for s in warm],
+            "cold_best_s": round(min(cold), 4),
+            "warm_best_s": round(min(warm), 4),
+            "files": file_count,
+            "disk_bytes": disk_bytes,
+        }
+    packed, legacy = layouts["packed"], layouts["legacy"]
+    return {
+        "benchmark": "cache",
+        "cells": cells,
+        "repeat": repeat,
+        "python": sys.version.split()[0],
+        "layouts": layouts,
+        "warm_speedup": round(legacy["warm_best_s"] / packed["warm_best_s"], 2),
+        "cold_speedup": round(legacy["cold_best_s"] / packed["cold_best_s"], 2),
+        "disk_ratio": round(legacy["disk_bytes"] / packed["disk_bytes"], 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cells", type=int, default=1000,
+                        help="synthetic cells per sweep (default: 1000)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="cold/warm pairs per layout (best is reported)")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_cache.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = measure(max(1, args.cells), max(1, args.repeat))
+    args.output.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {args.output}")
+    for layout in CACHE_LAYOUTS:
+        stats = report["layouts"][layout]
+        print(
+            f"{layout:>6}: cold {stats['cold_best_s']}s "
+            f"warm {stats['warm_best_s']}s "
+            f"({stats['files']} files, {stats['disk_bytes']} bytes)"
+        )
+    print(
+        f"warm speedup {report['warm_speedup']}x, "
+        f"cold speedup {report['cold_speedup']}x, "
+        f"disk ratio {report['disk_ratio']}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

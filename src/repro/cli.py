@@ -21,8 +21,11 @@ Three groups of subcommands:
   runs against a committed baseline;
 * housekeeping: ``list`` prints the spec registry, ``list-workloads`` the
   calibrated workload profiles, and ``cache stats`` / ``cache clear`` /
-  ``cache prune`` inspect and garbage-collect the on-disk result cache
-  (including the cache schema-version breakdown after a format bump);
+  ``cache prune`` / ``cache compact`` / ``cache migrate`` inspect and
+  maintain the packed on-disk result cache (:mod:`repro.sim.store`):
+  stats includes the schema-version breakdown after a format bump,
+  compact sheds superseded records, migrate packs a legacy per-file
+  cache into segments;
 * distributed runs: ``serve`` starts the HTTP coordinator, ``worker``
   attaches a pull-based worker to it, and any experiment subcommand
   distributes its cells with ``--backend distributed --coordinator URL``
@@ -76,8 +79,8 @@ from repro.sim.reporting import full_report
 from repro.sim.runner import (
     CacheKindStats,
     ExperimentRunner,
-    ResultCache,
     default_cache_dir,
+    make_result_cache,
     registered_backends,
 )
 from repro.sim.specs import (
@@ -361,13 +364,13 @@ def _human_bytes(size: int) -> str:
 
 
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache_dir or default_cache_dir())
+    cache = make_result_cache(args.cache_dir)
     stats = cache.stats()
     if not stats:
         print(f"result cache at {cache.directory}: no entries")
         return 0
     table = TextTable(
-        ["kind", "entries", "size", "versions"],
+        ["kind", "entries", "live", "disk", "segs", "versions"],
         title=f"Result cache at {cache.directory}",
     )
     total = CacheKindStats(kind="total")
@@ -377,25 +380,52 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
                 kind_stats.kind,
                 kind_stats.entries,
                 _human_bytes(kind_stats.bytes),
+                _human_bytes(kind_stats.disk_bytes),
+                kind_stats.segments,
                 kind_stats.version_summary(),
             ]
         )
         total.entries += kind_stats.entries
         total.bytes += kind_stats.bytes
+        total.disk_bytes += kind_stats.disk_bytes
+        total.segments += kind_stats.segments
         for version, count in kind_stats.versions.items():
             total.versions[version] = total.versions.get(version, 0) + count
     table.add_row(
-        [total.kind, total.entries, _human_bytes(total.bytes), total.version_summary()]
+        [
+            total.kind,
+            total.entries,
+            _human_bytes(total.bytes),
+            _human_bytes(total.disk_bytes),
+            total.segments,
+            total.version_summary(),
+        ]
     )
     print(table.render())
     return 0
 
 
 def _cmd_cache_clear(args: argparse.Namespace) -> int:
-    cache = ResultCache(args.cache_dir or default_cache_dir())
+    cache = make_result_cache(args.cache_dir)
     removed = cache.clear(kind=args.kind)
     what = f"{args.kind!r} entries" if args.kind else "entries"
     print(f"removed {removed} cached {what} from {cache.directory}")
+    return 0
+
+
+def _cmd_cache_migrate(args: argparse.Namespace) -> int:
+    """Pack legacy per-file cache entries into the segment store."""
+    cache = make_result_cache(args.cache_dir, layout="packed")
+    result = cache.migrate()
+    print(f"result cache at {cache.directory}: {result.summary()}")
+    return 0
+
+
+def _cmd_cache_compact(args: argparse.Namespace) -> int:
+    """Rewrite segments to live records only, reclaiming dead bytes."""
+    cache = make_result_cache(args.cache_dir, layout="packed")
+    result = cache.compact()
+    print(f"result cache at {cache.directory}: {result.summary()}")
     return 0
 
 
@@ -447,7 +477,7 @@ def _cmd_cache_prune(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    cache = ResultCache(args.cache_dir or default_cache_dir())
+    cache = make_result_cache(args.cache_dir)
     result = cache.prune(max_age_seconds=args.max_age, max_bytes=args.max_bytes)
     print(f"result cache at {cache.directory}: {result.summary()}")
     return 0
@@ -892,7 +922,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict oldest entries until the cache fits SIZE (bytes, or 512k/100m/2g)",
     )
     cache_prune.set_defaults(handler=_cmd_cache_prune)
-    for sub in (cache_stats, cache_clear, cache_prune):
+    cache_migrate = cache_subparsers.add_parser(
+        "migrate",
+        help=(
+            "pack legacy one-file-per-cell entries into the segment store "
+            "(invalid/stale-schema files are dropped; they load as misses)"
+        ),
+    )
+    cache_migrate.set_defaults(handler=_cmd_cache_migrate)
+    cache_compact = cache_subparsers.add_parser(
+        "compact",
+        help=(
+            "rewrite segment files to live records only, reclaiming the "
+            "dead bytes left by superseded and pruned entries"
+        ),
+    )
+    cache_compact.set_defaults(handler=_cmd_cache_compact)
+    for sub in (cache_stats, cache_clear, cache_prune, cache_migrate, cache_compact):
         sub.add_argument(
             "--cache-dir",
             default=None,

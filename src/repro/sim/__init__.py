@@ -30,11 +30,13 @@ from repro.sim.jobs import ExperimentJob, execute_job
 from repro.sim.results import SimulationResult, VmResult
 from repro.sim.runner import (
     ExperimentRunner,
+    LegacyResultCache,
     ResultCache,
     RunnerBackend,
     RunnerStats,
     backend_by_name,
     default_runner,
+    make_result_cache,
     register_runner_backend,
     registered_backends,
     set_default_runner,
@@ -94,7 +96,9 @@ __all__ = [
     "ExperimentJob",
     "execute_job",
     "ExperimentRunner",
+    "LegacyResultCache",
     "ResultCache",
+    "make_result_cache",
     "RunnerBackend",
     "RunnerStats",
     "backend_by_name",

@@ -12,8 +12,10 @@ Design points:
 * **Dedupe by cache key.**  A cell's key digests its full description plus
   the package sources, so two clients submitting overlapping grids are
   funnelled into one execution; the coordinator's optional on-disk
-  :class:`~repro.sim.runner.ResultCache` extends the dedupe across
+  :class:`~repro.sim.store.ResultCache` extends the dedupe across
   coordinator restarts and makes results visible to plain local runs.
+  Submissions probe the cache in one batched manifest lookup, and each
+  completed lease chunk lands in one batched segment append.
 * **Lazy lease expiry.**  No background reaper thread: every mutating or
   polling call first re-queues the leases whose deadline passed (front of
   the queue, so recovered work runs next).  A killed worker therefore
@@ -51,7 +53,8 @@ from repro.sim.distributed.protocol import (
     string_list,
 )
 from repro.sim.jobs import ExperimentJob, code_fingerprint
-from repro.sim.runner import Metrics, ResultCache, adaptive_chunk_size
+from repro.sim.runner import Metrics, adaptive_chunk_size
+from repro.sim.store import AnyResultCache, COMPACT_SEPARATORS, make_result_cache
 from repro.sim.settings import ExperimentSettings
 
 #: Workers idle longer than this stop counting toward lease-chunk sizing.
@@ -108,7 +111,7 @@ class Coordinator:
 
     def __init__(
         self,
-        cache: Optional[ResultCache] = None,
+        cache: Optional[AnyResultCache] = None,
         lease_seconds: float = DEFAULT_LEASE_SECONDS,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
@@ -156,21 +159,38 @@ class Coordinator:
                 self._queue.appendleft(record.key)
                 self._counters["requeues"] += 1
 
-    def _enqueue(self, job: ExperimentJob, key: str) -> str:
+    def _probe_cache(
+        self, keyed: Sequence[Tuple[ExperimentJob, str]]
+    ) -> Dict[str, Metrics]:
+        """One batched manifest probe for every key not already on the board."""
+        if self.cache is None:
+            return {}
+        unknown = [
+            (job.kind, key) for job, key in keyed if key not in self._records
+        ]
+        if not unknown:
+            return {}
+        return self.cache.load_many_entries(unknown)
+
+    def _enqueue(
+        self,
+        job: ExperimentJob,
+        key: str,
+        cache_hits: Mapping[str, Metrics],
+    ) -> str:
         """Admit one cell; returns ``queued``/``deduped``/``cache_hit``/``done``."""
         record = self._records.get(key)
         if record is not None:
             self._counters["deduped"] += 1
             return "done" if record.status in ("done", "failed") else "deduped"
         record = JobRecord(job=job, key=key)
-        if self.cache is not None:
-            hit = self.cache.load_entry(job.kind, key)
-            if hit is not None:
-                record.status = "done"
-                record.metrics = hit
-                self._records[key] = record
-                self._counters["cache_hits"] += 1
-                return "cache_hit"
+        hit = cache_hits.get(key)
+        if hit is not None:
+            record.status = "done"
+            record.metrics = hit
+            self._records[key] = record
+            self._counters["cache_hits"] += 1
+            return "cache_hit"
         self._records[key] = record
         self._queue.append(key)
         self._counters["submitted"] += 1
@@ -180,11 +200,24 @@ class Coordinator:
         record.status = "done"
         record.metrics = metrics
         record.lease = None
-        if self.cache is not None:
-            self.cache.store_entry(
-                record.job.kind, record.key, record.job.to_dict(), metrics
-            )
         self._counters["completed"] += 1
+
+    def _store_finished(self, finished: Sequence[JobRecord]) -> None:
+        """Land a completed chunk in the shared cache: one batched append.
+
+        The manifest publication itself is left to the store's own
+        record-count threshold -- an unpublished record is still durable
+        (the next process's rebuild scan finds it), so a coordinator killed
+        between chunks never loses results.
+        """
+        if self.cache is None or not finished:
+            return
+        self.cache.store_entries(
+            [
+                (record.job.kind, record.key, record.job.to_dict(), record.metrics or {})
+                for record in finished
+            ]
+        )
 
     # ------------------------------------------------------------------ #
     # Protocol endpoints
@@ -198,12 +231,14 @@ class Coordinator:
         # Rebuild outside the lock: `from_wire` verifies each key, which
         # costs one digest per cell.
         jobs = [ExperimentJob.from_wire(payload) for payload in payloads]
+        keyed = [(job, job.cache_key()) for job in jobs]
         outcomes = {"queued": 0, "deduped": 0, "cache_hit": 0, "done": 0}
         with self._completed:
             now = self.clock()
             self._expire_leases(now)
-            for job in jobs:
-                outcomes[self._enqueue(job, job.cache_key())] += 1
+            cache_hits = self._probe_cache(keyed)
+            for job, key in keyed:
+                outcomes[self._enqueue(job, key, cache_hits)] += 1
             if outcomes["cache_hit"] or outcomes["done"]:
                 self._completed.notify_all()
         return {"protocol": PROTOCOL_VERSION, **outcomes}
@@ -269,6 +304,7 @@ class Coordinator:
             self._expire_leases(now)
             if worker is not None:
                 self._workers[str(worker)] = now
+            finished: List[JobRecord] = []
             for item in results:
                 key = str(item.get("key"))
                 metrics = item.get("metrics")
@@ -282,7 +318,10 @@ class Coordinator:
                 if record.lease is not None and record.lease != lease:
                     self._counters["late_completions"] += 1
                 self._finish(record, metrics)
+                finished.append(record)
                 accepted += 1
+            # One batched cache append for the whole reported chunk.
+            self._store_finished(finished)
             for item in failures:
                 key = str(item.get("key"))
                 record = self._records.get(key)
@@ -395,13 +434,14 @@ class Coordinator:
             jobs_by_spec=jobs_by_spec,
             batch=batch,
         )
+        keyed = [(job, job.cache_key()) for job in batch]
         with self._completed:
             now = self.clock()
             self._expire_leases(now)
-            for job in batch:
-                key = job.cache_key()
+            cache_hits = self._probe_cache(keyed)
+            for job, key in keyed:
                 run.keys.append(key)
-                self._enqueue(job, key)
+                self._enqueue(job, key, cache_hits)
             self._runs[run.run_id] = run
             self._completed.notify_all()
         return {
@@ -514,7 +554,9 @@ class _CoordinatorHandler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _reply(self, status: int, payload: Mapping[str, object]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        # Compact separators: response bodies carry whole result chunks,
+        # and the default separators' whitespace is pure wire overhead.
+        body = json.dumps(payload, separators=COMPACT_SEPARATORS).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -623,7 +665,7 @@ class CoordinatorServer:
         quiet: bool = True,
     ) -> None:
         if coordinator is None:
-            cache = ResultCache(cache_dir) if cache_dir is not None else None
+            cache = make_result_cache(cache_dir) if cache_dir is not None else None
             coordinator = Coordinator(cache=cache, lease_seconds=lease_seconds)
         self.coordinator = coordinator
         handler = type(

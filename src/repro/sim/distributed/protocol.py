@@ -71,7 +71,10 @@ class CoordinatorClient:
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
-            body = json.dumps(payload).encode("utf-8")
+            # Compact separators: submit/complete bodies carry whole job
+            # chunks, and the default separators' whitespace is pure wire
+            # overhead (~3% on wire-format cells, ~25% on result chunks).
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
             f"{self.url}{path}", data=body, headers=headers, method=method

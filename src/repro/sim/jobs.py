@@ -67,7 +67,13 @@ from repro.virt.vcpu import ReliabilityMode
 #: (:mod:`repro.sim.frames`); pre-frame entries must be clean misses rather
 #: than risk mis-assembling into frames.  ``repro cache stats`` reports the
 #: per-version breakdown of whatever is on disk.
-CACHE_SCHEMA_VERSION = 2
+#:
+#: Version 3: results live in the packed segment store
+#: (:mod:`repro.sim.store`): records gain ``kind``/``ts`` envelope fields
+#: and payloads are compact (no pretty-printing).  Per-file v2 entries
+#: written by older code are clean misses; ``repro cache migrate`` packs
+#: (and current-version legacy files read through) without re-executing.
+CACHE_SCHEMA_VERSION = 3
 
 _CODE_FINGERPRINT: Optional[str] = None
 

@@ -26,10 +26,15 @@ Results are memoised twice:
 
 * **in memory** for the lifetime of the runner (a batch that enumerates the
   same cell twice simulates it once), and
-* **on disk** (optional) as one JSON file per cell under
-  ``<cache_dir>/<kind>/<cache_key>.json``, written as each cell completes,
-  so a re-run after an interrupted or extended sweep only executes the
-  cells that are missing or whose description changed.  The cache key is a
+* **on disk** (optional) through a result store from
+  :mod:`repro.sim.store` -- by default the packed segment store
+  (append-only segment files plus a per-kind manifest; see that module
+  for the format), probed and written through its *batched* APIs: the
+  cache-hit phase probes the whole batch at once, and the execute phase
+  stores completed cells in chunks (one append + one ``fsync`` per
+  chunk).  Cells still land in the cache as their chunk completes, so a
+  re-run after an interrupted or extended sweep only executes the cells
+  that are missing or whose description changed.  The cache key is a
   SHA-256 digest over the *full* cell description (settings, configuration,
   seed, kind-specific parameters, schema version) *and* a fingerprint of
   the ``repro`` package's source code, so results simulated by different
@@ -41,10 +46,7 @@ caches; the warm-cache tests assert ``executed == 0`` on a second run.
 
 from __future__ import annotations
 
-import json
 import math
-import os
-import re
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from contextlib import contextmanager
@@ -66,23 +68,25 @@ from typing import (
 from repro.errors import ExperimentError
 from repro.sim.jobs import CACHE_SCHEMA_VERSION, ExperimentJob, execute_job
 
-#: A cell result: metric name to JSON-serializable value.  Simulation cells
-#: return plain floats; other registered kinds may return nested structures
-#: (fault-campaign cells return their serialized trial records), as long as
-#: a ``json`` round trip reproduces the value exactly.
-JsonValue = Union[None, bool, int, float, str, List["JsonValue"], Dict[str, "JsonValue"]]
-Metrics = Dict[str, JsonValue]
-
-#: Environment variable overriding the default on-disk cache location.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
-
-#: Default on-disk cache location (relative to the working directory).
-DEFAULT_CACHE_DIR = ".repro-cache"
-
-
-def default_cache_dir() -> Path:
-    """The on-disk cache location used when none is given explicitly."""
-    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+# Result stores live in repro.sim.store; re-exported here because this
+# module has always been their import location.
+from repro.sim.store import (  # noqa: F401  (re-exports)
+    CACHE_DIR_ENV,
+    CACHE_LAYOUT_ENV,
+    DEFAULT_CACHE_DIR,
+    AnyResultCache,
+    CacheCompactResult,
+    CacheKindStats,
+    CacheMigrateResult,
+    CachePruneResult,
+    JsonValue,
+    LegacyResultCache,
+    Metrics,
+    ResultCache,
+    _entry_schema_version,
+    default_cache_dir,
+    make_result_cache,
+)
 
 
 @dataclass
@@ -149,259 +153,6 @@ class RunnerStats:
                 for name, seconds in self.phase_seconds.items()
             },
         }
-
-
-class ResultCache:
-    """One-JSON-file-per-cell result store keyed by the job's cache key."""
-
-    def __init__(self, directory: Union[str, Path]) -> None:
-        self.directory = Path(directory)
-
-    def path_for(self, job: ExperimentJob) -> Path:
-        """Where the given cell's result lives (whether or not it exists)."""
-        return self.path_for_key(job.kind, job.cache_key())
-
-    def path_for_key(self, kind: str, key: str) -> Path:
-        """Entry location for a ``(kind, cache_key)`` pair.
-
-        The key-level half of the cache API: the distributed coordinator
-        holds wire-format job descriptions, not :class:`ExperimentJob`
-        instances, and addresses the shared cache purely by content key.
-        """
-        return self.directory / kind / f"{key}.json"
-
-    def load(self, job: ExperimentJob) -> Optional[Metrics]:
-        """Return the cached metrics for ``job``, or ``None`` on a miss."""
-        return self.load_entry(job.kind, job.cache_key())
-
-    def load_entry(self, kind: str, key: str) -> Optional[Metrics]:
-        """Return the cached metrics under ``(kind, key)``, or ``None``.
-
-        Corrupt or incompatible entries are treated as misses rather than
-        errors -- a load never raises, and the subsequent :meth:`store`
-        simply overwrites the bad file.  This covers truncated writes from a
-        run killed mid-flight, non-JSON garbage, undecodable bytes, schema
-        changes, and well-formed JSON that is not a result object at all.
-        """
-        path = self.path_for_key(kind, key)
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None
-        if not isinstance(payload, dict):
-            return None
-        if payload.get("schema") != CACHE_SCHEMA_VERSION:
-            return None
-        if payload.get("key") != key:
-            return None
-        metrics = payload.get("metrics")
-        if not isinstance(metrics, dict):
-            return None
-        return metrics
-
-    def store(self, job: ExperimentJob, metrics: Metrics) -> None:
-        """Persist one cell's metrics atomically (write, fsync, rename)."""
-        self.store_entry(job.kind, job.cache_key(), job.to_dict(), metrics)
-
-    def store_entry(
-        self,
-        kind: str,
-        key: str,
-        job_description: Dict[str, object],
-        metrics: Metrics,
-    ) -> None:
-        """Persist one entry under ``(kind, key)`` atomically.
-
-        The entry is written to a process-private temporary file, flushed to
-        stable storage, and only then renamed into place, so a job killed at
-        any point can never leave a partially written entry under the final
-        name (which would read as a miss -- and silently re-simulate -- on
-        every subsequent run).
-        """
-        path = self.path_for_key(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "schema": CACHE_SCHEMA_VERSION,
-            "key": key,
-            "job": job_description,
-            "metrics": metrics,
-        }
-        # Process-private name: two concurrent runs storing the same cell
-        # must never interleave writes into one temporary file.
-        tmp = path.with_suffix(f".{os.getpid()}.tmp")
-        try:
-            with open(tmp, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True, indent=1)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
-
-    def kinds(self) -> Tuple[str, ...]:
-        """The job kinds with at least one entry on disk, sorted."""
-        if not self.directory.is_dir():
-            return ()
-        return tuple(
-            sorted(
-                child.name
-                for child in self.directory.iterdir()
-                if child.is_dir() and any(child.glob("*.json"))
-            )
-        )
-
-    def stats(self) -> Dict[str, "CacheKindStats"]:
-        """Per-kind entry counts, on-disk sizes and schema-version mix.
-
-        The version breakdown (``versions``) reads each entry's recorded
-        ``schema`` field: after a :data:`CACHE_SCHEMA_VERSION` bump it shows
-        how much of the cache is stale pre-bump entries (clean misses) that
-        ``cache clear`` could prune.
-        """
-        report: Dict[str, CacheKindStats] = {}
-        for kind in self.kinds():
-            stats = report.setdefault(kind, CacheKindStats(kind=kind))
-            for path in (self.directory / kind).glob("*.json"):
-                try:
-                    size = path.stat().st_size
-                except OSError:
-                    continue
-                stats.entries += 1
-                stats.bytes += size
-                version = _entry_schema_version(path, size)
-                stats.versions[version] = stats.versions.get(version, 0) + 1
-        return report
-
-    def clear(self, kind: Optional[str] = None) -> int:
-        """Delete cached entries; return how many files were removed.
-
-        With ``kind`` only that job kind's entries are pruned -- the
-        surgical tool for dropping the stale cells left behind by a
-        ``code_fingerprint`` change without discarding the whole cache.
-        """
-        removed = 0
-        if not self.directory.exists():
-            return removed
-        pattern = f"{kind}/*.json" if kind is not None else "*/*.json"
-        for path in self.directory.glob(pattern):
-            path.unlink(missing_ok=True)
-            removed += 1
-        return removed
-
-    def prune(
-        self,
-        max_age_seconds: Optional[float] = None,
-        max_bytes: Optional[int] = None,
-        now: Optional[float] = None,
-    ) -> "CachePruneResult":
-        """Garbage-collect the cache by age and/or total size.
-
-        ``max_age_seconds`` removes every entry whose file modification time
-        is older than the horizon.  ``max_bytes`` then evicts the oldest
-        surviving entries until the total on-disk size fits the budget
-        (LRU-by-mtime: the cache touches entries only when storing, so age
-        approximates "least recently produced").  Either limit may be
-        ``None``; with both ``None`` this is a no-op inventory pass.  The
-        clock is injectable for tests.
-        """
-        result = CachePruneResult()
-        if not self.directory.is_dir():
-            return result
-        if now is None:
-            now = time.time()
-        entries: List[Tuple[float, int, Path]] = []
-        for path in self.directory.glob("*/*.json"):
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, stat.st_size, path))
-        entries.sort()  # oldest first
-        survivors: List[Tuple[float, int, Path]] = []
-        for mtime, size, path in entries:
-            if max_age_seconds is not None and now - mtime > max_age_seconds:
-                path.unlink(missing_ok=True)
-                result.removed_entries += 1
-                result.removed_bytes += size
-            else:
-                survivors.append((mtime, size, path))
-        if max_bytes is not None:
-            total = sum(size for _, size, _ in survivors)
-            index = 0
-            while total > max_bytes and index < len(survivors):
-                _, size, path = survivors[index]
-                path.unlink(missing_ok=True)
-                result.removed_entries += 1
-                result.removed_bytes += size
-                total -= size
-                index += 1
-            survivors = survivors[index:]
-        result.kept_entries = len(survivors)
-        result.kept_bytes = sum(size for _, size, _ in survivors)
-        return result
-
-
-@dataclass
-class CachePruneResult:
-    """What :meth:`ResultCache.prune` removed and what survived."""
-
-    removed_entries: int = 0
-    removed_bytes: int = 0
-    kept_entries: int = 0
-    kept_bytes: int = 0
-
-    def summary(self) -> str:
-        """One-line human-readable account of the GC pass."""
-        return (
-            f"pruned {self.removed_entries} entries ({self.removed_bytes} bytes); "
-            f"kept {self.kept_entries} entries ({self.kept_bytes} bytes)"
-        )
-
-
-def _entry_schema_version(path: Path, size: int) -> str:
-    """The recorded ``schema`` version of one cache entry, cheaply.
-
-    Entries are dumped with ``sort_keys=True``, so the top-level ``schema``
-    field is the *last* key in the file; reading a small tail and taking
-    the last ``"schema": N`` match avoids deserializing the whole entry
-    (fault-campaign cells can be tens of kilobytes each).  The tail match
-    is only trusted when the tail also ends with the closing ``}`` of a
-    complete dump: a zero-byte or mid-write entry (a writer caught between
-    ``open`` and flush) must report ``"?"`` rather than whatever version
-    string happens to survive truncation.  Falls back to a full parse for
-    complete files that do not match (e.g. hand-edited entries), and to
-    ``"?"`` for unreadable ones -- which load as misses anyway.
-    """
-    try:
-        with open(path, "rb") as handle:
-            handle.seek(max(0, size - 256))
-            tail = handle.read().decode("utf-8", errors="replace")
-        if tail.rstrip().endswith("}"):
-            matches = re.findall(r'"schema":\s*(\d+)', tail)
-            if matches:
-                return matches[-1]
-        payload = json.loads(path.read_text(encoding="utf-8"))
-        return str(payload.get("schema", "?"))
-    except (OSError, ValueError, AttributeError):
-        return "?"
-
-
-@dataclass
-class CacheKindStats:
-    """One job kind's share of the on-disk result cache."""
-
-    kind: str
-    entries: int = 0
-    bytes: int = 0
-    #: Entry counts per recorded cache schema version (``"?"`` for
-    #: unreadable entries -- which load as misses anyway).
-    versions: Dict[str, int] = dataclass_field(default_factory=dict)
-
-    def version_summary(self) -> str:
-        """Compact ``v1:3 v2:12`` rendering of the version mix."""
-        return " ".join(
-            f"v{version}:{count}" for version, count in sorted(self.versions.items())
-        )
 
 
 # ---------------------------------------------------------------------- #
@@ -626,6 +377,7 @@ class ExperimentRunner:
         use_cache: Optional[bool] = None,
         executor: JobExecutor = execute_job,
         backend: Union[None, str, RunnerBackend] = None,
+        cache: Optional[AnyResultCache] = None,
     ) -> None:
         if jobs < 1:
             raise ExperimentError("an ExperimentRunner needs at least one worker")
@@ -637,15 +389,17 @@ class ExperimentRunner:
         if isinstance(backend, str):
             backend = backend_by_name(backend)
         self.backend = backend
-        #: Caching defaults to "on exactly when a cache directory was given";
-        #: pass ``use_cache=True`` to enable it at the default location.
-        if use_cache is None:
-            use_cache = cache_dir is not None
-        self.cache = (
-            ResultCache(cache_dir if cache_dir is not None else default_cache_dir())
-            if use_cache
-            else None
-        )
+        #: ``cache=`` accepts a ready-made store object (any layout);
+        #: otherwise caching defaults to "on exactly when a cache directory
+        #: was given" (``use_cache=True`` enables it at the default
+        #: location), built by :func:`make_result_cache` so the layout
+        #: honours ``REPRO_CACHE_LAYOUT``.
+        if cache is not None:
+            self.cache: Optional[AnyResultCache] = cache
+        else:
+            if use_cache is None:
+                use_cache = cache_dir is not None
+            self.cache = make_result_cache(cache_dir) if use_cache else None
         self._executor = executor
         self._memo: Dict[ExperimentJob, Metrics] = {}
         self.stats = RunnerStats()
@@ -667,33 +421,49 @@ class ExperimentRunner:
         pending: List[ExperimentJob] = []
         seen: set = set()
         with self.stats.phase("cache-hit"):
+            fresh: List[ExperimentJob] = []
             for job in jobs:
-                if job in self._memo:
+                if job in self._memo or job in seen:
                     self.stats.memoized += 1
                     continue
-                if job in seen:
-                    self.stats.memoized += 1
-                    continue
-                if self.cache is not None:
-                    hit = self.cache.load(job)
-                    if hit is not None:
-                        self._memo[job] = hit
-                        self.stats.cached += 1
-                        continue
                 seen.add(job)
-                pending.append(job)
+                fresh.append(job)
+            if self.cache is not None and fresh:
+                # One batched probe for the whole batch: one index lookup
+                # per cell instead of one file open per cell.
+                hits = self.cache.load_many(fresh)
+                for job in fresh:
+                    metrics = hits.get(job)
+                    if metrics is not None:
+                        self._memo[job] = metrics
+                        self.stats.cached += 1
+                    else:
+                        pending.append(job)
+            else:
+                pending = fresh
 
-        # Results are recorded (and written to the cache) as each cell
-        # completes, not after the whole batch: an interrupted or partially
-        # failed sweep keeps everything that finished, so the re-run only
+        # Results are recorded (and written to the cache) as each chunk of
+        # cells completes, not after the whole batch: an interrupted or
+        # partially failed sweep keeps everything that finished (the
+        # ``finally`` flushes the in-flight chunk), so the re-run only
         # executes the remaining cells.
         if pending:
             with self.stats.phase("execute"):
-                for job, metrics in self._execute(pending):
-                    self._memo[job] = metrics
+                chunk: List[Tuple[ExperimentJob, Metrics]] = []
+                try:
+                    for job, metrics in self._execute(pending):
+                        self._memo[job] = metrics
+                        self.stats.executed += 1
+                        if self.cache is not None:
+                            chunk.append((job, metrics))
+                            if len(chunk) >= MAX_CHUNK_SIZE:
+                                self.cache.store_many(chunk)
+                                chunk = []
+                finally:
                     if self.cache is not None:
-                        self.cache.store(job, metrics)
-                    self.stats.executed += 1
+                        if chunk:
+                            self.cache.store_many(chunk)
+                        self.cache.flush()
 
         return {job: self._memo[job] for job in jobs}
 

@@ -1,0 +1,1308 @@
+"""On-disk result stores: the packed segment store and the legacy per-file one.
+
+The experiment engine persists one JSON record per finished cell.  Two
+layouts implement the same cache interface:
+
+* :class:`ResultCache` -- the **packed segment store** (the default).
+  Records append to size-bounded *segment files* under
+  ``<cache_dir>/<kind>/segments/``, each record framed with a
+  length/CRC32 header so a torn tail from a killed writer is detected
+  and cleanly ignored.  A per-kind *manifest*
+  (``segments/manifest.json``) maps ``key -> (segment, offset, length,
+  version, ts)`` and is loaded once per process; if it is missing or
+  stale the index is rebuilt by scanning the segments' unvouched tails.
+  Batched APIs (:meth:`ResultCache.load_many`,
+  :meth:`ResultCache.store_many`) cost one append and one ``fsync`` per
+  *chunk*, not per cell -- the storage analogue of the engine's batched
+  execute path.
+* :class:`LegacyResultCache` -- the historical one-file-per-cell layout
+  (``<cache_dir>/<kind>/<key>.json``, atomic write+fsync+rename per
+  cell).  Kept for benchmarking and as a migration source: the packed
+  store *reads through* to legacy files it has no packed record for,
+  and ``repro cache migrate`` packs them.
+
+Concurrent-writer safety: every writer appends only to segment files it
+created itself (``seg-<pid>-<n>.seg``, opened with ``O_EXCL``), so two
+processes never interleave records; the manifest is published atomically
+(tmp + fsync + rename) and only ever vouches for bytes the publisher
+fsynced, so a reader that loses the manifest race merely re-scans a
+tail.  Manifest publication is deferred (:meth:`ResultCache.flush`, plus
+every :data:`PUBLISH_EVERY` records) because an unpublished record is
+still durable -- the rebuild scan finds it.
+
+:func:`make_result_cache` picks the layout (``REPRO_CACHE_LAYOUT`` or
+``layout=``); :mod:`repro.sim.runner` re-exports everything here for
+backwards compatibility.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import time
+import zlib
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ExperimentError
+from repro.sim.jobs import CACHE_SCHEMA_VERSION, ExperimentJob
+
+#: A cell result: metric name to JSON-serializable value.  Simulation cells
+#: return plain floats; other registered kinds may return nested structures
+#: (fault-campaign cells return their serialized trial records), as long as
+#: a ``json`` round trip reproduces the value exactly.
+JsonValue = Union[None, bool, int, float, str, List["JsonValue"], Dict[str, "JsonValue"]]
+Metrics = Dict[str, JsonValue]
+
+#: Environment variable overriding the default on-disk cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Default on-disk cache location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Environment variable selecting the cache layout (``packed``/``legacy``).
+CACHE_LAYOUT_ENV = "REPRO_CACHE_LAYOUT"
+
+#: Compact JSON separators for every persisted/wire payload: cache records
+#: carry no humans-read-this requirement, and the whitespace of the default
+#: separators is pure size overhead (measured ~25% on quick-grid cells).
+COMPACT_SEPARATORS = (",", ":")
+
+#: Sub-directory of a kind directory holding its segment files + manifest.
+SEGMENT_DIR_NAME = "segments"
+
+#: The per-kind index file, inside the segment directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Bump when the manifest JSON shape changes; unknown formats are rebuilt.
+MANIFEST_FORMAT = 1
+
+#: Roll to a new segment file once the active one exceeds this.
+DEFAULT_SEGMENT_BYTES = 4 * 1024 * 1024
+
+#: Publish the manifest at least every this-many appended records even if
+#: nobody calls :meth:`ResultCache.flush` (bounds the rebuild-scan cost of
+#: a crashed long run).
+PUBLISH_EVERY = 512
+
+#: ``b"%08x %08x\n"`` -- payload length, CRC32, newline.
+_HEADER_LENGTH = 18
+
+
+def default_cache_dir() -> Path:
+    """The on-disk cache location used when none is given explicitly."""
+    return Path(os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR))
+
+
+# ---------------------------------------------------------------------- #
+# Record framing
+# ---------------------------------------------------------------------- #
+
+
+def _frame_record(payload: bytes) -> bytes:
+    """Wrap one compact-JSON payload in the segment record frame."""
+    header = b"%08x %08x\n" % (len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+    return header + payload + b"\n"
+
+
+def _decode_frame(blob: bytes) -> Optional[Dict[str, object]]:
+    """Parse one framed record; ``None`` for any torn or corrupt frame."""
+    if len(blob) < _HEADER_LENGTH + 1 or blob[8:9] != b" " or blob[17:18] != b"\n":
+        return None
+    try:
+        length = int(blob[0:8], 16)
+        crc = int(blob[9:17], 16)
+    except ValueError:
+        return None
+    if len(blob) != _HEADER_LENGTH + length + 1 or blob[-1:] != b"\n":
+        return None
+    payload = blob[_HEADER_LENGTH:-1]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def _scan_segment(
+    data: bytes, start: int
+) -> Tuple[List[Tuple[int, int, Dict[str, object]]], int]:
+    """Walk intact records from ``start``; stop at the first torn frame.
+
+    Returns ``([(offset, length, record), ...], clean_offset)`` where
+    ``clean_offset`` is the end of the last intact record -- everything
+    beyond it is a torn tail (a writer killed mid-append) and simply does
+    not exist as far as the index is concerned.
+    """
+    records: List[Tuple[int, int, Dict[str, object]]] = []
+    offset = max(0, start)
+    size = len(data)
+    while offset + _HEADER_LENGTH <= size:
+        header = data[offset : offset + _HEADER_LENGTH]
+        if header[8:9] != b" " or header[17:18] != b"\n":
+            break
+        try:
+            length = int(header[0:8], 16)
+            crc = int(header[9:17], 16)
+        except ValueError:
+            break
+        end = offset + _HEADER_LENGTH + length + 1
+        if end > size or data[end - 1 : end] != b"\n":
+            break
+        payload = data[offset + _HEADER_LENGTH : end - 1]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            break
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            record = None
+        if isinstance(record, dict):
+            records.append((offset, end - offset, record))
+        offset = end
+    return records, offset
+
+
+class _IndexEntry(NamedTuple):
+    """Where one key's current record lives, plus its stats metadata."""
+
+    segment: str
+    offset: int
+    length: int
+    version: str
+    ts: float
+
+
+def _record_metrics(record: Optional[Mapping[str, object]], key: str) -> Optional[Metrics]:
+    """Validate one packed record into metrics; ``None`` is a miss."""
+    if not isinstance(record, Mapping):
+        return None
+    if record.get("schema") != CACHE_SCHEMA_VERSION:
+        return None
+    if record.get("key") != key:
+        return None
+    metrics = record.get("metrics")
+    if not isinstance(metrics, dict):
+        return None
+    return metrics
+
+
+def _validate_legacy_payload(payload: object, key: str) -> Optional[Metrics]:
+    """Validate one legacy per-file entry's payload; ``None`` is a miss."""
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("schema") != CACHE_SCHEMA_VERSION:
+        return None
+    if payload.get("key") != key:
+        return None
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        return None
+    return metrics
+
+
+def _load_legacy_entry(path: Path, key: str) -> Optional[Metrics]:
+    """Read-validate one legacy entry file; any failure is a miss."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    return _validate_legacy_payload(payload, key)
+
+
+# ---------------------------------------------------------------------- #
+# Per-kind segment store
+# ---------------------------------------------------------------------- #
+
+
+class _KindStore:
+    """One job kind's segments, manifest, index and (lazy) legacy file set."""
+
+    def __init__(
+        self,
+        root: Path,
+        kind: str,
+        max_segment_bytes: int,
+        clock: Callable[[], float],
+    ) -> None:
+        self.kind = kind
+        self.directory = root / kind
+        self.segment_dir = self.directory / SEGMENT_DIR_NAME
+        self.manifest_path = self.segment_dir / MANIFEST_NAME
+        self.max_segment_bytes = max_segment_bytes
+        self._clock = clock
+        self._index: Optional[Dict[str, _IndexEntry]] = None
+        #: Per segment, how many bytes are known-intact (own fsynced writes,
+        #: or cleanly scanned).  The manifest never vouches beyond these.
+        self._scanned: Dict[str, int] = {}
+        self._legacy: Optional[Set[str]] = None
+        self._writer_name: Optional[str] = None
+        self._handle = None
+        self._dirty = 0
+
+    # -- index ---------------------------------------------------------- #
+
+    def index(self) -> Dict[str, _IndexEntry]:
+        """The in-memory key index, loaded (or rebuilt) on first use."""
+        if self._index is None:
+            self._load_index()
+        assert self._index is not None
+        return self._index
+
+    def _read_manifest(self) -> Optional[Dict[str, object]]:
+        try:
+            manifest = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_FORMAT:
+            return None
+        return manifest
+
+    def _load_index(self) -> None:
+        index: Dict[str, _IndexEntry] = {}
+        scanned: Dict[str, int] = {}
+        dirty = False
+        manifest = self._read_manifest() or {}
+        vouched = manifest.get("segments")
+        vouched = vouched if isinstance(vouched, dict) else {}
+        entries = manifest.get("entries")
+        entries = entries if isinstance(entries, dict) else {}
+
+        on_disk: Dict[str, int] = {}
+        if self.segment_dir.is_dir():
+            for path in self.segment_dir.glob("seg-*.seg"):
+                try:
+                    on_disk[path.name] = path.stat().st_size
+                except OSError:
+                    continue
+
+        # A segment the manifest never saw -- or one shorter than the bytes
+        # the manifest vouches for (truncated after publication) -- gets a
+        # full rescan; nothing the manifest says about it can be trusted.
+        distrusted: Set[str] = set()
+        for name, size in on_disk.items():
+            claimed = vouched.get(name)
+            if isinstance(claimed, int) and 0 <= claimed <= size:
+                scanned[name] = claimed
+            else:
+                scanned[name] = 0
+                distrusted.add(name)
+                dirty = True
+
+        for key, value in entries.items():
+            if not (isinstance(value, (list, tuple)) and len(value) == 5):
+                dirty = True
+                continue
+            segment, offset, length, version, ts = value
+            if (
+                not isinstance(segment, str)
+                or segment not in on_disk
+                or segment in distrusted
+                or not isinstance(offset, int)
+                or not isinstance(length, int)
+                or offset + length > scanned.get(segment, 0)
+            ):
+                dirty = True
+                continue
+            index[str(key)] = _IndexEntry(
+                segment, offset, length, str(version), float(ts or 0.0)
+            )
+
+        # Scan every unvouched tail: records appended after the last
+        # publication (or whole segments after a lost manifest).  The scan
+        # stops at the first torn frame, which is exactly the CRC-guarded
+        # crash-recovery contract.
+        for name in sorted(on_disk):
+            start = scanned[name]
+            if on_disk[name] <= start:
+                continue
+            try:
+                data = (self.segment_dir / name).read_bytes()
+            except OSError:
+                continue
+            records, clean = _scan_segment(data, start)
+            for offset, length, record in records:
+                key = record.get("key")
+                if not isinstance(key, str):
+                    continue
+                entry = _IndexEntry(
+                    name,
+                    offset,
+                    length,
+                    str(record.get("schema", "?")),
+                    float(record.get("ts") or 0.0),
+                )
+                previous = index.get(key)
+                if previous is None or entry.ts >= previous.ts:
+                    index[key] = entry
+            if records or clean != start:
+                dirty = True
+            scanned[name] = clean
+
+        self._index = index
+        self._scanned = scanned
+        if dirty:
+            # Something the manifest did not know; republishing on the next
+            # flush saves the next process the rescan.
+            self._dirty = max(self._dirty, 1)
+
+    # -- writing -------------------------------------------------------- #
+
+    def _open_writer(self):
+        """The active append handle, allocating a fresh segment if needed.
+
+        Writers never append to a segment they did not create (a previous
+        crash may have left a torn tail that would make later records
+        unreachable by scan), so segment names are claimed with ``O_EXCL``.
+        """
+        if self._handle is not None:
+            return self._writer_name, self._handle
+        self.segment_dir.mkdir(parents=True, exist_ok=True)
+        pid = os.getpid()
+        serial = 0
+        while True:
+            name = f"seg-{pid}-{serial:04d}.seg"
+            try:
+                handle = open(self.segment_dir / name, "xb")
+            except FileExistsError:
+                serial += 1
+                continue
+            self._writer_name = name
+            self._handle = handle
+            self._scanned.setdefault(name, 0)
+            return name, handle
+
+    def _roll(self) -> None:
+        """Close the active segment; the next append opens a fresh one."""
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+    def append(self, records: Sequence[Tuple[str, Dict[str, object]]]) -> None:
+        """Append framed records -- one buffered write + one fsync total."""
+        items = []
+        for key, record in records:
+            payload = json.dumps(
+                record, sort_keys=True, separators=COMPACT_SEPARATORS
+            ).encode("utf-8")
+            items.append(
+                (
+                    key,
+                    _frame_record(payload),
+                    str(record.get("schema", "?")),
+                    float(record.get("ts") or 0.0),
+                )
+            )
+        self._append_blobs(items)
+
+    def _append_blobs(self, items: Sequence[Tuple[str, bytes, str, float]]) -> None:
+        if not items:
+            return
+        index = self.index()
+        name, handle = self._open_writer()
+        offset = self._scanned.get(name, 0)
+        pending: List[bytes] = []
+
+        def drain() -> None:
+            if pending:
+                handle.write(b"".join(pending))
+                handle.flush()
+                os.fsync(handle.fileno())
+                pending.clear()
+
+        for key, blob, version, ts in items:
+            if offset > 0 and offset + len(blob) > self.max_segment_bytes:
+                drain()
+                self._scanned[name] = offset
+                self._roll()
+                name, handle = self._open_writer()
+                offset = self._scanned.get(name, 0)
+            index[key] = _IndexEntry(name, offset, len(blob), version, ts)
+            pending.append(blob)
+            offset += len(blob)
+        drain()
+        self._scanned[name] = offset
+        self._dirty += len(items)
+        if self._dirty >= PUBLISH_EVERY:
+            self.publish()
+
+    def publish(self) -> None:
+        """Atomically write the manifest, if anything changed since last time."""
+        if self._dirty == 0 or self._index is None:
+            return
+        self.segment_dir.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "schema": CACHE_SCHEMA_VERSION,
+            "segments": dict(sorted(self._scanned.items())),
+            "entries": {
+                key: list(entry) for key, entry in sorted(self._index.items())
+            },
+        }
+        tmp = self.manifest_path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, separators=COMPACT_SEPARATORS)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.manifest_path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self._dirty = 0
+
+    # -- reading -------------------------------------------------------- #
+
+    #: Probing this many keys in one segment switches from seek-per-record
+    #: to one bulk read of the whole segment (warm sweeps touch most of it
+    #: anyway, and one big read beats thousands of seek+read round trips).
+    _BULK_READ_THRESHOLD = 32
+
+    def _fetch(
+        self, keys: Iterable[str]
+    ) -> Dict[str, Tuple[bytes, Dict[str, object]]]:
+        """``{key: (raw frame, decoded record)}`` for intact indexed keys.
+
+        One open per touched segment; each frame is CRC-checked and decoded
+        exactly once.  An index entry whose frame fails validation (external
+        damage) is forgotten so the cell re-executes.
+        """
+        index = self.index()
+        by_segment: Dict[str, List[Tuple[str, _IndexEntry]]] = {}
+        for key in keys:
+            entry = index.get(key)
+            if entry is not None:
+                by_segment.setdefault(entry.segment, []).append((key, entry))
+        found: Dict[str, Tuple[bytes, Dict[str, object]]] = {}
+        for segment, pairs in by_segment.items():
+            pairs.sort(key=lambda pair: pair[1].offset)
+            try:
+                with open(self.segment_dir / segment, "rb") as handle:
+                    if len(pairs) >= self._BULK_READ_THRESHOLD:
+                        data = handle.read()
+                        blobs = [
+                            data[entry.offset : entry.offset + entry.length]
+                            for _, entry in pairs
+                        ]
+                    else:
+                        blobs = []
+                        for _, entry in pairs:
+                            handle.seek(entry.offset)
+                            blobs.append(handle.read(entry.length))
+            except OSError:
+                continue
+            for (key, entry), blob in zip(pairs, blobs):
+                record = _decode_frame(blob)
+                if record is None:
+                    index.pop(key, None)
+                    self._dirty = max(self._dirty, 1)
+                    continue
+                found[key] = (blob, record)
+        return found
+
+    def _read_blobs(self, keys: Iterable[str]) -> Dict[str, bytes]:
+        """Raw validated frames for ``keys`` (compaction copies these)."""
+        return {key: blob for key, (blob, _) in self._fetch(keys).items()}
+
+    def get_many(self, keys: Iterable[str]) -> Dict[str, Dict[str, object]]:
+        """Decoded records for every indexed, intact key among ``keys``."""
+        return {key: record for key, (_, record) in self._fetch(keys).items()}
+
+    # -- legacy read-through -------------------------------------------- #
+
+    def legacy_keys(self) -> Set[str]:
+        """Keys with a legacy per-file entry (globbed once per process)."""
+        if self._legacy is None:
+            self._legacy = set()
+            if self.directory.is_dir():
+                for path in self.directory.glob("*.json"):
+                    self._legacy.add(path.stem)
+        return self._legacy
+
+    def legacy_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # -- maintenance ---------------------------------------------------- #
+
+    def segment_names(self) -> List[str]:
+        if not self.segment_dir.is_dir():
+            return []
+        return sorted(path.name for path in self.segment_dir.glob("seg-*.seg"))
+
+    def segment_bytes(self) -> int:
+        total = 0
+        for name in self.segment_names():
+            try:
+                total += (self.segment_dir / name).stat().st_size
+            except OSError:
+                continue
+        try:
+            total += self.manifest_path.stat().st_size
+        except OSError:
+            pass
+        return total
+
+    def compact(self) -> Tuple[int, int, int]:
+        """Rewrite live records into fresh segments, drop the old ones.
+
+        Frames are copied verbatim (same CRC, version and timestamp), so
+        compaction never rewrites a record's identity -- it only sheds the
+        dead bytes of superseded and pruned records.  Returns ``(entries,
+        bytes_before, bytes_after)`` over the segment files.
+        """
+        index = self.index()
+        old_names = self.segment_names()
+        bytes_before = self.segment_bytes()
+        blobs = self._read_blobs(list(index))
+        keep = [
+            (key, blobs[key], index[key].version, index[key].ts)
+            for key in sorted(blobs)
+        ]
+        self._roll()
+        self._index = {}
+        self._scanned = {}
+        if keep:
+            self._append_blobs(keep)
+        self._roll()
+        self._dirty = max(self._dirty, 1)
+        # Publish before deleting: a crash in between leaves orphan old
+        # segments whose records are identical to the kept copies, so a
+        # rebuild scan merely re-finds the same data.
+        self.publish()
+        for name in old_names:
+            (self.segment_dir / name).unlink(missing_ok=True)
+        return len(keep), bytes_before, self.segment_bytes()
+
+    def drop_all(self) -> int:
+        """Delete every packed and legacy entry; returns entries removed."""
+        removed = len(self.index()) + len(self.legacy_keys())
+        self._roll()
+        if self.segment_dir.is_dir():
+            shutil.rmtree(self.segment_dir, ignore_errors=True)
+        for key in list(self.legacy_keys()):
+            self.legacy_path(key).unlink(missing_ok=True)
+        self._index = {}
+        self._scanned = {}
+        self._legacy = set()
+        self._dirty = 0
+        try:
+            self.directory.rmdir()
+        except OSError:
+            pass
+        return removed
+
+
+# ---------------------------------------------------------------------- #
+# The packed segment store
+# ---------------------------------------------------------------------- #
+
+
+class ResultCache:
+    """Packed segment-file result store keyed by job cache keys.
+
+    The default on-disk layout: see the module docstring for the format.
+    Single-cell :meth:`load`/:meth:`store` remain for convenience; the
+    engine's hot paths use the batched :meth:`load_many`/:meth:`store_many`
+    (and their key-level twins for the distributed coordinator, which holds
+    wire descriptions rather than :class:`ExperimentJob` instances).
+
+    ``clock`` is injectable so prune-by-age tests control record ages
+    without sleeping.
+    """
+
+    layout = "packed"
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.directory = Path(directory)
+        self.max_segment_bytes = max_segment_bytes
+        self._clock = clock
+        self._stores: Dict[str, _KindStore] = {}
+
+    # -- plumbing ------------------------------------------------------- #
+
+    def _kind(self, kind: str) -> _KindStore:
+        store = self._stores.get(kind)
+        if store is None:
+            store = _KindStore(self.directory, kind, self.max_segment_bytes, self._clock)
+            self._stores[kind] = store
+        return store
+
+    def _kind_names(self) -> List[str]:
+        names = set(self._stores)
+        if self.directory.is_dir():
+            for child in self.directory.iterdir():
+                if child.is_dir():
+                    names.add(child.name)
+        return sorted(names)
+
+    def path_for(self, job: ExperimentJob) -> Path:
+        """Where the cell's *legacy* per-file entry would live.
+
+        Packed records live inside segment files and have no path of their
+        own; this remains the read-through and migration source location.
+        """
+        return self.path_for_key(job.kind, job.cache_key())
+
+    def path_for_key(self, kind: str, key: str) -> Path:
+        """Legacy entry location for a ``(kind, cache_key)`` pair."""
+        return self.directory / kind / f"{key}.json"
+
+    # -- loads ---------------------------------------------------------- #
+
+    def load(self, job: ExperimentJob) -> Optional[Metrics]:
+        """Return the cached metrics for ``job``, or ``None`` on a miss."""
+        return self.load_entry(job.kind, job.cache_key())
+
+    def load_entry(self, kind: str, key: str) -> Optional[Metrics]:
+        """Return the cached metrics under ``(kind, key)``, or ``None``.
+
+        Corrupt or incompatible records are misses, never errors: torn
+        segment tails are excluded by the CRC scan at index build, and a
+        record damaged after indexing fails frame validation at read.
+        """
+        return self.load_many_entries([(kind, key)]).get(key)
+
+    def load_many(self, jobs: Sequence[ExperimentJob]) -> Dict[ExperimentJob, Metrics]:
+        """Probe a whole batch; returns ``{job: metrics}`` for the hits.
+
+        One index lookup per cell and one file open per touched segment --
+        the warm-run fast path the per-file layout paid an ``open`` +
+        ``json.loads`` per cell for.
+        """
+        keyed = [(job, job.kind, job.cache_key()) for job in jobs]
+        hits = self.load_many_entries([(kind, key) for _, kind, key in keyed])
+        return {job: hits[key] for job, _, key in keyed if key in hits}
+
+    def load_many_entries(
+        self, pairs: Sequence[Tuple[str, str]]
+    ) -> Dict[str, Metrics]:
+        """Key-level batch probe: ``{key: metrics}`` for the hits."""
+        by_kind: Dict[str, List[str]] = {}
+        for kind, key in pairs:
+            by_kind.setdefault(kind, []).append(key)
+        hits: Dict[str, Metrics] = {}
+        for kind, keys in by_kind.items():
+            store = self._kind(kind)
+            records = store.get_many(keys)
+            legacy = store.legacy_keys() if len(records) < len(keys) else ()
+            for key in keys:
+                metrics = _record_metrics(records.get(key), key)
+                if metrics is None and key in legacy:
+                    metrics = _load_legacy_entry(store.legacy_path(key), key)
+                if metrics is not None:
+                    hits[key] = metrics
+        return hits
+
+    # -- stores --------------------------------------------------------- #
+
+    def store(self, job: ExperimentJob, metrics: Metrics) -> None:
+        """Persist one cell's metrics (one record append + fsync)."""
+        self.store_many([(job, metrics)])
+
+    def store_entry(
+        self,
+        kind: str,
+        key: str,
+        job_description: Dict[str, object],
+        metrics: Metrics,
+    ) -> None:
+        """Persist one entry under ``(kind, key)``."""
+        self.store_entries([(kind, key, job_description, metrics)])
+
+    def store_many(self, items: Sequence[Tuple[ExperimentJob, Metrics]]) -> None:
+        """Persist a chunk of results: one append + one fsync per kind."""
+        self.store_entries(
+            [
+                (job.kind, job.cache_key(), job.to_dict(), metrics)
+                for job, metrics in items
+            ]
+        )
+
+    def store_entries(
+        self, entries: Sequence[Tuple[str, str, Dict[str, object], Metrics]]
+    ) -> None:
+        """Key-level batch store (the distributed coordinator's path)."""
+        by_kind: Dict[str, List[Tuple[str, Dict[str, object], Metrics]]] = {}
+        for kind, key, description, metrics in entries:
+            by_kind.setdefault(kind, []).append((key, description, metrics))
+        now = self._clock()
+        for kind, items in by_kind.items():
+            self._kind(kind).append(
+                [
+                    (
+                        key,
+                        {
+                            "schema": CACHE_SCHEMA_VERSION,
+                            "key": key,
+                            "kind": kind,
+                            "ts": now,
+                            "job": description,
+                            "metrics": metrics,
+                        },
+                    )
+                    for key, description, metrics in items
+                ]
+            )
+
+    def flush(self) -> None:
+        """Publish every dirty manifest (records are already durable)."""
+        for store in self._stores.values():
+            store.publish()
+
+    # -- inventory ------------------------------------------------------ #
+
+    def kinds(self) -> Tuple[str, ...]:
+        """The job kinds with at least one entry on disk, sorted."""
+        return tuple(
+            kind
+            for kind in self._kind_names()
+            if self._kind(kind).index() or self._kind(kind).legacy_keys()
+        )
+
+    def stats(self) -> Dict[str, "CacheKindStats"]:
+        """Per-kind entry counts, sizes and schema-version mix.
+
+        Served from the in-memory index -- no per-entry file reads.
+        ``bytes`` counts *live* record bytes; ``disk_bytes`` the segment
+        files as stored (the gap is what ``cache compact`` reclaims).  A
+        torn in-flight segment tail is excluded by the CRC scan, so --
+        unlike the legacy tail-sniff, which reported ``?`` -- a mid-write
+        record never shows up at all.  Legacy files still present report
+        their sniffed versions (``?`` for partial files, which load as
+        misses anyway).
+        """
+        report: Dict[str, CacheKindStats] = {}
+        for kind in self._kind_names():
+            store = self._kind(kind)
+            index = store.index()
+            legacy = store.legacy_keys()
+            if not index and not legacy:
+                continue
+            stats = CacheKindStats(kind=kind)
+            for entry in index.values():
+                stats.entries += 1
+                stats.bytes += entry.length
+                stats.versions[entry.version] = stats.versions.get(entry.version, 0) + 1
+            stats.segments = len(store.segment_names())
+            stats.disk_bytes = store.segment_bytes()
+            for key in sorted(legacy):
+                try:
+                    size = store.legacy_path(key).stat().st_size
+                except OSError:
+                    continue
+                stats.entries += 1
+                stats.bytes += size
+                stats.disk_bytes += size
+                version = _entry_schema_version(store.legacy_path(key), size)
+                stats.versions[version] = stats.versions.get(version, 0) + 1
+            report[kind] = stats
+        return report
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete cached entries; return how many entries were removed."""
+        removed = 0
+        for name in [kind] if kind is not None else self._kind_names():
+            removed += self._kind(name).drop_all()
+        return removed
+
+    def prune(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> "CachePruneResult":
+        """Garbage-collect by age and/or total *live* size.
+
+        Ages come from each record's stored timestamp (segment file mtimes
+        mean nothing: every record in a segment shares them), and the
+        ``max_bytes`` budget counts live record bytes, not segment file
+        sizes -- then a compaction pass physically drops the evicted
+        records, both so the bytes are actually reclaimed and because a
+        record left in a segment would be resurrected by the next manifest
+        rebuild scan.
+        """
+        result = CachePruneResult()
+        if now is None:
+            now = self._clock()
+        items: List[Tuple[float, int, str, str, bool]] = []
+        for kind in self._kind_names():
+            store = self._kind(kind)
+            for key, entry in store.index().items():
+                items.append((entry.ts, entry.length, kind, key, False))
+            for key in sorted(store.legacy_keys()):
+                try:
+                    stat = store.legacy_path(key).stat()
+                except OSError:
+                    continue
+                items.append((stat.st_mtime, stat.st_size, kind, key, True))
+        items.sort(key=lambda item: item[0])
+        doomed: List[Tuple[float, int, str, str, bool]] = []
+        survivors: List[Tuple[float, int, str, str, bool]] = []
+        for item in items:
+            if max_age_seconds is not None and now - item[0] > max_age_seconds:
+                doomed.append(item)
+            else:
+                survivors.append(item)
+        if max_bytes is not None:
+            total = sum(item[1] for item in survivors)
+            cut = 0
+            while total > max_bytes and cut < len(survivors):
+                doomed.append(survivors[cut])
+                total -= survivors[cut][1]
+                cut += 1
+            survivors = survivors[cut:]
+        touched_kinds: Set[str] = set()
+        for _, size, kind, key, is_legacy in doomed:
+            store = self._kind(kind)
+            if is_legacy:
+                store.legacy_path(key).unlink(missing_ok=True)
+                store.legacy_keys().discard(key)
+            else:
+                store.index().pop(key, None)
+                touched_kinds.add(kind)
+            result.removed_entries += 1
+            result.removed_bytes += size
+        for kind in touched_kinds:
+            self._kind(kind).compact()
+        result.kept_entries = len(survivors)
+        result.kept_bytes = sum(item[1] for item in survivors)
+        return result
+
+    def compact(self) -> "CacheCompactResult":
+        """Rewrite every kind's live records into fresh minimal segments."""
+        result = CacheCompactResult()
+        for kind in self._kind_names():
+            store = self._kind(kind)
+            if not store.index() and not store.segment_names():
+                continue
+            entries, before, after = store.compact()
+            result.kinds += 1
+            result.entries += entries
+            result.reclaimed_bytes += max(0, before - after)
+        return result
+
+    def migrate(self) -> "CacheMigrateResult":
+        """Pack every legacy per-file entry into segments, then delete it.
+
+        Entries that fail validation (corrupt, stale schema version, key
+        mismatch) load as misses anyway and are dropped rather than packed.
+        Record timestamps preserve the legacy file's mtime, so prune-by-age
+        still sees the original production time.
+        """
+        result = CacheMigrateResult()
+        for kind in self._kind_names():
+            store = self._kind(kind)
+            legacy = sorted(store.legacy_keys())
+            if not legacy:
+                continue
+            result.kinds += 1
+            index = store.index()
+            records: List[Tuple[str, Dict[str, object]]] = []
+            for key in legacy:
+                path = store.legacy_path(key)
+                try:
+                    stat = path.stat()
+                    payload = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, ValueError):
+                    stat = None
+                    payload = None
+                metrics = _validate_legacy_payload(payload, key)
+                if metrics is None:
+                    result.dropped += 1
+                elif key in index:
+                    result.deduped += 1
+                else:
+                    records.append(
+                        (
+                            key,
+                            {
+                                "schema": CACHE_SCHEMA_VERSION,
+                                "key": key,
+                                "kind": kind,
+                                "ts": stat.st_mtime if stat is not None else self._clock(),
+                                "job": payload.get("job") if isinstance(payload, dict) else None,
+                                "metrics": metrics,
+                            },
+                        )
+                    )
+                    result.packed += 1
+                if stat is not None:
+                    result.reclaimed_bytes += stat.st_size
+                path.unlink(missing_ok=True)
+            store.legacy_keys().clear()
+            if records:
+                store.append(records)
+            store._roll()
+        self.flush()
+        return result
+
+
+# ---------------------------------------------------------------------- #
+# The legacy per-file store
+# ---------------------------------------------------------------------- #
+
+
+class LegacyResultCache:
+    """One-JSON-file-per-cell result store keyed by the job's cache key.
+
+    The pre-packed layout, kept readable (the packed store reads through
+    to it), migratable (``repro cache migrate``) and constructible
+    (``REPRO_CACHE_LAYOUT=legacy``) -- the last mostly so
+    ``benchmarks/bench_cache.py`` can measure what the packed store buys.
+    """
+
+    layout = "legacy"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def path_for(self, job: ExperimentJob) -> Path:
+        """Where the given cell's result lives (whether or not it exists)."""
+        return self.path_for_key(job.kind, job.cache_key())
+
+    def path_for_key(self, kind: str, key: str) -> Path:
+        """Entry location for a ``(kind, cache_key)`` pair."""
+        return self.directory / kind / f"{key}.json"
+
+    def load(self, job: ExperimentJob) -> Optional[Metrics]:
+        """Return the cached metrics for ``job``, or ``None`` on a miss."""
+        return self.load_entry(job.kind, job.cache_key())
+
+    def load_entry(self, kind: str, key: str) -> Optional[Metrics]:
+        """Return the cached metrics under ``(kind, key)``, or ``None``.
+
+        Corrupt or incompatible entries are treated as misses rather than
+        errors -- a load never raises, and the subsequent :meth:`store`
+        simply overwrites the bad file.  This covers truncated writes from a
+        run killed mid-flight, non-JSON garbage, undecodable bytes, schema
+        changes, and well-formed JSON that is not a result object at all.
+        """
+        return _load_legacy_entry(self.path_for_key(kind, key), key)
+
+    def load_many(self, jobs: Sequence[ExperimentJob]) -> Dict[ExperimentJob, Metrics]:
+        """Batch probe (one file read per cell -- the layout's cost)."""
+        hits: Dict[ExperimentJob, Metrics] = {}
+        for job in jobs:
+            metrics = self.load(job)
+            if metrics is not None:
+                hits[job] = metrics
+        return hits
+
+    def load_many_entries(
+        self, pairs: Sequence[Tuple[str, str]]
+    ) -> Dict[str, Metrics]:
+        """Key-level batch probe: ``{key: metrics}`` for the hits."""
+        hits: Dict[str, Metrics] = {}
+        for kind, key in pairs:
+            metrics = self.load_entry(kind, key)
+            if metrics is not None:
+                hits[key] = metrics
+        return hits
+
+    def store(self, job: ExperimentJob, metrics: Metrics) -> None:
+        """Persist one cell's metrics atomically (write, fsync, rename)."""
+        self.store_entry(job.kind, job.cache_key(), job.to_dict(), metrics)
+
+    def store_entry(
+        self,
+        kind: str,
+        key: str,
+        job_description: Dict[str, object],
+        metrics: Metrics,
+    ) -> None:
+        """Persist one entry under ``(kind, key)`` atomically.
+
+        The entry is written to a process-private temporary file, flushed to
+        stable storage, and only then renamed into place, so a job killed at
+        any point can never leave a partially written entry under the final
+        name (which would read as a miss -- and silently re-simulate -- on
+        every subsequent run).
+        """
+        path = self.path_for_key(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "job": job_description,
+            "metrics": metrics,
+        }
+        # Process-private name: two concurrent runs storing the same cell
+        # must never interleave writes into one temporary file.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True, separators=COMPACT_SEPARATORS)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def store_many(self, items: Sequence[Tuple[ExperimentJob, Metrics]]) -> None:
+        """Batch store (one write + fsync per cell -- the layout's cost)."""
+        for job, metrics in items:
+            self.store(job, metrics)
+
+    def store_entries(
+        self, entries: Sequence[Tuple[str, str, Dict[str, object], Metrics]]
+    ) -> None:
+        """Key-level batch store."""
+        for kind, key, description, metrics in entries:
+            self.store_entry(kind, key, description, metrics)
+
+    def flush(self) -> None:
+        """No-op: every store is already durable under its final name."""
+
+    def kinds(self) -> Tuple[str, ...]:
+        """The job kinds with at least one entry on disk, sorted."""
+        if not self.directory.is_dir():
+            return ()
+        return tuple(
+            sorted(
+                child.name
+                for child in self.directory.iterdir()
+                if child.is_dir() and any(child.glob("*.json"))
+            )
+        )
+
+    def stats(self) -> Dict[str, "CacheKindStats"]:
+        """Per-kind entry counts, on-disk sizes and schema-version mix."""
+        report: Dict[str, CacheKindStats] = {}
+        for kind in self.kinds():
+            stats = report.setdefault(kind, CacheKindStats(kind=kind))
+            for path in (self.directory / kind).glob("*.json"):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    continue
+                stats.entries += 1
+                stats.bytes += size
+                stats.disk_bytes += size
+                version = _entry_schema_version(path, size)
+                stats.versions[version] = stats.versions.get(version, 0) + 1
+        return report
+
+    def clear(self, kind: Optional[str] = None) -> int:
+        """Delete cached entries; return how many files were removed."""
+        removed = 0
+        if not self.directory.exists():
+            return removed
+        pattern = f"{kind}/*.json" if kind is not None else "*/*.json"
+        for path in self.directory.glob(pattern):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def prune(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> "CachePruneResult":
+        """Garbage-collect the cache by age and/or total size.
+
+        ``max_age_seconds`` removes every entry whose file modification time
+        is older than the horizon.  ``max_bytes`` then evicts the oldest
+        surviving entries until the total on-disk size fits the budget
+        (LRU-by-mtime: the cache touches entries only when storing, so age
+        approximates "least recently produced").  Either limit may be
+        ``None``; with both ``None`` this is a no-op inventory pass.  The
+        clock is injectable for tests.
+        """
+        result = CachePruneResult()
+        if not self.directory.is_dir():
+            return result
+        if now is None:
+            now = time.time()
+        entries: List[Tuple[float, int, Path]] = []
+        for path in self.directory.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+        survivors: List[Tuple[float, int, Path]] = []
+        for mtime, size, path in entries:
+            if max_age_seconds is not None and now - mtime > max_age_seconds:
+                path.unlink(missing_ok=True)
+                result.removed_entries += 1
+                result.removed_bytes += size
+            else:
+                survivors.append((mtime, size, path))
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in survivors)
+            index = 0
+            while total > max_bytes and index < len(survivors):
+                _, size, path = survivors[index]
+                path.unlink(missing_ok=True)
+                result.removed_entries += 1
+                result.removed_bytes += size
+                total -= size
+                index += 1
+            survivors = survivors[index:]
+        result.kept_entries = len(survivors)
+        result.kept_bytes = sum(size for _, size, _ in survivors)
+        return result
+
+
+#: Either store; they implement the same cache interface.
+AnyResultCache = Union[ResultCache, LegacyResultCache]
+
+#: Layout names accepted by :func:`make_result_cache` / the environment.
+CACHE_LAYOUTS = ("packed", "legacy")
+
+
+def make_result_cache(
+    directory: Union[None, str, Path] = None,
+    layout: Optional[str] = None,
+    **kwargs: object,
+) -> AnyResultCache:
+    """Build a result cache in the requested (or configured) layout.
+
+    ``layout`` falls back to :data:`CACHE_LAYOUT_ENV` and then to
+    ``packed``.  Extra keyword arguments go to the packed store
+    (``max_segment_bytes``, ``clock``); the legacy store accepts none.
+    """
+    if directory is None:
+        directory = default_cache_dir()
+    if layout is None:
+        layout = os.environ.get(CACHE_LAYOUT_ENV) or "packed"
+    layout = str(layout).strip().lower()
+    if layout == "packed":
+        return ResultCache(directory, **kwargs)  # type: ignore[arg-type]
+    if layout == "legacy":
+        return LegacyResultCache(directory)
+    raise ExperimentError(
+        f"unknown cache layout {layout!r} (expected one of: {', '.join(CACHE_LAYOUTS)})"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Report dataclasses
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class CachePruneResult:
+    """What a cache ``prune`` removed and what survived."""
+
+    removed_entries: int = 0
+    removed_bytes: int = 0
+    kept_entries: int = 0
+    kept_bytes: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable account of the GC pass."""
+        return (
+            f"pruned {self.removed_entries} entries ({self.removed_bytes} bytes); "
+            f"kept {self.kept_entries} entries ({self.kept_bytes} bytes)"
+        )
+
+
+@dataclass
+class CacheCompactResult:
+    """What :meth:`ResultCache.compact` rewrote and reclaimed."""
+
+    kinds: int = 0
+    entries: int = 0
+    reclaimed_bytes: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"compacted {self.entries} entries across {self.kinds} kinds; "
+            f"reclaimed {self.reclaimed_bytes} bytes"
+        )
+
+
+@dataclass
+class CacheMigrateResult:
+    """What :meth:`ResultCache.migrate` packed, deduped and dropped."""
+
+    kinds: int = 0
+    packed: int = 0
+    deduped: int = 0
+    dropped: int = 0
+    reclaimed_bytes: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"packed {self.packed} legacy entries across {self.kinds} kinds "
+            f"({self.deduped} already packed, {self.dropped} invalid dropped); "
+            f"removed {self.reclaimed_bytes} bytes of legacy files"
+        )
+
+
+def _entry_schema_version(path: Path, size: int) -> str:
+    """The recorded ``schema`` version of one *legacy* cache entry, cheaply.
+
+    Reads a small tail and takes the last ``"schema": N`` match instead of
+    deserializing the whole entry (fault-campaign cells can be tens of
+    kilobytes each).  The tail match is only trusted when the tail also
+    ends with the closing ``}`` of a complete dump: a zero-byte or
+    mid-write entry (a writer caught between ``open`` and flush) must
+    report ``"?"`` rather than whatever version string happens to survive
+    truncation.  Falls back to a full parse for complete files that do not
+    match (e.g. hand-edited entries), and to ``"?"`` for unreadable ones --
+    which load as misses anyway.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(max(0, size - 256))
+            tail = handle.read().decode("utf-8", errors="replace")
+        if tail.rstrip().endswith("}"):
+            matches = re.findall(r'"schema":\s*(\d+)', tail)
+            if matches:
+                return matches[-1]
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return str(payload.get("schema", "?"))
+    except (OSError, ValueError, AttributeError):
+        return "?"
+
+
+@dataclass
+class CacheKindStats:
+    """One job kind's share of the on-disk result cache."""
+
+    kind: str
+    entries: int = 0
+    #: Live record bytes (packed) or entry file bytes (legacy).
+    bytes: int = 0
+    #: Bytes actually occupied on disk (segments + manifest + legacy
+    #: files); the gap over :attr:`bytes` is what ``compact`` reclaims.
+    disk_bytes: int = 0
+    #: Segment files backing the kind (0 under the legacy layout).
+    segments: int = 0
+    #: Entry counts per recorded cache schema version (``"?"`` for
+    #: unreadable legacy entries -- which load as misses anyway).
+    versions: Dict[str, int] = dataclass_field(default_factory=dict)
+
+    def version_summary(self) -> str:
+        """Compact ``v1:3 v2:12`` rendering of the version mix."""
+        return " ".join(
+            f"v{version}:{count}" for version, count in sorted(self.versions.items())
+        )

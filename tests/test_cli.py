@@ -14,6 +14,14 @@ def isolated_cache(tmp_path, monkeypatch):
     return tmp_path / "cache"
 
 
+def cached_entries(cache_dir, kind):
+    """Entry count for one kind, read through a fresh cache instance."""
+    from repro.sim.runner import make_result_cache
+
+    stats = make_result_cache(cache_dir).stats().get(kind)
+    return stats.entries if stats is not None else 0
+
+
 def test_help_lists_every_subcommand(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["--help"])
@@ -112,15 +120,15 @@ def test_figure5_quick_subset(capsys, isolated_cache):
     assert "apache" in out
     # Every engine-backed command reports its cache effectiveness.
     assert "experiment engine: 3 executed, 0 from cache, 0 memoized" in out
-    # The engine cached every cell on disk (one JSON file per cell).
-    assert len(list(isolated_cache.glob("figure5/*.json"))) == 3
+    # The engine cached every cell on disk (in the packed segment store).
+    assert cached_entries(isolated_cache, "figure5") == 3
 
 
 def test_figure5_seed_sweep_multiplies_cells(capsys, isolated_cache):
     assert main(["figure5", "--quick", "--workloads", "apache", "--seeds", "0,1"]) == 0
     out = capsys.readouterr().out
     assert "experiment engine: 6 executed" in out
-    assert len(list(isolated_cache.glob("figure5/*.json"))) == 6
+    assert cached_entries(isolated_cache, "figure5") == 6
 
 
 def test_figure5_no_cache_leaves_no_files(capsys, isolated_cache):
@@ -190,8 +198,8 @@ def test_cache_stats_and_clear_by_kind(capsys, isolated_cache):
 
     assert main(["cache", "clear", "--kind", "figure5"]) == 0
     assert "removed 3 cached 'figure5' entries" in capsys.readouterr().out
-    assert not list(isolated_cache.glob("figure5/*.json"))
-    assert list(isolated_cache.glob("faults/*.json"))
+    assert cached_entries(isolated_cache, "figure5") == 0
+    assert cached_entries(isolated_cache, "faults") > 0
 
     assert main(["cache", "clear"]) == 0
     capsys.readouterr()
@@ -214,7 +222,7 @@ def test_cache_stats_reports_schema_version_breakdown(capsys, isolated_cache):
     assert main(["cache", "stats"]) == 0
     out = capsys.readouterr().out
     assert "versions" in out
-    assert "v1:1" in out and "v2:3" in out
+    assert "v1:1" in out and "v3:3" in out
 
 
 def test_faults_subcommand(capsys):
@@ -330,6 +338,40 @@ def test_cache_prune_by_age_and_size(capsys, isolated_cache):
     # A warm re-run is gone: the next run executes again.
     assert main(["figure5", "--quick", "--workloads", "apache", "--seeds", "1"]) == 0
     assert "0 from cache" in capsys.readouterr().out
+
+
+def test_cache_migrate_packs_legacy_entries(capsys, isolated_cache, monkeypatch):
+    # Populate a legacy per-file cache, migrate it into the packed layout,
+    # then confirm a packed run serves every cell warm.
+    monkeypatch.setenv("REPRO_CACHE_LAYOUT", "legacy")
+    assert main(["figure5", "--quick", "--workloads", "apache"]) == 0
+    capsys.readouterr()
+    assert len(list(isolated_cache.glob("figure5/*.json"))) == 3
+
+    monkeypatch.delenv("REPRO_CACHE_LAYOUT")
+    assert main(["cache", "migrate"]) == 0
+    out = capsys.readouterr().out
+    assert "packed 3 legacy entries across 1 kinds" in out
+    assert not list(isolated_cache.glob("figure5/*.json"))
+
+    assert main(["figure5", "--quick", "--workloads", "apache"]) == 0
+    assert "0 executed, 3 from cache" in capsys.readouterr().out
+
+
+def test_cache_compact_reclaims_overwritten_records(capsys, isolated_cache):
+    from repro.sim.jobs import ExperimentJob
+    from repro.sim.runner import ResultCache
+
+    cache = ResultCache(isolated_cache)
+    job = ExperimentJob(kind="figure5", workload="apache")
+    for value in range(4):  # three superseded records for one live one
+        cache.store(job, {"m": float(value)})
+    cache.flush()
+    assert main(["cache", "compact"]) == 0
+    out = capsys.readouterr().out
+    assert "compacted 1 entries across 1 kinds" in out
+    assert "reclaimed" in out
+    assert ResultCache(isolated_cache).load(job) == {"m": 3.0}
 
 
 @pytest.mark.parametrize(

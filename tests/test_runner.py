@@ -48,6 +48,7 @@ from repro.sim.jobs import (
 )
 from repro.sim.runner import (
     ExperimentRunner,
+    LegacyResultCache,
     ResultCache,
     RunnerBackend,
     SerialBackend,
@@ -187,10 +188,14 @@ class TestResultCache:
         assert cache.load(job) is None
         cache.store(job, {"user_ipc": 0.5, "throughput": 1.25})
         assert cache.load(job) == {"user_ipc": 0.5, "throughput": 1.25}
-        assert cache.path_for(job).exists()
+        # The result lands in a packed segment file, not a per-key file.
+        assert list((tmp_path / job.kind / "segments").glob("seg-*.seg"))
+        assert not cache.path_for(job).exists()
 
-    def test_corrupt_entries_are_misses(self, tmp_path):
-        cache = ResultCache(tmp_path)
+    def test_corrupt_legacy_entries_are_misses(self, tmp_path):
+        # Per-file corruption semantics of the legacy layout (the packed
+        # layout's torn-frame handling is covered in test_store.py).
+        cache = LegacyResultCache(tmp_path)
         job = quick_job()
         cache.store(job, {"user_ipc": 0.5})
         cache.path_for(job).write_text("{not json", encoding="utf-8")
@@ -234,11 +239,21 @@ class TestResultCache:
         assert cache.load(job) is None
 
     def test_key_mismatch_is_a_miss(self, tmp_path):
-        cache = ResultCache(tmp_path)
+        cache = LegacyResultCache(tmp_path)
         job, other = quick_job(), quick_job(variant="reunion")
         cache.store(job, {"user_ipc": 0.5})
         # Simulate a renamed/moved entry: contents describe a different cell.
         cache.path_for(job).replace(cache.path_for(other))
+        assert cache.load(other) is None
+
+    def test_key_mismatch_in_legacy_read_through_is_a_miss(self, tmp_path):
+        # The packed cache probes legacy per-key files on a miss; a moved
+        # legacy file whose contents describe a different cell must not hit.
+        legacy = LegacyResultCache(tmp_path)
+        job, other = quick_job(), quick_job(variant="reunion")
+        legacy.store(job, {"user_ipc": 0.5})
+        legacy.path_for(job).replace(legacy.path_for(other))
+        cache = ResultCache(tmp_path)
         assert cache.load(other) is None
 
     def test_clear_removes_every_entry(self, tmp_path):
@@ -305,13 +320,18 @@ class TestResultCache:
         assert stats.versions == {"2": 1}
 
     def test_store_leaves_no_temporary_files(self, tmp_path):
-        # The fsync-and-rename write must clean up after itself: only the
-        # final entry remains, and it loads.
+        # Appends and the atomic manifest publish must clean up after
+        # themselves: only segment files and the manifest remain.
         cache = ResultCache(tmp_path)
         job = quick_job()
         cache.store(job, {"a": 1.0})
+        cache.flush()
         leftovers = [p for p in tmp_path.rglob("*") if p.is_file()]
-        assert leftovers == [cache.path_for(job)]
+        assert leftovers  # at least one segment plus the manifest
+        for path in leftovers:
+            assert path.name == "manifest.json" or (
+                path.name.startswith("seg-") and path.suffix == ".seg"
+            ), f"unexpected leftover {path}"
         assert cache.load(job) == {"a": 1.0}
 
 
@@ -678,39 +698,42 @@ class TestCachePrune:
         return [quick_job(seed=seed) for seed in range(count)]
 
     def test_age_limit_removes_only_stale_entries(self, tmp_path):
-        import os
-        import time
-
-        cache = ResultCache(tmp_path)
-        jobs = self._fill(cache, 3)
-        now = time.time()
-        stale = cache.path_for(jobs[0])
-        os.utime(stale, (now - 7200, now - 7200))
-        result = cache.prune(max_age_seconds=3600, now=now)
+        # Ages come from the record timestamps, which follow the injected
+        # clock: seed 0 is stored two hours before the rest.
+        ticks = {"now": 1_000_000.0}
+        cache = ResultCache(tmp_path, clock=lambda: ticks["now"])
+        jobs = [quick_job(seed=seed) for seed in range(3)]
+        cache.store_entry(jobs[0].kind, jobs[0].cache_key(), jobs[0].to_dict(), {"m": 0})
+        ticks["now"] += 7200
+        for seed, job in enumerate(jobs[1:], start=1):
+            cache.store_entry(job.kind, job.cache_key(), job.to_dict(), {"m": seed})
+        result = cache.prune(max_age_seconds=3600, now=ticks["now"])
         assert result.removed_entries == 1
         assert result.kept_entries == 2
         assert cache.load(jobs[0]) is None
         assert cache.load(jobs[1]) is not None
 
     def test_size_limit_evicts_oldest_first(self, tmp_path):
-        import os
-        import time
-
-        cache = ResultCache(tmp_path)
-        jobs = self._fill(cache, 4)
-        now = time.time()
+        ticks = {"now": 1_000_000.0}
+        cache = ResultCache(tmp_path, clock=lambda: ticks["now"])
+        jobs = [quick_job(seed=seed) for seed in range(4)]
         # Make ages distinct and increasing with seed (seed 0 is oldest).
-        for index, job in enumerate(jobs):
-            stamp = now - (100 - index)
-            os.utime(cache.path_for(job), (stamp, stamp))
-        keep_two = sum(
-            cache.path_for(job).stat().st_size for job in jobs[2:]
-        )
-        result = cache.prune(max_bytes=keep_two, now=now)
+        for seed, job in enumerate(jobs):
+            cache.store_entry(job.kind, job.cache_key(), job.to_dict(), {"m": seed})
+            ticks["now"] += 100.0
+        # All four records have the same framed size, so half the live
+        # bytes is exactly the budget for the two newest entries.
+        keep_two = cache.stats()["figure5"].bytes // 2
+        result = cache.prune(max_bytes=keep_two, now=ticks["now"])
         assert result.removed_entries == 2
         assert cache.load(jobs[0]) is None and cache.load(jobs[1]) is None
         assert cache.load(jobs[2]) is not None and cache.load(jobs[3]) is not None
         assert result.kept_bytes <= keep_two
+        # Eviction compacts: the evicted records physically leave the
+        # segments, so a rebuild-by-scan cannot resurrect them.
+        rescan = ResultCache(tmp_path)
+        assert rescan.load(jobs[0]) is None
+        assert rescan.load(jobs[3]) is not None
 
     def test_noop_pass_counts_the_inventory(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -38,6 +38,9 @@ import repro.faults.cells  # noqa: E402  isort:skip
 # Same side effect for the fleet subsystem: registers the "fleet" job kind.
 import repro.sim.fleet.cells  # noqa: E402  isort:skip
 
+# Same side effect for the fuzz subsystem: registers the "fuzz" job kind.
+import repro.sim.fuzz.cells  # noqa: E402  isort:skip
+
 __version__ = "1.0.0"
 
 __all__ = [

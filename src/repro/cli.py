@@ -278,6 +278,59 @@ def _run_spec(spec: ExperimentSpec, args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_fuzz(spec: ExperimentSpec, args: argparse.Namespace) -> int:
+    """The fuzz campaign's handler: replay one case, or run and gate.
+
+    Unlike the generic spec handler, a campaign that breached any oracle
+    exits 1 after printing the shrunk reproductions, and ``--reproduce``
+    replays a single case verbosely (exit 2 on an unknown case id).
+    """
+    from repro.sim.fuzz.cells import reproduce_case
+
+    settings = _settings_from_args(args)
+    if getattr(args, "reproduce", None):
+        try:
+            return reproduce_case(
+                settings, args.reproduce, planted=bool(getattr(args, "planted", False))
+            )
+        except ExperimentError as error:
+            print(f"cannot reproduce: {error}", file=sys.stderr)
+            return 2
+    runner = _runner_from_args(args)
+    options = {option.name: getattr(args, option.name) for option in spec.options}
+    request = spec.request(
+        settings,
+        explicit_workloads=bool(getattr(args, "workloads", None)),
+        **options,
+    )
+    run = spec.execute(runner=runner, request=request)
+    frame = run.result()
+    if args.json:
+        document = spec.to_json(frame)
+        document["grid"] = jsonify(
+            {name: list(values) for name, values in spec.grid(request).axes}
+        )
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(spec.to_table(frame))
+    failing = [
+        (job, metrics)
+        for job, metrics in run.results.items()
+        if int(metrics.get("violations", 0) or 0)
+    ]
+    stream = sys.stderr if args.json else sys.stdout
+    for job, metrics in failing:
+        print(
+            f"\ncase {metrics.get('case_id', job.label)}: "
+            f"{metrics.get('violations')} violation(s), shrunk in "
+            f"{metrics.get('shrink_steps')} step(s):",
+            file=stream,
+        )
+        print(str(metrics.get("repro", "")), file=stream)
+    _print_engine_stats(runner, to_stderr=args.json)
+    return 1 if failing else 0
+
+
 def _add_spec_subcommands(subparsers) -> None:
     """One subcommand per registered spec, generated from its metadata."""
     for spec in EXPERIMENTS.values():
@@ -294,7 +347,12 @@ def _add_spec_subcommands(subparsers) -> None:
                     metavar=option.metavar,
                     help=option.help,
                 )
-        sub.set_defaults(handler=lambda args, spec=spec: _run_spec(spec, args))
+        # The fuzz campaign gates on violations and replays cases, which
+        # the generic handler has no notion of.
+        handler = _run_fuzz if spec.name == "fuzz" else _run_spec
+        sub.set_defaults(
+            handler=lambda args, spec=spec, handler=handler: handler(spec, args)
+        )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -750,6 +808,54 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_document(path: str):
+    """Read one results document's frames, or None after printing why not."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"cannot read document {path!r}: {error}", file=sys.stderr)
+        return None
+    try:
+        return document_frames(payload)
+    except ExperimentError as error:
+        print(f"{path!r} is not a results document: {error}", file=sys.stderr)
+        return None
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Compare two results documents frame by frame, without re-running."""
+    baseline = _load_document(args.baseline)
+    current = _load_document(args.current)
+    if baseline is None or current is None:
+        return 2
+    drifts = diff_documents(
+        baseline, current, rel_tol=args.rtol, abs_tol=args.atol
+    )
+    by_frame: dict = {}
+    for drift in drifts:
+        by_frame.setdefault(drift.frame, []).append(drift)
+    table = TextTable(
+        ["experiment", "status", "differences"],
+        title=f"compare: {args.baseline} vs {args.current}",
+    )
+    for name in sorted(set(baseline) | set(current)):
+        frame_drifts = by_frame.get(name, [])
+        status = "differs" if frame_drifts else "match"
+        table.add_row([name, status, len(frame_drifts)])
+    print(table.render())
+    if drifts:
+        print(f"{len(drifts)} difference(s):")
+        for drift in drifts:
+            print(f"  {drift}")
+        return 1
+    print(
+        f"documents match ({len(baseline)} frame(s), "
+        f"rtol={args.rtol:g}, atol={args.atol:g})"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser.
 
@@ -877,6 +983,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(diff_parser)
     diff_parser.set_defaults(handler=_cmd_diff)
+
+    compare_parser = subparsers.add_parser(
+        "compare",
+        help=(
+            "compare two results documents frame by frame (no re-run; "
+            "exit 1 on drift)"
+        ),
+    )
+    compare_parser.add_argument(
+        "baseline", help="baseline document (`repro run-all --json` output)"
+    )
+    compare_parser.add_argument(
+        "current", help="document to compare against the baseline"
+    )
+    compare_parser.add_argument(
+        "--rtol",
+        type=float,
+        default=1e-9,
+        metavar="R",
+        help="relative tolerance for numeric comparisons (default: 1e-9)",
+    )
+    compare_parser.add_argument(
+        "--atol",
+        type=float,
+        default=1e-12,
+        metavar="A",
+        help="absolute tolerance for numeric comparisons (default: 1e-12)",
+    )
+    compare_parser.set_defaults(handler=_cmd_compare)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or prune the on-disk result cache"

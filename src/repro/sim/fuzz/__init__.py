@@ -1,0 +1,12 @@
+"""Property-based scenario fuzzing for the dynamic-lifecycle machinery.
+
+The fuzz subsystem turns the cell engine into a continuous correctness
+harness: :mod:`repro.sim.fuzz.generate` draws random-but-valid dynamic
+scenarios (machine roster + ordered :class:`~repro.sim.timeline.Timeline`)
+from a seeded grammar, :mod:`repro.sim.fuzz.oracles` checks machine-level
+invariants against every run, :mod:`repro.sim.fuzz.shrink` reduces a failing
+scenario to a minimal reproducing timeline, and :mod:`repro.sim.fuzz.cells`
+plus :mod:`repro.sim.fuzz.spec` package each fuzz case as an ordinary
+cacheable :class:`~repro.sim.jobs.ExperimentJob` behind the always-on
+``fuzz`` experiment spec.
+"""

@@ -1,0 +1,180 @@
+"""The always-on ``fuzz`` experiment spec.
+
+Registers the fuzz campaign in the central ``EXPERIMENTS`` registry, so
+``repro fuzz --cases N --profile mixed --seeds ...`` runs through every
+engine backend, the campaign joins ``run-all`` / ``export`` / ``diff``
+documents, and ``repro list`` shows the profiles axis -- all without
+touching the CLI beyond the ``--reproduce`` replay path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+from typing import Dict, Tuple
+
+from repro.sim.frames import FrameView, MetricColumn, MetricSchema
+from repro.sim.fuzz.cells import fuzz_jobs, fuzz_samples, oracle_metric_names
+from repro.sim.fuzz.generate import PROFILE_NAMES
+from repro.sim.settings import ExperimentSettings
+from repro.sim.specs import (
+    ExperimentSpec,
+    ParameterGrid,
+    SpecOption,
+    SpecRequest,
+    parse_positive_int,
+    register_experiment,
+)
+
+__all__ = ["parse_profile_list"]
+
+
+def parse_profile_list(value: str) -> Tuple[str, ...]:
+    """A comma list of fuzz profile names, validated against the built-ins."""
+    names = tuple(
+        dict.fromkeys(part.strip() for part in value.split(",") if part.strip())
+    )
+    if not names:
+        raise argparse.ArgumentTypeError("needs at least one profile name")
+    unknown = [name for name in names if name not in PROFILE_NAMES]
+    if unknown:
+        known = ", ".join(PROFILE_NAMES)
+        raise argparse.ArgumentTypeError(
+            f"unknown profile(s) {', '.join(unknown)} (known: {known})"
+        )
+    return names
+
+
+def _fuzz_settings(request: SpecRequest) -> ExperimentSettings:
+    """The request's settings with the fuzz flags folded in.
+
+    With no explicit flags this is the settings object itself, which is what
+    lets ``run_all_experiments`` and the distributed coordinator size the
+    campaign purely through settings (the shared enumeration path passes no
+    per-spec options)."""
+    overrides: Dict[str, object] = {}
+    cases = request.option("cases")
+    if cases is not None:
+        overrides["fuzz_cases"] = int(cases)
+    profiles = request.option("profile")
+    if profiles is not None:
+        overrides["fuzz_profiles"] = tuple(profiles)
+    settings = request.settings
+    return dataclasses.replace(settings, **overrides) if overrides else settings
+
+
+def _fuzz_grid(request: SpecRequest) -> ParameterGrid:
+    settings = _fuzz_settings(request)
+    return ParameterGrid.of(
+        ("profile", settings.fuzz_profiles),
+        ("case", tuple(range(settings.fuzz_cases))),
+        ("seed", settings.seeds),
+    )
+
+
+def _count_metric(name: str, label: str) -> MetricColumn:
+    return MetricColumn(
+        name, dtype="int", aggregate="sum", label=label, fmt="{:d}"
+    )
+
+
+def _fuzz_schema(request: SpecRequest) -> MetricSchema:
+    settings = _fuzz_settings(request)
+    planted = bool(request.option("planted"))
+    oracle_columns = tuple(
+        _count_metric(name, name[len("viol_"):].replace("_", "-"))
+        for name in oracle_metric_names(planted=planted)
+    )
+    return MetricSchema(
+        keys=("profile",),
+        metrics=(
+            _count_metric("cases", "cases"),
+            _count_metric("events", "events generated"),
+            _count_metric("events_applied", "events applied"),
+            _count_metric("violations", "violations"),
+            _count_metric("shrink_steps", "shrink steps"),
+        )
+        + oracle_columns,
+        views=(
+            FrameView(
+                title=(
+                    f"Fuzz campaign: {settings.fuzz_cases} cases per "
+                    "(profile, seed), invariant oracles on every run"
+                ),
+                metrics=(
+                    "cases",
+                    "events",
+                    "events_applied",
+                    "violations",
+                    "shrink_steps",
+                ),
+            ),
+            FrameView(
+                title="Violations by oracle",
+                metrics=tuple(column.name for column in oracle_columns),
+            ),
+        ),
+    )
+
+
+register_experiment(
+    ExperimentSpec(
+        name="fuzz",
+        title="property-based scenario fuzzing with invariant oracles",
+        description=(
+            "Seeded generation of random-but-valid dynamic scenarios (VM "
+            "churn, core failures and repairs, policy and reliability hot "
+            "swaps, fault-rate bursts) checked against machine-level "
+            "invariant oracles; breached cases are shrunk to a minimal "
+            "reproducing timeline inside the cell. Each case is one "
+            "cacheable engine job, so campaigns parallelise across every "
+            "backend and clean cases warm-start from the packed store."
+        ),
+        grid=_fuzz_grid,
+        enumerate_jobs=lambda request: fuzz_jobs(
+            _fuzz_settings(request), planted=bool(request.option("planted"))
+        ),
+        schema=_fuzz_schema,
+        cell_samples=lambda request, jobs, results: fuzz_samples(
+            request, jobs, results
+        ),
+        options=(
+            SpecOption(
+                name="cases",
+                flag="--cases",
+                parse=parse_positive_int,
+                metavar="N",
+                help="scenarios per (profile, seed) (default: the settings')",
+            ),
+            SpecOption(
+                name="profile",
+                flag="--profile",
+                parse=parse_profile_list,
+                metavar="P1,P2,...",
+                help=(
+                    "generator profiles to sweep, e.g. 'mixed' or "
+                    "'churn-heavy,failure-heavy' (default: the settings')"
+                ),
+            ),
+            SpecOption(
+                name="planted",
+                flag="--planted",
+                is_flag=True,
+                help=(
+                    "also run the deliberately false planted oracle (no VM "
+                    "may arrive mid-run) -- exercises the shrinker end to end"
+                ),
+            ),
+            SpecOption(
+                name="reproduce",
+                flag="--reproduce",
+                metavar="CASE_ID",
+                help=(
+                    "replay one case (profile:case:seed) verbosely instead "
+                    "of running the campaign; exits 1 if it breaches an "
+                    "oracle, 2 on an unknown case id"
+                ),
+            ),
+        ),
+    )
+)

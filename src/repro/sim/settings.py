@@ -86,6 +86,13 @@ class ExperimentSettings:
         "failure-storm",
         "rolling-upgrade",
     )
+    #: Scenarios the fuzz campaign generates per (profile, seed); each is
+    #: one independent simulation cell checked against the invariant
+    #: oracles.
+    fuzz_cases: int = 6
+    #: Generator profiles the fuzz campaign sweeps (see
+    #: :data:`repro.sim.fuzz.generate.FUZZ_PROFILES`).
+    fuzz_profiles: Tuple[str, ...] = ("churn-heavy", "failure-heavy", "mixed")
     #: Timing-model fidelity tier: ``"accurate"`` runs the cycle-accurate
     #: quantum model for every instruction; ``"fast"`` wraps it in the
     #: calibrated probe-and-extrapolate model of :mod:`repro.cpu.fastpath`
@@ -149,6 +156,8 @@ class ExperimentSettings:
             fleet_machines=8,
             fleet_racks=2,
             fleet_scenarios=("failure-storm",),
+            fuzz_cases=3,
+            fuzz_profiles=("mixed",),
         )
 
     @classmethod
@@ -210,4 +219,6 @@ class ExperimentSettings:
             fleet_machines=0,
             fleet_racks=0,
             fleet_scenarios=(),
+            fuzz_cases=0,
+            fuzz_profiles=(),
         )

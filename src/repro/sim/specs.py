@@ -1422,3 +1422,9 @@ register_experiment(
         workload_limit=2,
     )
 )
+
+
+# The fuzz spec lives with its subsystem; importing it here (after every
+# registry name above is defined -- it imports back into this module)
+# registers the always-on ``fuzz`` experiment.
+import repro.sim.fuzz.spec  # noqa: E402,F401  isort:skip

@@ -551,6 +551,152 @@ class TestPlanReuse:
 
 
 # ===================================================================== #
+# Fuzz-found regression scenarios
+# ===================================================================== #
+
+
+def run_fuzz_regression(vm_specs, policy, seed, timeline, total, warmup):
+    """Replay one frozen fuzz scenario under full oracle observation.
+
+    The rosters and timelines below are the gnarliest scenarios surfaced by
+    the 180-case default `repro fuzz` campaign, frozen verbatim (generator
+    changes must not silently rewrite them).  Each runs on the evaluation
+    config with every invariant oracle attached; regressions in event
+    application, lifecycle accounting or plan shape fail here first.
+    """
+    from repro.sim.fuzz.oracles import OracleContext, observe_run, run_oracles
+
+    settings = ExperimentSettings()
+    machine = MixedModeMachine(
+        config=settings.config(), vm_specs=vm_specs, policy=policy, seed=seed
+    )
+    options = SimulationOptions(total_cycles=total, warmup_cycles=warmup)
+    result, observations = observe_run(machine, options, timeline=timeline)
+    context = OracleContext(
+        machine=machine,
+        result=result,
+        options=options,
+        timeline=timeline,
+        observations=observations,
+        roster_names=tuple(spec.name for spec in vm_specs),
+        initial_active=frozenset(
+            spec.name for spec in vm_specs if spec.present_at_start
+        ),
+    )
+    assert run_oracles(context, "regression") == []
+    return machine, result
+
+
+def fuzz_vm(name, workload, vcpus, mode, present):
+    return VmSpec(
+        name=name,
+        workload=workload,
+        num_vcpus=vcpus,
+        reliability=mode,
+        phase_scale=0.01,
+        footprint_scale=0.125,
+        present_at_start=present,
+    )
+
+
+class TestFuzzRegressions:
+    def test_mode_change_on_a_vm_that_has_not_arrived_yet(self):
+        # fuzz case mixed:0:5 -- fuzz2's reliability flips while it is still
+        # deferred, then it arrives, the policy hot-swaps and two cores fail
+        # and repair inside the measured window.
+        machine, result = run_fuzz_regression(
+            vm_specs=[
+                fuzz_vm("fuzz0", "oltp", 3, ReliabilityMode.RELIABLE, True),
+                fuzz_vm("fuzz1", "pgbench", 1, ReliabilityMode.PERFORMANCE, True),
+                fuzz_vm("fuzz2", "apache", 2, ReliabilityMode.PERFORMANCE, False),
+            ],
+            policy="mmm-ipc",
+            seed=5,
+            timeline=Timeline.of(
+                ReliabilityModeChanged(cycle=3342, vm_name="fuzz2", mode="RELIABLE"),
+                PolicyChanged(cycle=3858, policy="mmm-tp"),
+                VmArrived(cycle=4036, vm_name="fuzz2"),
+                ReliabilityModeChanged(cycle=7391, vm_name="fuzz1", mode="RELIABLE"),
+                VmDeparted(cycle=12834, vm_name="fuzz0"),
+                CoreFailed(cycle=14911, core_id=12),
+                CoreRepaired(cycle=16633, core_id=12),
+                CoreFailed(cycle=16948, core_id=3),
+                CoreRepaired(cycle=17109, core_id=3),
+            ),
+            total=21384,
+            warmup=977,
+        )
+        assert result.timeline_events_applied == 9
+        # The pre-arrival flip stuck: fuzz2 entered the schedule reliable.
+        assert machine.vm_by_name("fuzz2").is_reliable
+        assert {vm.name for vm in machine.active_vms} == {"fuzz1", "fuzz2"}
+        assert machine.retired_cores == frozenset()
+
+    def test_adaptive_policy_with_mid_warmup_churn_and_core_failure(self):
+        # fuzz case mixed:5:1 -- the stateful adaptive policy sees a VM
+        # arrive during warmup, three reliability flips, a core failure that
+        # lasts most of the run, and a policy swap to mmm-tp near the end.
+        machine, result = run_fuzz_regression(
+            vm_specs=[
+                fuzz_vm("fuzz0", "oltp", 1, ReliabilityMode.PERFORMANCE, True),
+                fuzz_vm("fuzz1", "pmake", 3, ReliabilityMode.RELIABLE, True),
+                fuzz_vm("fuzz2", "apache", 2, ReliabilityMode.PERFORMANCE, True),
+                fuzz_vm("fuzz3", "apache", 3, ReliabilityMode.PERFORMANCE, False),
+            ],
+            policy="mmm-adaptive",
+            seed=1,
+            timeline=Timeline.of(
+                VmArrived(cycle=5847, vm_name="fuzz3"),
+                ReliabilityModeChanged(cycle=8375, vm_name="fuzz2", mode="RELIABLE"),
+                ReliabilityModeChanged(cycle=13266, vm_name="fuzz3", mode="PERFORMANCE"),
+                CoreFailed(cycle=14785, core_id=0),
+                ReliabilityModeChanged(cycle=18468, vm_name="fuzz1", mode="RELIABLE"),
+                PolicyChanged(cycle=28313, policy="mmm-tp"),
+                FaultRateBurst(cycle=30487, scale=5.5324, duration_cycles=1589),
+                CoreRepaired(cycle=40658, core_id=0),
+            ),
+            total=40957,
+            warmup=14166,
+        )
+        assert result.timeline_events_applied == 8
+        assert result.policy_name == "mmm-tp"
+        assert machine.retired_cores == frozenset()
+
+    def test_vm_departs_and_rearrives_with_a_pending_tail_event(self):
+        # fuzz case churn-heavy:1:5 -- fuzz3 departs and re-arrives within
+        # one run, fuzz1 and fuzz2 churn around a core failure window, and
+        # the final arrival lands beyond the horizon (pending, never
+        # applied).
+        machine, result = run_fuzz_regression(
+            vm_specs=[
+                fuzz_vm("fuzz0", "pgoltp", 3, ReliabilityMode.PERFORMANCE, True),
+                fuzz_vm("fuzz1", "pgbench", 1, ReliabilityMode.RELIABLE, False),
+                fuzz_vm("fuzz2", "pgoltp", 1, ReliabilityMode.PERFORMANCE, True),
+                fuzz_vm("fuzz3", "oltp", 3, ReliabilityMode.PERFORMANCE, False),
+            ],
+            policy="mmm-tp",
+            seed=5,
+            timeline=Timeline.of(
+                FaultRateBurst(cycle=2691, scale=6.1604, duration_cycles=4978),
+                VmArrived(cycle=2970, vm_name="fuzz1"),
+                CoreFailed(cycle=22880, core_id=9),
+                VmArrived(cycle=25298, vm_name="fuzz3"),
+                VmDeparted(cycle=27486, vm_name="fuzz1"),
+                CoreRepaired(cycle=28316, core_id=9),
+                VmDeparted(cycle=35878, vm_name="fuzz3"),
+                VmArrived(cycle=36046, vm_name="fuzz3"),
+                VmDeparted(cycle=39176, vm_name="fuzz2"),
+                VmArrived(cycle=51251, vm_name="fuzz1"),
+            ),
+            total=35265,
+            warmup=10119,
+        )
+        assert result.timeline_events_applied == 9
+        assert result.timeline_events_pending == 1
+        assert {vm.name for vm in machine.active_vms} == {"fuzz0", "fuzz3"}
+
+
+# ===================================================================== #
 # Engine determinism and spec registration
 # ===================================================================== #
 
